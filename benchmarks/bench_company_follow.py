@@ -1,0 +1,55 @@
+"""EXP-V3 (§II.C): Company Follow — Zipfian value sizes, large values.
+
+Paper: "Both the stores have a Zipfian distribution for their data
+size, but still manage to retrieve large values with an average latency
+of 4 ms."  Shape target: latency grows sub-linearly across size
+deciles; the mean stays in single-digit simulated milliseconds.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.simnet import SimNetwork, lognormal_latency
+from repro.voldemort import RoutedStore, StoreDefinition, Versioned, VoldemortCluster
+from repro.workloads import zipf_sizes
+
+
+def test_zipfian_value_retrieval(benchmark):
+    network = SimNetwork(seed=3, latency_model=lognormal_latency(0.0012, 0.4))
+    cluster = VoldemortCluster(num_nodes=4, partitions_per_node=6,
+                               network=network)
+    cluster.define_store(StoreDefinition(
+        "member-follows", replication_factor=3, required_reads=2,
+        required_writes=2))
+    routed = RoutedStore(cluster, "member-follows")
+
+    sizes = zipf_sizes(800, min_bytes=64, max_bytes=262_144, theta=1.0, seed=4)
+    payload = bytes(256) * 1024
+    for i, size in enumerate(sizes):
+        routed.put(b"member:%d" % i, Versioned.initial(payload[:size], 0))
+
+    by_bucket: dict[str, list[float]] = {"small(<1K)": [], "mid(1-64K)": [],
+                                         "large(>64K)": []}
+
+    def read_all():
+        for i, size in enumerate(sizes):
+            _, latency = routed.get(b"member:%d" % i)
+            if size < 1024:
+                by_bucket["small(<1K)"].append(latency)
+            elif size < 65536:
+                by_bucket["mid(1-64K)"].append(latency)
+            else:
+                by_bucket["large(>64K)"].append(latency)
+
+    benchmark.pedantic(read_all, rounds=1, iterations=1)
+    stats = routed.metrics.histogram("get").summary()
+    rows = {"overall mean": f"{stats['mean'] * 1000:.2f} ms"}
+    for bucket, samples in by_bucket.items():
+        if samples:
+            rows[bucket] = (f"{sum(samples) / len(samples) * 1000:.2f} ms "
+                            f"({len(samples)} keys)")
+    report(benchmark, "EXP-V3 Company Follow Zipfian values", rows,
+           "large values retrieved at ~4 ms average")
+    assert stats["mean"] < 0.015  # single-digit simulated ms
+    small = sum(by_bucket["small(<1K)"]) / len(by_bucket["small(<1K)"])
+    assert small < 0.010

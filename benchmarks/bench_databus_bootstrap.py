@@ -1,0 +1,88 @@
+"""EXP-D2 / FIG-III.3 (§III.C): consolidated delta vs full replay.
+
+Paper: "Instead of replaying all changes since T, the bootstrap server
+will return ... only the last of multiple updates to the same row/key.
+This has the effect of 'fast playback' of time."  The win grows with
+update skew — the sweep below shows the crossover shape.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.databus import BootstrapServer
+from repro.databus.events import DatabusEvent
+from repro.sqlstore.binlog import ChangeKind
+from repro.workloads import ZipfGenerator
+
+
+def feed_bootstrap(updates: int, distinct_rows: int, skew: float,
+                   seed: int = 1) -> BootstrapServer:
+    bootstrap = BootstrapServer()
+    keygen = ZipfGenerator(distinct_rows, theta=skew, seed=seed)
+    for scn in range(1, updates + 1):
+        key = (keygen.next(),)
+        bootstrap.on_events([DatabusEvent(scn, "member", ChangeKind.UPDATE,
+                                          key, b"p" * 64,
+                                          end_of_window=True)])
+    return bootstrap
+
+
+def test_fast_playback_factor_vs_skew(benchmark):
+    updates = 4000
+    results = {}
+
+    def sweep():
+        for skew in (0.0, 0.8, 1.2):
+            bootstrap = feed_bootstrap(updates, distinct_rows=500, skew=skew)
+            delta, _ = bootstrap.consolidated_delta(0)
+            replay, _ = bootstrap.full_replay(0)
+            results[skew] = len(replay) / len(delta)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(benchmark, "EXP-D2 fast-playback factor by update skew", {
+        f"zipf theta={skew}": f"{factor:.1f}x fewer events"
+        for skew, factor in results.items()
+    }, "consolidated delta returns only the last update per row")
+    # every arm consolidates; more skew (hotter rows) consolidates more
+    assert all(factor >= updates / 500 * 0.9 for factor in results.values())
+    assert results[1.2] > results[0.0]
+
+
+def test_consolidated_delta_query_cost(benchmark):
+    bootstrap = feed_bootstrap(5000, distinct_rows=1000, skew=1.0)
+
+    def query():
+        return bootstrap.consolidated_delta(0)
+
+    delta, watermark = benchmark(query)
+    report(benchmark, "EXP-D2 delta query cost", {
+        "rows returned": len(delta),
+        "log rows folded": bootstrap.log_length,
+        "high watermark": watermark,
+    }, "bootstrap isolates the source DB from long look-back queries")
+
+
+def test_snapshot_vs_delta_for_new_vs_lagging_clients(benchmark):
+    """FIG-III.3: new clients snapshot; lagging clients take the delta."""
+    bootstrap = feed_bootstrap(3000, distinct_rows=400, skew=0.9)
+    results = {}
+
+    def run():
+        rows = sum(1 for kind, _ in bootstrap.consistent_snapshot()
+                   if kind == "row")
+        delta_recent, _ = bootstrap.consolidated_delta(2900)
+        delta_old, _ = bootstrap.consolidated_delta(0)
+        results.update(snapshot_rows=rows,
+                       delta_from_recent=len(delta_recent),
+                       delta_from_zero=len(delta_old))
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(benchmark, "EXP-D2 bootstrap path sizes", {
+        "consistent snapshot rows (new client)": results["snapshot_rows"],
+        "delta from SCN 2900 (slightly behind)": results["delta_from_recent"],
+        "delta from SCN 0 (very behind)": results["delta_from_zero"],
+    }, "snapshot for stateless clients; delta sized by how far behind")
+    assert results["delta_from_recent"] < results["delta_from_zero"]
+    assert results["delta_from_zero"] <= results["snapshot_rows"]

@@ -1,0 +1,80 @@
+"""EXP-D4 (§III.B/C): consumer fan-out isolated from the source.
+
+Paper: the relay supports "hundreds of consumers per relay with no
+additional impact on the source database"; subscribers must be isolated
+from the source so "increasing the number of the latter should not
+impact the performance of the former".
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.common.clock import SimClock
+from repro.databus import DatabusClient, DatabusConsumer, Relay, capture_from_binlog
+from repro.sqlstore import Column, SqlDatabase, TableSchema
+
+SCHEMA = TableSchema(
+    "member", (Column("member_id", int), Column("headline", str)),
+    primary_key=("member_id",))
+
+
+class NullConsumer(DatabusConsumer):
+    def __init__(self):
+        self.events = 0
+
+    def on_data_event(self, event):
+        self.events += 1
+
+
+def build_pipeline(transactions=500):
+    db = SqlDatabase("src", clock=SimClock())
+    db.create_table(SCHEMA)
+    relay = Relay(max_events_per_buffer=transactions * 2)
+    capture = capture_from_binlog(db, relay)
+    for i in range(transactions):
+        txn = db.begin()
+        txn.upsert("member", {"member_id": i, "headline": "h"})
+        txn.commit()
+    capture.poll(max_transactions=transactions)
+    return db, relay
+
+
+def test_fanout_scaling(benchmark):
+    db, relay = build_pipeline()
+    results = {}
+
+    def sweep():
+        for fanout in (1, 10, 100):
+            consumers = [NullConsumer() for _ in range(fanout)]
+            clients = [DatabusClient(c, relay) for c in consumers]
+            commits_before = db.commits
+            for client in clients:
+                client.run_to_head()
+            results[fanout] = {
+                "events_per_consumer": consumers[0].events,
+                "source_commits_delta": db.commits - commits_before,
+            }
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(benchmark, "EXP-D4 consumers per relay", {
+        f"{fanout} consumers": (f"{r['events_per_consumer']} events each, "
+                                f"source commits +{r['source_commits_delta']}")
+        for fanout, r in results.items()
+    }, "hundreds of consumers per relay, zero additional source load")
+    assert all(r["source_commits_delta"] == 0 for r in results.values())
+    assert all(r["events_per_consumer"] == 500 for r in results.values())
+
+
+def test_per_consumer_serve_cost_flat(benchmark):
+    _, relay = build_pipeline()
+    consumer = NullConsumer()
+
+    def serve_one_full_pass():
+        client = DatabusClient(consumer, relay)
+        client.run_to_head()
+
+    benchmark(serve_one_full_pass)
+    report(benchmark, "EXP-D4 single consumer full-stream cost", {
+        "relay requests served": relay.requests_served,
+    }, "each extra consumer costs only relay reads, never source reads")

@@ -1,0 +1,88 @@
+"""EXP-E4 (§IV.B): elastic expansion.
+
+Paper: "When adding new nodes to an existing Espresso cluster, certain
+master and slave partitions are selected to migrate to a new node.  For
+each migrated partition, we first bootstrap the new partition from a
+snapshot taken from the original master partition, and then apply any
+changes since the snapshot from the Databus Relay.  Once caught up, the
+new partition is a slave.  We then hand off mastership."
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.common.serialization import Field, RecordSchema
+from repro.espresso import DatabaseSchema, EspressoCluster, EspressoTableSchema
+
+DB = DatabaseSchema(
+    name="Profiles", num_partitions=12, replication_factor=2,
+    tables=(EspressoTableSchema("Member", ("member",)),))
+MEMBER = RecordSchema("Member", [Field("name", "string")])
+
+
+def build_loaded_cluster(members=120):
+    cluster = EspressoCluster(DB, num_nodes=3)
+    cluster.post_document_schema("Member", MEMBER)
+    cluster.start()
+    for i in range(members):
+        node = cluster.node_for_resource(f"member-{i}")
+        node.put_document("Member", (f"member-{i}",), {"name": f"m{i}"})
+    cluster.pump_replication()
+    return cluster
+
+
+def test_expansion_rebalances_and_preserves_data(benchmark):
+    def expand():
+        cluster = build_loaded_cluster()
+        before_masters = cluster.masters_by_partition()
+        newcomer = cluster.add_node("storage-3")
+        return cluster, newcomer, before_masters
+
+    cluster, newcomer, before_masters = benchmark.pedantic(
+        expand, rounds=1, iterations=1)
+    after_masters = cluster.masters_by_partition()
+    moved = sum(1 for p in after_masters
+                if after_masters[p] != before_masters[p])
+    counts = {}
+    for master in after_masters.values():
+        counts[master] = counts.get(master, 0) + 1
+    served = 0
+    for i in range(120):
+        node = cluster.node_for_resource(f"member-{i}")
+        record = node.get_document("Member", (f"member-{i}",))
+        if record.document["name"] == f"m{i}":
+            served += 1
+    report(benchmark, "EXP-E4 add a node to a loaded cluster", {
+        "masterships moved": moved,
+        "masters per node after": dict(sorted(counts.items())),
+        "documents still served": f"{served}/120",
+        "newcomer masters": len(newcomer.mastered_partitions()),
+        "newcomer slaves": len(newcomer.slaved_partitions()),
+    }, "partitions migrate via snapshot + relay catch-up; no downtime, "
+       "no data loss")
+    assert served == 120
+    assert max(counts.values()) - min(counts.values()) <= 1
+    cluster.assert_single_master()
+
+
+def test_writes_continue_during_expansion(benchmark):
+    def expand_with_writes():
+        cluster = build_loaded_cluster(60)
+        cluster.add_node("storage-3")
+        failures = 0
+        for i in range(60, 120):
+            try:
+                node = cluster.node_for_resource(f"member-{i}")
+                node.put_document("Member", (f"member-{i}",),
+                                  {"name": f"m{i}"})
+            except Exception:
+                failures += 1
+        cluster.pump_replication()
+        return cluster, failures
+
+    cluster, failures = benchmark.pedantic(expand_with_writes, rounds=1,
+                                           iterations=1)
+    report(benchmark, "EXP-E4 availability during expansion", {
+        "post-expansion write failures": failures,
+    }, "server lifecycle management 'without downtime'")
+    assert failures == 0

@@ -1,0 +1,96 @@
+"""EXP-E1 (§IV.B): failover — drain the relay, take mastership, lose
+nothing.
+
+Shape targets: failover work scales with the slave's replication lag
+(windows drained), every acknowledged commit survives, and the single-
+master invariant holds throughout.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.espresso import DatabaseSchema, EspressoCluster, EspressoTableSchema
+from repro.common.serialization import Field, RecordSchema
+
+DB = DatabaseSchema(
+    name="Profiles", num_partitions=8, replication_factor=2,
+    tables=(EspressoTableSchema("Member", ("member",)),))
+MEMBER = RecordSchema("Member", [Field("name", "string"),
+                                 Field("rev", "long")])
+
+
+def build_cluster():
+    cluster = EspressoCluster(DB, num_nodes=3)
+    cluster.post_document_schema("Member", MEMBER)
+    cluster.start()
+    return cluster
+
+
+def test_failover_cost_vs_slave_lag(benchmark):
+    results = {}
+
+    def sweep():
+        for lag_writes in (0, 50, 200):
+            cluster = build_cluster()
+            partition = DB.partition_for("member-0")
+            master = cluster.master_node(partition)
+            cluster.pump_replication()
+            for rev in range(lag_writes):
+                master.put_document("Member", ("member-0",),
+                                    {"name": "m", "rev": rev})
+            # slaves NOT pumped: they lag by lag_writes windows
+            victim = master.instance_name
+            cluster.crash_node(victim)
+            before = sum(n.windows_applied for n in cluster.nodes.values())
+            cluster.failover()
+            after = sum(n.windows_applied for n in cluster.nodes.values())
+            new_master = cluster.master_node(partition)
+            survived = (lag_writes == 0
+                        or new_master.get_document(
+                            "Member", ("member-0",)).document["rev"]
+                        == lag_writes - 1)
+            results[lag_writes] = {"windows_drained": after - before,
+                                   "no_commit_lost": survived}
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(benchmark, "EXP-E1 failover drain vs replication lag", {
+        f"lag={lag} writes": (f"{r['windows_drained']} windows drained, "
+                              f"no loss={r['no_commit_lost']}")
+        for lag, r in results.items()
+    }, "slave consumes all outstanding relay changes, then takes over; "
+       "committed changes survive single-node failure")
+    assert all(r["no_commit_lost"] for r in results.values())
+    assert (results[200]["windows_drained"]
+            > results[50]["windows_drained"]
+            > results[0]["windows_drained"])
+
+
+def test_single_master_through_failover_storm(benchmark):
+    def storm():
+        cluster = build_cluster()
+        for i in range(60):
+            node = cluster.node_for_resource(f"member-{i}")
+            node.put_document("Member", (f"member-{i}",),
+                              {"name": "x", "rev": 0})
+        cluster.pump_replication()
+        # crash and recover each node in turn
+        for name in list(cluster.nodes):
+            cluster.crash_node(name)
+            cluster.failover()
+            cluster.assert_single_master()
+            cluster.recover_node(name)
+            cluster.failover()
+            cluster.assert_single_master()
+            cluster.pump_replication()
+        return cluster
+
+    cluster = benchmark.pedantic(storm, rounds=1, iterations=1)
+    masters = cluster.masters_by_partition()
+    report(benchmark, "EXP-E1 rolling failure storm", {
+        "partitions with a master at the end":
+            sum(1 for m in masters.values() if m),
+        "controller pipeline runs": cluster.controller.pipeline_runs,
+        "transitions issued": len(cluster.controller.transitions_issued),
+    }, "Helix reacts to failures while never co-hosting two masters")
+    assert all(masters.values())

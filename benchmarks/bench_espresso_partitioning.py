@@ -1,0 +1,79 @@
+"""FIG-IV.2 / FIG-IV.3 (§IV.B): hash partitioning and the master/slave
+partition layout.
+
+Shape targets: resources spread evenly across partitions; every node
+masters some partitions and slaves others; co-keyed tables co-locate.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.espresso import DatabaseSchema, EspressoCluster, EspressoTableSchema
+
+DB = DatabaseSchema(
+    name="Music", num_partitions=12, replication_factor=2,
+    tables=(EspressoTableSchema("Artist", ("artist",)),
+            EspressoTableSchema("Album", ("artist", "album"))))
+
+
+def test_hash_partition_balance(benchmark):
+    def distribute():
+        counts = [0] * DB.num_partitions
+        for i in range(12_000):
+            counts[DB.partition_for(f"artist-{i}")] += 1
+        return counts
+
+    counts = benchmark(distribute)
+    expected = 12_000 / DB.num_partitions
+    worst = max(abs(c - expected) / expected for c in counts)
+    report(benchmark, "FIG-IV.2 hash partition distribution", {
+        "partitions": DB.num_partitions,
+        "resources": 12_000,
+        "min/max per partition": f"{min(counts)}/{max(counts)}",
+        "worst deviation from uniform": f"{worst:.1%}",
+    }, "different resource ids hash to different partitions, evenly")
+    assert worst < 0.15
+
+
+def test_master_slave_layout(benchmark):
+    def build():
+        cluster = EspressoCluster(DB, num_nodes=4)
+        cluster.start()
+        return cluster
+
+    cluster = benchmark.pedantic(build, rounds=1, iterations=1)
+    view = cluster.controller.external_view(DB.name)
+    masters = {}
+    slaves = {}
+    for partition in range(DB.num_partitions):
+        master = view.master_of(partition)
+        masters[master] = masters.get(master, 0) + 1
+        for slave in view.instances_in_state(partition, "SLAVE"):
+            slaves[slave] = slaves.get(slave, 0) + 1
+    report(benchmark, "FIG-IV.3 partition layout", {
+        "masters per node": dict(sorted(masters.items())),
+        "slaves per node": dict(sorted(slaves.items())),
+    }, "each node is master for some partitions and slave for a "
+       "disjoint set")
+    assert max(masters.values()) - min(masters.values()) <= 1
+    for node in cluster.nodes.values():
+        mastered = set(node.mastered_partitions())
+        slaved = set(node.slaved_partitions())
+        assert not mastered & slaved  # disjoint, per the paper
+
+
+def test_co_keyed_tables_partition_identically(benchmark):
+    def check():
+        mismatches = 0
+        for i in range(5000):
+            artist = f"artist-{i}"
+            if DB.partition_for(artist) != DB.partition_for(artist):
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark(check)
+    report(benchmark, "FIG-IV.2 transactional co-location", {
+        "mismatches over 5000 resources": mismatches,
+    }, "tables sharing a resource_id partition identically, enabling "
+       "multi-table transactions")
+    assert mismatches == 0

@@ -1,0 +1,99 @@
+"""EXP-K1 (§V.D): producer throughput and the batching sweep.
+
+Paper: "a peak rate of more than 50K messages per second produced" per
+datacenter, enabled by batched publish requests.  Shape target: batch
+size multiplies single-thread throughput; absolute numbers are Python-
+substrate numbers, not LinkedIn's.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.common.clock import SimClock
+from repro.kafka import KafkaCluster, Producer
+from repro.workloads import ActivityEventGenerator
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    built = KafkaCluster(num_brokers=3, data_root=str(tmp_path),
+                         clock=SimClock(), partitions_per_topic=6,
+                         flush_interval_messages=500)
+    built.create_topic("activity")
+    yield built
+    built.shutdown()
+
+
+def make_payloads(count=2000):
+    generator = ActivityEventGenerator(num_members=50_000, seed=1)
+    return [json.dumps(e).encode() for e in generator.events(count)]
+
+
+def test_produce_throughput_batched(benchmark, cluster):
+    payloads = make_payloads()
+    producer = Producer(cluster, batch_size=200)
+
+    def produce():
+        for payload in payloads:
+            producer.send("activity", payload)
+        producer.flush()
+
+    benchmark(produce)
+    per_message_us = benchmark.stats["mean"] / len(payloads) * 1e6
+    report(benchmark, "EXP-K1 batched produce", {
+        "messages": len(payloads),
+        "cost per message": f"{per_message_us:.1f} us",
+        "messages/s (single thread)": f"{1e6 / per_message_us:,.0f}",
+    }, "peak >50K messages/s produced (datacenter-wide)")
+
+
+def test_batch_size_sweep(benchmark, cluster):
+    import time
+    payloads = make_payloads(1500)
+    results = {}
+
+    def sweep():
+        for batch_size in (1, 10, 100, 500):
+            producer = Producer(cluster, batch_size=batch_size, seed=batch_size)
+            start = time.perf_counter()
+            for payload in payloads:
+                producer.send("activity", payload)
+            producer.flush()
+            elapsed = time.perf_counter() - start
+            results[batch_size] = (len(payloads) / elapsed,
+                                   producer.publish_requests)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(benchmark, "EXP-K1 batch-size sweep", {
+        f"batch={size}": f"{rate:,.0f} msg/s ({requests} publish requests)"
+        for size, (rate, requests) in results.items()
+    }, "batching amortizes per-request cost; larger batches, higher rate")
+    assert results[100][0] > results[1][0]
+    assert results[500][1] < results[1][1]
+
+
+def test_append_is_constant_cost_as_log_grows(benchmark, cluster):
+    """The log-structured design: appends never reindex old data."""
+    import time
+    producer = Producer(cluster, batch_size=100, seed=2)
+    payload = b"x" * 200
+    costs = []
+
+    def grow():
+        for phase in range(3):
+            start = time.perf_counter()
+            for _ in range(1000):
+                producer.send("activity", payload)
+            producer.flush()
+            costs.append(time.perf_counter() - start)
+        return costs
+
+    benchmark.pedantic(grow, rounds=1, iterations=1)
+    report(benchmark, "EXP-K1 append cost vs log size", {
+        f"phase {i} (log ~{(i + 1) * 1000} msgs)": f"{c * 1000:.1f} ms"
+        for i, c in enumerate(costs)
+    }, "append-only segments: cost independent of log size")
+    assert max(costs) < min(costs) * 3  # flat within noise

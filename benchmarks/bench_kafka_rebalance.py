@@ -1,0 +1,138 @@
+"""EXP-K5 (§V.C): consumer-group rebalancing and over-partitioning.
+
+Paper: "consuming processes only need coordination when the load has to
+be rebalanced among them, an infrequent event", and "for better load
+balancing, we require many more partitions in a topic than the
+consumers in each group".
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.common.clock import SimClock
+from repro.kafka import KafkaCluster, Producer
+from repro.kafka.consumer import ConsumerGroupMember
+
+
+def build_cluster(tmp_path, partitions, skewed=False):
+    cluster = KafkaCluster(num_brokers=2,
+                           data_root=str(tmp_path / f"k{partitions}"),
+                           clock=SimClock(), partitions_per_topic=partitions,
+                           flush_interval_messages=100)
+    cluster.create_topic("activity")
+    producer = Producer(cluster, batch_size=50, seed=4)
+    if skewed:
+        # key-partitioned traffic with Zipfian member popularity makes
+        # per-partition load uneven — the case over-partitioning fixes
+        from repro.workloads import ZipfGenerator
+        members = ZipfGenerator(500, theta=0.9, seed=4)
+        for i in range(2000):
+            producer.send("activity", b"m%05d" % i,
+                          key=b"member:%d" % members.next())
+    else:
+        for i in range(2000):
+            producer.send("activity", b"m%05d" % i)
+    producer.flush()
+    cluster.flush_all()
+    return cluster
+
+
+def settle(members, rounds=6):
+    for _ in range(rounds):
+        for member in members:
+            member.poll(max_messages=0)
+
+
+def test_rebalance_settling_cost(benchmark, tmp_path):
+    cluster = build_cluster(tmp_path, partitions=12)
+    results = {}
+
+    def grow_group():
+        members = []
+        for i in range(4):
+            members.append(ConsumerGroupMember(cluster, "g",
+                                               f"c{i}", ["activity"]))
+            settle(members)
+        results["rebalances"] = [m.rebalances for m in members]
+        results["assignment_sizes"] = sorted(
+            len(m.stream.assignments) for m in members)
+        for member in members:
+            member.close()
+        return results
+
+    benchmark.pedantic(grow_group, rounds=1, iterations=1)
+    report(benchmark, "EXP-K5 group growth 1->4 consumers", {
+        "rebalances per member": results["rebalances"],
+        "final assignment sizes": results["assignment_sizes"],
+    }, "coordination happens only on membership change")
+    assert results["assignment_sizes"] == [3, 3, 3, 3]
+    cluster.shutdown()
+
+
+def test_over_partitioning_balance(benchmark, tmp_path):
+    results = {}
+
+    def sweep():
+        # the partition is the unit of parallelism (§V.C): with too few
+        # partitions some consumers idle or shares are lumpy; with many
+        # more partitions than consumers, shares even out
+        for partitions in (2, 4, 24):
+            cluster = build_cluster(tmp_path, partitions)
+            members = [ConsumerGroupMember(cluster, "g", f"c{i}", ["activity"])
+                       for i in range(3)]
+            settle(members)
+            consumed = []
+            for member in members:
+                total = 0
+                while True:
+                    batch = member.poll()
+                    if not batch:
+                        break
+                    total += len(batch)
+                consumed.append(total)
+            mean = sum(consumed) / 3
+            imbalance = (max(consumed) - min(consumed)) / mean
+            results[partitions] = (sorted(consumed), imbalance)
+            for member in members:
+                member.close()
+            cluster.shutdown()
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(benchmark, "EXP-K5 over-partitioning (3 consumers)", {
+        f"{p} partitions": f"consumed {c} (spread {i:.1%})"
+        for p, (c, i) in results.items()
+    }, "many more partitions than consumers improves load balance")
+    # every message consumed exactly once in all arms
+    assert all(sum(c) == 2000 for c, _ in results.values())
+    # 2 partitions: a consumer idles; 4: lumpy 2/1/1; 24: near-even
+    assert results[2][0][0] == 0
+    assert results[24][1] < results[4][1] < results[2][1]
+
+
+def test_steady_state_needs_no_coordination(benchmark, tmp_path):
+    cluster = build_cluster(tmp_path, partitions=8)
+    members = [ConsumerGroupMember(cluster, "g", f"c{i}", ["activity"])
+               for i in range(2)]
+    settle(members)
+    rebalances_before = [m.rebalances for m in members]
+
+    def steady_consumption():
+        producer = Producer(cluster, batch_size=50, seed=9)
+        for i in range(500):
+            producer.send("activity", b"x")
+        producer.flush()
+        for member in members:
+            while member.poll():
+                pass
+
+    benchmark.pedantic(steady_consumption, rounds=3, iterations=1)
+    rebalances_after = [m.rebalances for m in members]
+    report(benchmark, "EXP-K5 steady state", {
+        "rebalances during steady consumption":
+            [a - b for a, b in zip(rebalances_after, rebalances_before)],
+    }, "no locking or state-maintenance overhead between rebalances")
+    assert rebalances_after == rebalances_before
+    for member in members:
+        member.close()
+    cluster.shutdown()

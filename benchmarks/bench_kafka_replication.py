@@ -1,0 +1,109 @@
+"""EXP-K7 (§V.D future work, implemented): intra-cluster replication.
+
+The paper names intra-cluster replication as its most important planned
+feature.  We measure what the feature costs and buys: replication
+overhead on the produce path, commit visibility lag, and zero-loss
+failover from the in-sync replica set.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.common.clock import SimClock
+from repro.kafka import KafkaCluster
+from repro.kafka.message import Message, MessageSet, iter_messages
+from repro.kafka.replication import ReplicatedTopic
+
+
+def build(tmp_path, name, replication_factor):
+    cluster = KafkaCluster(num_brokers=3,
+                           data_root=str(tmp_path / name),
+                           clock=SimClock(), partitions_per_topic=1)
+    topic = ReplicatedTopic(cluster, name, partitions=1,
+                            replication_factor=replication_factor)
+    return cluster, topic
+
+
+def test_replication_factor_cost(benchmark, tmp_path):
+    import time
+    results = {}
+    payload = MessageSet([Message(b"x" * 200) for _ in range(20)])
+
+    def sweep():
+        for rf in (1, 2, 3):
+            cluster, topic = build(tmp_path, f"rf{rf}", rf)
+            start = time.perf_counter()
+            for _ in range(100):
+                topic.produce(0, payload)
+                topic.poll_replication()
+            elapsed = time.perf_counter() - start
+            results[rf] = 100 * 20 / elapsed
+            cluster.shutdown()
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(benchmark, "EXP-K7 produce+replicate throughput by RF", {
+        f"RF={rf}": f"{rate:,.0f} msg/s" for rf, rate in results.items()
+    }, "replication costs linear write amplification")
+    assert results[1] > results[3]  # more copies, more work
+
+
+def test_commit_lag_vs_replication_cadence(benchmark, tmp_path):
+    cluster, topic = build(tmp_path, "lag", 3)
+    state = topic.partitions[0]
+    lags = []
+
+    def run():
+        for i in range(50):
+            topic.produce(0, MessageSet([Message(b"m%d" % i)]))
+            lags.append(state.leader_log_end - state.committed_offset)
+            if i % 5 == 4:
+                topic.poll_replication()
+        topic.poll_replication()
+        return lags
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(benchmark, "EXP-K7 visibility lag between replication polls", {
+        "max uncommitted bytes": max(lags),
+        "committed == log end after final poll":
+            state.committed_offset == state.leader_log_end,
+    }, "consumers only see messages acknowledged by the full ISR")
+    assert max(lags) > 0
+    assert state.committed_offset == state.leader_log_end
+    cluster.shutdown()
+
+
+def test_failover_loses_nothing(benchmark, tmp_path):
+    def run():
+        cluster, topic = build(tmp_path, "failover", 3)
+        sent = []
+        for i in range(200):
+            payload = b"msg-%04d" % i
+            sent.append(payload)
+            topic.produce(0, MessageSet([Message(payload)]))
+            if i % 10 == 9:
+                topic.poll_replication()
+        topic.poll_replication()
+        state = topic.partitions[0]
+        cluster.brokers[state.leader_id].shutdown()
+        topic.handle_failures()
+        # read everything back from the new leader
+        got = []
+        offset = 0
+        while True:
+            data = topic.fetch(0, offset)
+            if not data:
+                break
+            decoded = list(iter_messages(data, offset))
+            got.extend(d.message.payload for d in decoded)
+            offset = decoded[-1].next_offset
+        cluster.shutdown()
+        return sent, got
+
+    sent, got = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(benchmark, "EXP-K7 leader failover", {
+        "messages produced": len(sent),
+        "readable after failover": len(got),
+        "prefix intact": got == sent[:len(got)],
+    }, "a committed message survives any single broker failure")
+    assert got == sent  # everything was committed before the crash

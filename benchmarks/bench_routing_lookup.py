@@ -1,0 +1,95 @@
+"""EXP-V4 (§II.A): O(1) full-topology routing vs O(log N) Chord hops.
+
+Paper: "This lets us store the complete topology metadata on every node
+instead of partial 'finger tables' as in Chord, thereby decreasing
+lookups from O(log N) to O(1)."
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.voldemort.chord import ChordRing, FullTopologyRouter
+
+
+def node_names(n):
+    return [f"node-{i:04d}" for i in range(n)]
+
+
+def test_lookup_hops_vs_cluster_size(benchmark):
+    sizes = (4, 16, 64, 256)
+    keys = [f"key-{i}".encode() for i in range(300)]
+    results = {}
+
+    def sweep():
+        for size in sizes:
+            names = node_names(size)
+            chord = ChordRing(names)
+            full = FullTopologyRouter(names)
+            chord_hops = sum(chord.lookup(k, start_name=names[0])[1]
+                             for k in keys) / len(keys)
+            full_hops = sum(full.lookup(k)[1] for k in keys) / len(keys)
+            results[size] = (chord_hops, full_hops)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(benchmark, "EXP-V4 routing hops by cluster size", {
+        f"N={size}": f"chord={hops[0]:.2f} hops, full-topology={hops[1]:.0f} hop"
+        for size, hops in results.items()
+    }, "full topology: O(1); Chord finger tables: O(log N)")
+    # full topology flat at 1, chord grows ~log N
+    assert all(hops[1] == 1 for hops in results.values())
+    assert results[256][0] > results[4][0]
+    assert results[256][0] <= 2 * math.log2(256)
+
+
+def test_full_topology_lookup_throughput(benchmark):
+    router = FullTopologyRouter(node_names(256))
+    keys = [f"key-{i}".encode() for i in range(1000)]
+
+    def lookups():
+        for key in keys:
+            router.lookup(key)
+
+    benchmark(lookups)
+    per_lookup_us = benchmark.stats["mean"] / len(keys) * 1e6
+    report(benchmark, "EXP-V4 O(1) lookup cost", {
+        "mean per lookup": f"{per_lookup_us:.2f} us",
+    }, "local metadata lookup, no network hops")
+
+
+def test_client_vs_server_side_routing(benchmark):
+    """FIG-II.1 ablation: the pluggable routing module run client-side
+    (fat client, direct replica hops) vs server-side (thin client, one
+    extra coordinator hop)."""
+    from repro.simnet import SimNetwork, lognormal_latency
+    from repro.voldemort import RoutedStore, StoreDefinition, Versioned, VoldemortCluster
+    from repro.voldemort.server_routing import ServerSideRoutedStore
+
+    network = SimNetwork(seed=4, latency_model=lognormal_latency(0.0009, 0.4))
+    cluster = VoldemortCluster(num_nodes=5, partitions_per_node=4,
+                               network=network)
+    cluster.define_store(StoreDefinition("s", 3, 2, 2))
+    fat = RoutedStore(cluster, "s")
+    thin = ServerSideRoutedStore(cluster, "s")
+    keys = [b"k-%04d" % i for i in range(300)]
+    for key in keys:
+        fat.put(key, Versioned.initial(b"v" * 64, 0))
+
+    def read_both():
+        for key in keys:
+            fat.get(key)
+            thin.get(key)
+
+    benchmark.pedantic(read_both, rounds=1, iterations=1)
+    fat_mean = fat.metrics.histogram("get").summary()["mean"]
+    thin_mean = thin.metrics.histogram("get").summary()["mean"]
+    report(benchmark, "EXP-V4b client- vs server-side routing (simulated)", {
+        "client-side (fat client)": f"{fat_mean * 1000:.2f} ms",
+        "server-side (thin client)": f"{thin_mean * 1000:.2f} ms",
+        "coordinator-hop overhead":
+            f"{(thin_mean - fat_mean) * 1000:.2f} ms",
+    }, "FIG-II.1: routing is a pluggable module; server-side routing "
+       "trades one extra hop for topology-free clients")
+    assert thin_mean > fat_mean

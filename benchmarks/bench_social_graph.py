@@ -1,0 +1,131 @@
+"""EXP-G1 (§I.A): the social graph query load.
+
+Paper: the social graph serves "low-latency social graph queries ...
+processing hundreds of thousands of graph queries per second and acting
+as one of the key determinants of performance and availability for the
+site as a whole."  We measure single-thread query throughput for the
+three example query classes the paper names, over a realistic
+small-world member graph.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.socialgraph import PartitionedSocialGraph
+
+MEMBERS = 20_000
+AVG_DEGREE = 12
+
+
+def build_graph(seed=1):
+    """A Watts-Strogatz-flavoured small world: ring lattice + rewiring."""
+    rng = random.Random(seed)
+    graph = PartitionedSocialGraph(num_partitions=32)
+    half = AVG_DEGREE // 2
+    for member in range(MEMBERS):
+        for k in range(1, half + 1):
+            neighbor = (member + k) % MEMBERS
+            if rng.random() < 0.1:  # rewire for short global paths
+                neighbor = rng.randrange(MEMBERS)
+                if neighbor == member:
+                    continue
+            graph.connect(member, neighbor)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_graph()
+
+
+def test_connection_count_and_intersection_throughput(benchmark, graph):
+    rng = random.Random(2)
+    pairs = [(rng.randrange(MEMBERS), rng.randrange(MEMBERS))
+             for _ in range(2000)]
+
+    def queries():
+        for a, b in pairs:
+            graph.connection_count(a)
+            graph.shared_connections(a, b)
+
+    benchmark(queries)
+    per_query_us = benchmark.stats["mean"] / (2 * len(pairs)) * 1e6
+    report(benchmark, "EXP-G1 counting / intersecting connection lists", {
+        "members": MEMBERS,
+        "edges": graph.edge_count,
+        "mean per query": f"{per_query_us:.2f} us",
+        "queries/s (single thread)": f"{1e6 / per_query_us:,.0f}",
+    }, "hundreds of thousands of graph queries per second (fleet-wide)")
+    assert 1e6 / per_query_us > 50_000  # even one Python thread is fast
+
+
+def test_distance_query_latency(benchmark, graph):
+    rng = random.Random(3)
+    pairs = [(rng.randrange(MEMBERS), rng.randrange(MEMBERS))
+             for _ in range(200)]
+
+    def distances():
+        found = 0
+        for a, b in pairs:
+            if graph.distance(a, b, max_degrees=4) is not None:
+                found += 1
+        return found
+
+    found = benchmark(distances)
+    per_query_ms = benchmark.stats["mean"] / len(pairs) * 1e3
+    report(benchmark, "EXP-G1 minimum-distance queries (<=4 degrees)", {
+        "mean per query": f"{per_query_ms:.2f} ms",
+        "pairs within 4 degrees": f"{found}/{len(pairs)}",
+    }, "low-latency distance badges on every profile view")
+    assert per_query_ms < 50
+
+
+def test_bidirectional_beats_unidirectional(benchmark, graph):
+    """The ablation behind the distance query: bidirectional BFS vs a
+    plain single-source BFS."""
+    import time
+    from collections import deque
+    rng = random.Random(4)
+    pairs = [(rng.randrange(MEMBERS), rng.randrange(MEMBERS))
+             for _ in range(30)]
+
+    def unidirectional(a, b, max_degrees=4):
+        seen = {a: 0}
+        queue = deque([a])
+        while queue:
+            member = queue.popleft()
+            if seen[member] >= max_degrees:
+                continue
+            for neighbor in graph.connections_of(member):
+                if neighbor == b:
+                    return seen[member] + 1
+                if neighbor not in seen:
+                    seen[neighbor] = seen[member] + 1
+                    queue.append(neighbor)
+        return None
+
+    results = {}
+
+    def compare():
+        start = time.perf_counter()
+        bi = [graph.distance(a, b, max_degrees=4) for a, b in pairs]
+        bi_time = time.perf_counter() - start
+        start = time.perf_counter()
+        uni = [unidirectional(a, b) for a, b in pairs]
+        uni_time = time.perf_counter() - start
+        results.update(bi_time=bi_time, uni_time=uni_time,
+                       agree=(bi == uni))
+        return results
+
+    benchmark.pedantic(compare, rounds=1, iterations=1)
+    report(benchmark, "EXP-G1 ablation: bidirectional vs plain BFS", {
+        "bidirectional": f"{results['bi_time'] * 1e3:.1f} ms / 30 queries",
+        "unidirectional": f"{results['uni_time'] * 1e3:.1f} ms / 30 queries",
+        "speedup": f"{results['uni_time'] / results['bi_time']:.1f}x",
+        "answers agree": results["agree"],
+    }, "design choice: the meet-in-the-middle search that makes "
+       "distance queries cheap")
+    assert results["agree"]
+    assert results["bi_time"] < results["uni_time"]

@@ -1,0 +1,104 @@
+"""EXP-V1 (§II.C): the flagship read-write cluster.
+
+Paper: "Our largest read-write cluster has about 60% reads and 40%
+writes.  This cluster serves around 10K queries per second at peak with
+average latency of 3 ms."
+
+We measure (a) wall-clock throughput of the full routed path on this
+substrate and (b) the *simulated* service latency distribution under a
+datacenter-like lognormal hop model — the shape (a few ms average) is
+the comparison target, not the absolute throughput of a Python
+simulator.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.simnet import SimNetwork, lognormal_latency
+from repro.voldemort import RoutedStore, StoreDefinition, Versioned, VoldemortCluster
+from repro.workloads import KeyValueWorkload, RequestMix
+
+
+def build_cluster(seed=0):
+    network = SimNetwork(seed=seed, latency_model=lognormal_latency(0.0009, 0.4))
+    cluster = VoldemortCluster(num_nodes=6, partitions_per_node=8,
+                               network=network, seed=seed)
+    cluster.define_store(StoreDefinition(
+        "flagship", replication_factor=3, required_reads=2, required_writes=2))
+    return cluster
+
+
+def run_mix(routed, workload, count):
+    completed = 0
+    for op in workload.operations(count):
+        if op.kind == "get":
+            try:
+                routed.get(op.key)
+            except KeyError:
+                pass
+            completed += 1
+        else:
+            frontier = []
+            try:
+                frontier, _ = routed.get(op.key)
+            except KeyError:
+                pass
+            clock = frontier[0].clock if frontier else None
+            versioned = (Versioned(op.value, clock.incremented(0))
+                         if clock else Versioned.initial(op.value, 0))
+            try:
+                routed.put(op.key, versioned)
+            except Exception:
+                pass
+            completed += 1
+    return completed
+
+
+def test_readwrite_60_40_mix(benchmark):
+    cluster = build_cluster()
+    routed = RoutedStore(cluster, "flagship")
+    workload = KeyValueWorkload(num_keys=2000, mix=RequestMix(0.6),
+                                value_bytes=1024, seed=1)
+    for op in workload.preload(500):
+        routed.put(op.key, Versioned.initial(op.value, 0))
+
+    count = 400
+    benchmark(run_mix, routed, workload, count)
+
+    get_stats = routed.metrics.histogram("get").summary()
+    put_stats = routed.metrics.histogram("put").summary()
+    report(benchmark, "EXP-V1 read-write cluster, 60/40 mix", {
+        "simulated get mean": f"{get_stats['mean'] * 1000:.2f} ms",
+        "simulated get p99": f"{get_stats['p99'] * 1000:.2f} ms",
+        "simulated put mean": f"{put_stats['mean'] * 1000:.2f} ms",
+        "ops measured": int(get_stats["count"] + put_stats["count"]),
+    }, "10K qps at peak, average latency 3 ms")
+    # shape check: a quorum over ~1 ms hops lands in the low-millisecond
+    # band the paper reports
+    assert 0.5e-3 < get_stats["mean"] < 10e-3
+    assert 0.5e-3 < put_stats["mean"] < 10e-3
+
+
+def test_quorum_config_latency_tradeoff(benchmark):
+    """Ablation: stricter quorums cost latency (R/W sweep)."""
+    results = {}
+
+    def sweep():
+        for r, w in ((1, 1), (2, 2), (3, 3)):
+            cluster = build_cluster(seed=r * 10 + w)
+            cluster.define_store(StoreDefinition(
+                f"s-{r}{w}", replication_factor=3,
+                required_reads=r, required_writes=w))
+            routed = RoutedStore(cluster, f"s-{r}{w}")
+            for i in range(150):
+                routed.put(b"key-%d" % i, Versioned.initial(b"v" * 64, 0))
+            for i in range(150):
+                routed.get(b"key-%d" % i)
+            results[(r, w)] = routed.metrics.histogram("get").summary()["mean"]
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(benchmark, "EXP-V1 ablation: quorum size vs simulated latency", {
+        f"R={r} W={w}": f"{mean * 1000:.2f} ms" for (r, w), mean in results.items()
+    }, "implicit: larger quorums wait on more replicas")
+    assert results[(1, 1)] <= results[(2, 2)] <= results[(3, 3)]

@@ -1,0 +1,32 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints a small table mirroring the paper's reported
+numbers (run pytest with ``-s`` to see them) and attaches the same data
+to the pytest-benchmark record via ``extra_info`` so it lands in the
+JSON/terminal report either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _require_benchmarks_enabled(request):
+    """These tests read ``benchmark.stats``, which only exists when the
+    benchmark machinery runs; under ``--benchmark-disable`` skip them
+    instead of failing on a missing stats object."""
+    if request.config.getoption("benchmark_disable", False):
+        pytest.skip("benchmarks disabled (--benchmark-disable)")
+
+
+def report(benchmark, title: str, rows: dict, paper_claim: str) -> None:
+    """Print a result block and attach it to the benchmark record."""
+    print(f"\n=== {title} ===")
+    print(f"paper: {paper_claim}")
+    for key, value in rows.items():
+        print(f"  {key}: {value}")
+        if benchmark is not None:
+            benchmark.extra_info[key] = str(value)
+    if benchmark is not None:
+        benchmark.extra_info["paper_claim"] = paper_claim

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Databus end to end (§III, Figures III.2 / III.3).
+
+A primary database commits transactions; the relay captures and buffers
+them; consumers subscribe with partition filters; a lagging consumer
+falls off the relay and bootstraps with a consolidated delta; a brand
+new consumer initializes from a consistent snapshot.
+
+Run:  python examples/databus_replication.py
+"""
+
+from repro.common.clock import SimClock
+from repro.databus import (
+    BootstrapServer,
+    DatabusClient,
+    DatabusConsumer,
+    Relay,
+    capture_from_binlog,
+    partition_filter,
+)
+from repro.databus.relay import EventBuffer
+from repro.sqlstore import Column, SqlDatabase, TableSchema
+
+
+class CountingConsumer(DatabusConsumer):
+    def __init__(self, name):
+        self.name = name
+        self.events = 0
+        self.keys = set()
+
+    def on_data_event(self, event):
+        self.events += 1
+        self.keys.add(event.key)
+
+
+def main() -> None:
+    clock = SimClock()
+    db = SqlDatabase("profiles", clock=clock)
+    db.create_table(TableSchema(
+        "member", (Column("member_id", int), Column("headline", str)),
+        primary_key=("member_id",)))
+
+    # a deliberately small relay buffer so lagging consumers fall off
+    relay = Relay("relay-1")
+    relay._buffers["default"] = EventBuffer(max_events=20)
+    capture = capture_from_binlog(db, relay)
+    bootstrap = BootstrapServer()
+
+    def commit_member(member_id, revision=0):
+        txn = db.begin()
+        txn.upsert("member", {"member_id": member_id,
+                              "headline": f"rev-{revision}"})
+        txn.commit()
+
+    # two partitioned consumers splitting the stream (§III.B isolation)
+    partitioned = [CountingConsumer(f"indexer-{i}") for i in range(2)]
+    clients = [DatabusClient(c, relay, bootstrap,
+                             event_filter=partition_filter(2, i))
+               for i, c in enumerate(partitioned)]
+
+    for member_id in range(10):
+        commit_member(member_id)
+    capture.poll()
+    bootstrap.on_events(relay.stream_from(bootstrap.high_watermark))
+    for client in clients:
+        client.run_to_head()
+    print("partitioned consumption:",
+          {c.name: c.events for c in partitioned})
+
+    # a consumer that lags: the same hot row is updated 50 times while
+    # it is away, evicting its position from the relay
+    laggard = CountingConsumer("laggard")
+    laggard_client = DatabusClient(laggard, relay, bootstrap)
+    laggard_client.run_to_head()
+    events_before = laggard.events
+    for revision in range(50):
+        commit_member(3, revision)
+        capture.poll()
+        bootstrap.on_events(relay.stream_from(bootstrap.high_watermark))
+    laggard_client.run_to_head()
+    print(f"laggard: {laggard.events - events_before} deliveries for 50 "
+          f"updates (consolidated delta 'fast playback'), "
+          f"bootstraps={laggard_client.stats.bootstraps}")
+
+    # a brand-new consumer initializes from a consistent snapshot
+    newcomer = CountingConsumer("newcomer")
+    newcomer_client = DatabusClient(newcomer, relay, bootstrap)
+    newcomer_client.run_to_head()
+    print(f"newcomer saw {len(newcomer.keys)} distinct rows via snapshot "
+          f"(snapshot bootstraps={newcomer_client.stats.snapshot_bootstraps})")
+
+
+if __name__ == "__main__":
+    main()

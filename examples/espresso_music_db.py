@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Espresso's Music database (§IV.A): the paper's running example.
+
+Hierarchical documents (/Music/Album/<artist>/<album>), secondary-index
+queries, multi-table transactions, schema evolution, and a failover.
+
+Run:  python examples/espresso_music_db.py
+"""
+
+from repro.common.serialization import Field, RecordSchema
+from repro.espresso import DatabaseSchema, EspressoCluster, EspressoTableSchema, Router
+
+MUSIC = DatabaseSchema(
+    name="Music",
+    num_partitions=8,
+    replication_factor=2,
+    tables=(
+        EspressoTableSchema("Artist", ("artist",)),
+        EspressoTableSchema("Album", ("artist", "album")),
+        EspressoTableSchema("Song", ("artist", "album", "song")),
+    ),
+)
+
+ARTIST = RecordSchema("Artist", [Field("name", "string"),
+                                 Field("genre", "string", indexed=True)])
+ALBUM = RecordSchema("Album", [Field("title", "string"),
+                               Field("year", "long", indexed=True)])
+SONG = RecordSchema("Song", [Field("title", "string"),
+                             Field("lyrics", ["null", "string"], free_text=True)])
+
+
+def main() -> None:
+    cluster = EspressoCluster(MUSIC, num_nodes=3)
+    for table, schema in (("Artist", ARTIST), ("Album", ALBUM), ("Song", SONG)):
+        cluster.post_document_schema(table, schema)
+    cluster.start()
+    router = Router(cluster)
+
+    # the Album table of Figure IV.2
+    albums = [("Akon", "Trouble", 2004), ("Akon", "Stadium", 2011),
+              ("Babyface", "Lovers", 1986), ("Babyface", "A_Closer_Look", 1991),
+              ("Babyface", "Face2Face", 2001), ("Coolio", "Steal_Hear", 2008)]
+    for artist, album, year in albums:
+        router.put(f"/Music/Album/{artist}/{album}",
+                   {"title": album.replace("_", " "), "year": year})
+    print("partition of each artist (the routing function of §IV.B):")
+    for artist in ("Akon", "Babyface", "Coolio"):
+        print(f"  {artist} -> partition {MUSIC.partition_for(artist)} "
+              f"(master {cluster.master_node(MUSIC.partition_for(artist)).instance_name})")
+
+    # collection read
+    response = router.get("/Music/Album/Babyface")
+    print("Babyface albums:", [r.document["title"] for r in response.body])
+
+    # the paper's free-text query example
+    router.put("/Music/Song/The_Beatles/Sgt._Pepper/Lucy_in_the_Sky",
+               {"title": "Lucy in the Sky with Diamonds",
+                "lyrics": "Lucy in the sky with diamonds"})
+    router.put("/Music/Song/The_Beatles/Magical_Mystery_Tour/I_am_the_Walrus",
+               {"title": "I Am the Walrus",
+                "lyrics": "I am the eggman, goo goo g'joob, Lucy"})
+    hits = router.get('/Music/Song/The_Beatles?query=lyrics:"Lucy in the sky"')
+    print('query lyrics:"Lucy in the sky" ->',
+          [r.key[2] for r in hits.body])
+
+    # a multi-table transaction: album + songs in one commit (§IV.A)
+    ops = [
+        ("put", "Album", ("Cher", "Greatest_Hits"), {"title": "Greatest Hits",
+                                                     "year": 1999}),
+        ("put", "Song", ("Cher", "Greatest_Hits", "Believe"),
+         {"title": "Believe", "lyrics": "do you believe in life after love"}),
+    ]
+    print("transaction:", router.post_transaction("Music", "Cher", ops).body)
+
+    # schema evolution: add a field with a default — old docs promote
+    cluster.post_document_schema("Album", RecordSchema("Album", list(ALBUM.fields) + [
+        Field("label", "string", default="unknown", has_default=True)]))
+    record = router.get("/Music/Album/Akon/Trouble").body
+    print("after schema evolution, Trouble has label:",
+          record.document["label"])
+
+    # failover: crash the master for Akon's partition
+    cluster.pump_replication()
+    partition = MUSIC.partition_for("Akon")
+    old_master = cluster.master_node(partition).instance_name
+    cluster.crash_node(old_master)
+    cluster.failover()
+    new_master = cluster.master_node(partition).instance_name
+    print(f"crashed {old_master}; Helix promoted {new_master}")
+    print("read after failover:",
+          router.get("/Music/Album/Akon/Trouble").body.document["title"])
+    print("write after failover:",
+          router.put("/Music/Album/Akon/Konvicted", {"title": "Konvicted",
+                                                     "year": 2006,
+                                                     "label": "Universal"}).status)
+
+
+if __name__ == "__main__":
+    main()

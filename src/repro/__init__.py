@@ -1,0 +1,19 @@
+"""repro — a from-scratch reproduction of LinkedIn's data infrastructure.
+
+This package implements the four systems described in *Data
+Infrastructure at LinkedIn* (ICDE 2012) plus every substrate they rely
+on, entirely in Python:
+
+* :mod:`repro.voldemort` — Dynamo-style key-value store.
+* :mod:`repro.databus`   — change-data-capture pipeline.
+* :mod:`repro.espresso`  — timeline-consistent document store.
+* :mod:`repro.kafka`     — log-structured pub/sub messaging.
+
+Substrates: :mod:`repro.zookeeper` (coordination), :mod:`repro.helix`
+(cluster management), :mod:`repro.hadoop` (mini batch layer),
+:mod:`repro.sqlstore` (MySQL-style store + binlog), :mod:`repro.simnet`
+(deterministic network simulation), :mod:`repro.common` (clocks,
+hashing, vector clocks, Avro-style serialization, metrics).
+"""
+
+__version__ = "1.0.0"

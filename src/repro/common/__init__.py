@@ -1,0 +1,40 @@
+"""Shared substrate: clocks, errors, hashing, vector clocks, schemas, metrics."""
+
+from repro.common.clock import Clock, SimClock, WallClock
+from repro.common.metrics import Counter, LatencyHistogram, Meter, MetricsRegistry
+from repro.common.ring import HashRing, Node, Zone, build_balanced_ring, hash_key
+from repro.common.serialization import (
+    Field,
+    RecordSchema,
+    SchemaRegistry,
+    check_compatible,
+    decode_record,
+    decode_with_resolution,
+    encode_record,
+)
+from repro.common.vectorclock import Occurred, VectorClock, prune_obsolete
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "Counter",
+    "LatencyHistogram",
+    "Meter",
+    "MetricsRegistry",
+    "HashRing",
+    "Node",
+    "Zone",
+    "build_balanced_ring",
+    "hash_key",
+    "Field",
+    "RecordSchema",
+    "SchemaRegistry",
+    "check_compatible",
+    "decode_record",
+    "decode_with_resolution",
+    "encode_record",
+    "Occurred",
+    "VectorClock",
+    "prune_obsolete",
+]

@@ -1,0 +1,100 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+Each of the paper's systems (Voldemort, Databus, Espresso, Kafka) has its
+own failure vocabulary, but they share a common backbone: a request can
+fail because data is unavailable, because of a version conflict, because
+a node is down, or because the caller asked for something malformed.
+Keeping one hierarchy makes failure-injection tests uniform across
+subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SchemaError(ReproError):
+    """A schema failed to parse, validate, or resolve against a datum."""
+
+
+class SchemaCompatibilityError(SchemaError):
+    """A proposed schema evolution violates the resolution rules."""
+
+
+class SerializationError(ReproError):
+    """A datum could not be encoded or decoded against its schema."""
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """The requested key/document/resource does not exist.
+
+    Inherits :class:`KeyError` so callers can catch either form.
+    """
+
+
+class ObsoleteVersionError(ReproError):
+    """An optimistic write lost: the stored vector clock already
+    dominates the one supplied by the writer (Voldemort, §II.B)."""
+
+
+class InsufficientOperationalNodesError(ReproError):
+    """A quorum operation could not reach the required number of
+    replicas (R reads or W writes out of N)."""
+
+    def __init__(self, message: str, required: int = 0, achieved: int = 0):
+        super().__init__(message)
+        self.required = required
+        self.achieved = achieved
+
+
+class NodeUnavailableError(ReproError):
+    """The target node is crashed, partitioned away, or marked down."""
+
+
+class TransientNetworkError(NodeUnavailableError):
+    """A short-lived failure of the kind the paper says is prevalent in
+    production datacenters (Voldemort §II.A, [FLP+10])."""
+
+
+class RequestTimeoutError(NodeUnavailableError):
+    """The request exceeded its deadline."""
+
+
+class OffsetOutOfRangeError(ReproError):
+    """A Kafka fetch addressed an offset outside the partition log."""
+
+
+class NotMasterError(ReproError):
+    """An Espresso write or Databus capture hit a node that is not the
+    current master for the partition."""
+
+    def __init__(self, message: str, partition_id: int | None = None):
+        super().__init__(message)
+        self.partition_id = partition_id
+
+
+class TransactionAbortedError(ReproError):
+    """An Espresso multi-document transaction was rolled back."""
+
+
+class SCNGoneError(ReproError):
+    """A Databus client asked a relay for a sequence number older than
+    the relay's circular buffer retains; the client must bootstrap."""
+
+    def __init__(self, message: str, oldest_retained: int | None = None):
+        super().__init__(message)
+        self.oldest_retained = oldest_retained
+
+
+class ChecksumError(ReproError):
+    """Stored bytes failed CRC validation (torn write / corruption)."""
+
+
+class RebalanceInProgressError(ReproError):
+    """The operation cannot proceed while partitions are migrating."""

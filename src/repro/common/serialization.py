@@ -1,0 +1,444 @@
+"""Avro-style schemas and binary serialization.
+
+Databus serializes change events with Avro because it is "an open
+format" that "allows serialization in the relay without generation of
+source-schema specific code" (§III.C); Espresso document schemas "are
+represented in JSON in the format specified by Avro" and are "freely
+evolvable" under Avro's schema-resolution rules (§IV.A).
+
+This module implements the subset of Avro needed by both systems:
+
+* record schemas declared as JSON-like dicts with primitive, nullable
+  (union-with-null), array and map field types;
+* a compact binary encoding (zig-zag varints, length-prefixed bytes);
+* writer->reader schema resolution: added fields take defaults, removed
+  fields are skipped, and numeric promotions (int->long->float->double)
+  are applied — mirroring the rules Espresso relies on for promotion of
+  stored documents to new schema versions.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import dataclass
+
+from repro.common.errors import (
+    SchemaCompatibilityError,
+    SchemaError,
+    SerializationError,
+)
+
+_PRIMITIVES = {"null", "boolean", "int", "long", "float", "double", "bytes", "string"}
+_NUMERIC_PROMOTIONS = {
+    "int": {"int", "long", "float", "double"},
+    "long": {"long", "float", "double"},
+    "float": {"float", "double"},
+    "double": {"double"},
+}
+
+
+@dataclass(frozen=True)
+class Field:
+    """One field of a record schema."""
+
+    name: str
+    type: object  # primitive name, {"array": t}, {"map": t}, or ["null", t]
+    default: object = None
+    has_default: bool = False
+    indexed: bool = False       # Espresso index constraint (§IV.A)
+    free_text: bool = False     # free-text index constraint
+
+
+class RecordSchema:
+    """A named record schema with ordered fields."""
+
+    def __init__(self, name: str, fields: list[Field], version: int = 1):
+        if not name:
+            raise SchemaError("record schema needs a name")
+        seen: set[str] = set()
+        for field in fields:
+            if field.name in seen:
+                raise SchemaError(f"duplicate field {field.name!r} in schema {name!r}")
+            seen.add(field.name)
+            _validate_type(field.type, name, field.name)
+        self.name = name
+        self.fields = list(fields)
+        self.version = version
+        self._by_name = {f.name: f for f in self.fields}
+
+    @classmethod
+    def parse(cls, document: str | dict) -> "RecordSchema":
+        """Parse an Avro-style JSON record declaration."""
+        spec = json.loads(document) if isinstance(document, str) else document
+        if spec.get("type") != "record":
+            raise SchemaError(f"expected a record schema, got {spec.get('type')!r}")
+        fields = []
+        for fspec in spec.get("fields", []):
+            has_default = "default" in fspec
+            fields.append(Field(
+                name=fspec["name"],
+                type=fspec["type"],
+                default=fspec.get("default"),
+                has_default=has_default,
+                indexed=bool(fspec.get("indexed", False)),
+                free_text=bool(fspec.get("free_text", False)),
+            ))
+        return cls(spec["name"], fields, version=int(spec.get("version", 1)))
+
+    def to_json(self) -> dict:
+        fields = []
+        for field in self.fields:
+            fspec: dict = {"name": field.name, "type": field.type}
+            if field.has_default:
+                fspec["default"] = field.default
+            if field.indexed:
+                fspec["indexed"] = True
+            if field.free_text:
+                fspec["free_text"] = True
+            fields.append(fspec)
+        return {"type": "record", "name": self.name,
+                "version": self.version, "fields": fields}
+
+    def field(self, name: str) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no field {name!r}") from None
+
+    @property
+    def indexed_fields(self) -> list[Field]:
+        return [f for f in self.fields if f.indexed or f.free_text]
+
+    def __repr__(self) -> str:
+        return f"RecordSchema({self.name!r}, v{self.version}, {len(self.fields)} fields)"
+
+
+def _validate_type(ftype: object, schema: str, field: str) -> None:
+    if isinstance(ftype, str):
+        if ftype not in _PRIMITIVES:
+            raise SchemaError(f"{schema}.{field}: unknown type {ftype!r}")
+        return
+    if isinstance(ftype, list):  # union: only ["null", X] supported
+        if len(ftype) != 2 or ftype[0] != "null":
+            raise SchemaError(f"{schema}.{field}: only ['null', T] unions are supported")
+        _validate_type(ftype[1], schema, field)
+        return
+    if isinstance(ftype, dict):
+        if "array" in ftype:
+            _validate_type(ftype["array"], schema, field)
+            return
+        if "map" in ftype:
+            _validate_type(ftype["map"], schema, field)
+            return
+    raise SchemaError(f"{schema}.{field}: unsupported type declaration {ftype!r}")
+
+
+# ---------------------------------------------------------------------------
+# binary encoding
+# ---------------------------------------------------------------------------
+
+def _zigzag_encode(value: int) -> int:
+    return (value << 1) ^ (value >> 63)
+
+
+def _zigzag_decode(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def write_varint(buf: io.BytesIO, value: int) -> None:
+    encoded = _zigzag_encode(value) & 0xFFFFFFFFFFFFFFFF
+    while True:
+        byte = encoded & 0x7F
+        encoded >>= 7
+        if encoded:
+            buf.write(bytes([byte | 0x80]))
+        else:
+            buf.write(bytes([byte]))
+            return
+
+
+def read_varint(buf: io.BytesIO) -> int:
+    shift = 0
+    accum = 0
+    while True:
+        raw = buf.read(1)
+        if not raw:
+            raise SerializationError("truncated varint")
+        byte = raw[0]
+        accum |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return _zigzag_decode(accum)
+        shift += 7
+        if shift > 70:
+            raise SerializationError("varint too long")
+
+
+def _encode_value(buf: io.BytesIO, ftype: object, value: object, path: str) -> None:
+    if isinstance(ftype, list):  # nullable union
+        if value is None:
+            write_varint(buf, 0)
+            return
+        write_varint(buf, 1)
+        _encode_value(buf, ftype[1], value, path)
+        return
+    if isinstance(ftype, dict):
+        if "array" in ftype:
+            if not isinstance(value, (list, tuple)):
+                raise SerializationError(f"{path}: expected list, got {type(value).__name__}")
+            write_varint(buf, len(value))
+            for i, item in enumerate(value):
+                _encode_value(buf, ftype["array"], item, f"{path}[{i}]")
+            return
+        if "map" in ftype:
+            if not isinstance(value, dict):
+                raise SerializationError(f"{path}: expected dict, got {type(value).__name__}")
+            write_varint(buf, len(value))
+            for key, item in value.items():
+                _encode_primitive(buf, "string", key, path)
+                _encode_value(buf, ftype["map"], item, f"{path}[{key!r}]")
+            return
+    _encode_primitive(buf, ftype, value, path)
+
+
+def _encode_primitive(buf: io.BytesIO, ftype: object, value: object, path: str) -> None:
+    try:
+        if ftype == "null":
+            if value is not None:
+                raise SerializationError(f"{path}: null field got {value!r}")
+        elif ftype == "boolean":
+            buf.write(b"\x01" if value else b"\x00")
+        elif ftype in ("int", "long"):
+            write_varint(buf, int(value))  # type: ignore[arg-type]
+        elif ftype == "float":
+            buf.write(struct.pack("<f", float(value)))  # type: ignore[arg-type]
+        elif ftype == "double":
+            buf.write(struct.pack("<d", float(value)))  # type: ignore[arg-type]
+        elif ftype == "bytes":
+            data = bytes(value)  # type: ignore[arg-type]
+            write_varint(buf, len(data))
+            buf.write(data)
+        elif ftype == "string":
+            data = str(value).encode("utf-8")
+            write_varint(buf, len(data))
+            buf.write(data)
+        else:
+            raise SerializationError(f"{path}: cannot encode type {ftype!r}")
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"{path}: {exc}") from exc
+
+
+def _decode_value(buf: io.BytesIO, ftype: object) -> object:
+    if isinstance(ftype, list):
+        branch = read_varint(buf)
+        if branch == 0:
+            return None
+        if branch != 1:
+            raise SerializationError(f"invalid union branch {branch}")
+        return _decode_value(buf, ftype[1])
+    if isinstance(ftype, dict):
+        if "array" in ftype:
+            count = read_varint(buf)
+            return [_decode_value(buf, ftype["array"]) for _ in range(count)]
+        if "map" in ftype:
+            count = read_varint(buf)
+            out = {}
+            for _ in range(count):
+                key = _decode_primitive(buf, "string")
+                out[key] = _decode_value(buf, ftype["map"])
+            return out
+    return _decode_primitive(buf, ftype)
+
+
+def _decode_primitive(buf: io.BytesIO, ftype: object) -> object:
+    if ftype == "null":
+        return None
+    if ftype == "boolean":
+        raw = buf.read(1)
+        if not raw:
+            raise SerializationError("truncated boolean")
+        return raw[0] != 0
+    if ftype in ("int", "long"):
+        return read_varint(buf)
+    if ftype == "float":
+        return struct.unpack("<f", buf.read(4))[0]
+    if ftype == "double":
+        return struct.unpack("<d", buf.read(8))[0]
+    if ftype == "bytes":
+        length = read_varint(buf)
+        data = buf.read(length)
+        if len(data) != length:
+            raise SerializationError("truncated bytes")
+        return data
+    if ftype == "string":
+        length = read_varint(buf)
+        data = buf.read(length)
+        if len(data) != length:
+            raise SerializationError("truncated string")
+        return data.decode("utf-8")
+    raise SerializationError(f"cannot decode type {ftype!r}")
+
+
+def _skip_value(buf: io.BytesIO, ftype: object) -> None:
+    _decode_value(buf, ftype)
+
+
+def encode_record(schema: RecordSchema, record: dict) -> bytes:
+    """Serialize ``record`` (a plain dict) against ``schema``."""
+    buf = io.BytesIO()
+    for field in schema.fields:
+        if field.name in record:
+            value = record[field.name]
+        elif field.has_default:
+            value = field.default
+        elif isinstance(field.type, list):
+            value = None
+        else:
+            raise SerializationError(
+                f"record missing required field {schema.name}.{field.name}")
+        _encode_value(buf, field.type, value, f"{schema.name}.{field.name}")
+    return buf.getvalue()
+
+
+def decode_record(schema: RecordSchema, data: bytes) -> dict:
+    """Deserialize bytes written with the same schema."""
+    buf = io.BytesIO(data)
+    return {f.name: _decode_value(buf, f.type) for f in schema.fields}
+
+
+# ---------------------------------------------------------------------------
+# schema resolution (reader vs writer)
+# ---------------------------------------------------------------------------
+
+def _types_resolvable(writer: object, reader: object) -> bool:
+    if isinstance(writer, str) and isinstance(reader, str):
+        if writer == reader:
+            return True
+        return reader in _NUMERIC_PROMOTIONS.get(writer, set())
+    if isinstance(writer, list) and isinstance(reader, list):
+        return _types_resolvable(writer[1], reader[1])
+    if isinstance(writer, dict) and isinstance(reader, dict):
+        if "array" in writer and "array" in reader:
+            return _types_resolvable(writer["array"], reader["array"])
+        if "map" in writer and "map" in reader:
+            return _types_resolvable(writer["map"], reader["map"])
+    # promotion of a concrete type into a nullable union of a compatible type
+    if isinstance(reader, list) and not isinstance(writer, list):
+        return _types_resolvable(writer, reader[1])
+    return False
+
+
+def check_compatible(writer: RecordSchema, reader: RecordSchema) -> None:
+    """Raise unless data written with ``writer`` is readable with ``reader``.
+
+    This is the check Espresso applies when a new document-schema
+    version is posted: "new document schemas must be compatible
+    according to the Avro schema resolution rules" (§IV.A).
+    """
+    for rfield in reader.fields:
+        try:
+            wfield = writer.field(rfield.name)
+        except SchemaError:
+            if not rfield.has_default and not isinstance(rfield.type, list):
+                raise SchemaCompatibilityError(
+                    f"reader field {reader.name}.{rfield.name} is new but has no default")
+            continue
+        if not _types_resolvable(wfield.type, rfield.type):
+            raise SchemaCompatibilityError(
+                f"field {reader.name}.{rfield.name}: cannot promote "
+                f"{wfield.type!r} to {rfield.type!r}")
+
+
+def _promote(value: object, writer_type: object, reader_type: object) -> object:
+    if isinstance(reader_type, list) and not isinstance(writer_type, list):
+        return _promote(value, writer_type, reader_type[1])
+    if isinstance(writer_type, str) and isinstance(reader_type, str):
+        if writer_type in ("int", "long") and reader_type in ("float", "double"):
+            return float(value)  # type: ignore[arg-type]
+    if isinstance(writer_type, list) and isinstance(reader_type, list):
+        if value is None:
+            return None
+        return _promote(value, writer_type[1], reader_type[1])
+    if isinstance(writer_type, dict) and isinstance(reader_type, dict):
+        if "array" in writer_type:
+            return [_promote(v, writer_type["array"], reader_type["array"])
+                    for v in value]  # type: ignore[union-attr]
+        if "map" in writer_type:
+            return {k: _promote(v, writer_type["map"], reader_type["map"])
+                    for k, v in value.items()}  # type: ignore[union-attr]
+    return value
+
+
+def decode_with_resolution(writer: RecordSchema, reader: RecordSchema,
+                           data: bytes) -> dict:
+    """Decode bytes written under ``writer`` into ``reader``'s shape.
+
+    Fields the reader dropped are skipped; fields the reader added are
+    filled from defaults; numeric promotions are applied.
+    """
+    check_compatible(writer, reader)
+    buf = io.BytesIO(data)
+    raw: dict[str, object] = {}
+    for wfield in writer.fields:
+        value = _decode_value(buf, wfield.type)
+        raw[wfield.name] = value
+    out: dict[str, object] = {}
+    for rfield in reader.fields:
+        if rfield.name in raw:
+            wfield = writer.field(rfield.name)
+            out[rfield.name] = _promote(raw[rfield.name], wfield.type, rfield.type)
+        elif rfield.has_default:
+            out[rfield.name] = rfield.default
+        else:
+            out[rfield.name] = None
+    return out
+
+
+class SchemaRegistry:
+    """Versioned schema storage, keyed by (name, version).
+
+    Espresso stores "the schema version needed to deserialize the stored
+    document" next to each row (§IV.A / Table IV.1); Databus relays
+    stamp events with the schema version of their payload.
+    """
+
+    def __init__(self):
+        self._schemas: dict[tuple[str, int], RecordSchema] = {}
+        self._latest: dict[str, int] = {}
+
+    def register(self, schema: RecordSchema) -> int:
+        """Register a schema; new versions must be backward compatible."""
+        latest = self.latest(schema.name)
+        if latest is not None:
+            check_compatible(latest, schema)
+            version = latest.version + 1
+        else:
+            version = 1
+        registered = RecordSchema(schema.name, schema.fields, version=version)
+        self._schemas[(schema.name, version)] = registered
+        self._latest[schema.name] = version
+        return version
+
+    def register_exact(self, schema: RecordSchema) -> None:
+        """Store a schema under its declared version (replication path:
+        a downstream registry mirroring an upstream one verbatim)."""
+        key = (schema.name, schema.version)
+        if key in self._schemas:
+            return
+        self._schemas[key] = schema
+        if schema.version > self._latest.get(schema.name, 0):
+            self._latest[schema.name] = schema.version
+
+    def get(self, name: str, version: int) -> RecordSchema:
+        try:
+            return self._schemas[(name, version)]
+        except KeyError:
+            raise SchemaError(f"no schema {name!r} version {version}") from None
+
+    def latest(self, name: str) -> RecordSchema | None:
+        version = self._latest.get(name)
+        return self._schemas[(name, version)] if version else None
+
+    def names(self) -> list[str]:
+        return sorted(self._latest)

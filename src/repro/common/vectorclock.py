@@ -1,0 +1,126 @@
+"""Vector clocks (Lamport [LAM78]) as used by Voldemort (§II.B).
+
+Voldemort versions every tuple with a vector clock and delegates
+conflict resolution of concurrent versions to the application.  Two
+clocks are *concurrent* when neither dominates the other; a replica
+holding concurrent versions surfaces both to the reader.
+
+The implementation is immutable: ``incremented`` and ``merged`` return
+new clocks, which keeps versions safe to share between simulated nodes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Mapping
+
+
+class Occurred(Enum):
+    """Relationship between two vector clocks."""
+
+    BEFORE = "before"        # self < other
+    AFTER = "after"          # self > other
+    EQUAL = "equal"          # identical
+    CONCURRENT = "concurrent"  # neither dominates
+
+
+class VectorClock:
+    """An immutable mapping of node id -> logical counter."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[int, int] | None = None):
+        items = dict(entries or {})
+        for node, counter in items.items():
+            if counter <= 0:
+                raise ValueError(f"counter for node {node} must be positive, got {counter}")
+        self._entries: tuple[tuple[int, int], ...] = tuple(sorted(items.items()))
+
+    @property
+    def entries(self) -> dict[int, int]:
+        return dict(self._entries)
+
+    def counter_of(self, node_id: int) -> int:
+        for node, counter in self._entries:
+            if node == node_id:
+                return counter
+        return 0
+
+    def incremented(self, node_id: int) -> "VectorClock":
+        """Return a copy with ``node_id``'s counter bumped by one."""
+        entries = self.entries
+        entries[node_id] = entries.get(node_id, 0) + 1
+        return VectorClock(entries)
+
+    def merged(self, other: "VectorClock") -> "VectorClock":
+        """Pointwise maximum — the join in the version lattice."""
+        entries = self.entries
+        for node, counter in other._entries:
+            entries[node] = max(entries.get(node, 0), counter)
+        return VectorClock(entries)
+
+    def compare(self, other: "VectorClock") -> Occurred:
+        self_bigger = False
+        other_bigger = False
+        nodes = {node for node, _ in self._entries} | {node for node, _ in other._entries}
+        for node in nodes:
+            mine, theirs = self.counter_of(node), other.counter_of(node)
+            if mine > theirs:
+                self_bigger = True
+            elif theirs > mine:
+                other_bigger = True
+        if self_bigger and other_bigger:
+            return Occurred.CONCURRENT
+        if self_bigger:
+            return Occurred.AFTER
+        if other_bigger:
+            return Occurred.BEFORE
+        return Occurred.EQUAL
+
+    def dominates(self, other: "VectorClock") -> bool:
+        return self.compare(other) is Occurred.AFTER
+
+    def descends_from(self, other: "VectorClock") -> bool:
+        """True when ``self`` is equal to or causally after ``other``."""
+        return self.compare(other) in (Occurred.AFTER, Occurred.EQUAL)
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return self.compare(other) is Occurred.CONCURRENT
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{node}:{counter}" for node, counter in self._entries)
+        return f"VectorClock({{{body}}})"
+
+
+def prune_obsolete(clocks_and_values: Iterable[tuple[VectorClock, object]]
+                   ) -> list[tuple[VectorClock, object]]:
+    """Drop every version dominated by another in the collection.
+
+    This is the read-path reconciliation step: after collecting versions
+    from R replicas, only the frontier of concurrent versions survives;
+    anything causally older is discarded (and repaired — see
+    :mod:`repro.voldemort.repair`).
+    """
+    versions = list(clocks_and_values)
+    survivors: list[tuple[VectorClock, object]] = []
+    for i, (clock, value) in enumerate(versions):
+        obsolete = False
+        for j, (other, _) in enumerate(versions):
+            if i == j:
+                continue
+            relation = clock.compare(other)
+            if relation is Occurred.BEFORE:
+                obsolete = True
+                break
+            if relation is Occurred.EQUAL and j < i:
+                obsolete = True  # deduplicate identical versions
+                break
+        if not obsolete:
+            survivors.append((clock, value))
+    return survivors

@@ -1,0 +1,42 @@
+"""Databus: change data capture with timeline consistency (paper §III).
+
+Components, matching Figure III.2:
+
+* :mod:`repro.databus.events` — CDC events: commit SCN, source table,
+  Avro-serialized payload, transaction-window boundaries, server-side
+  filters;
+* :mod:`repro.databus.relay` — the relay: captures changes from a
+  source database, serializes them, and buffers them in an in-memory
+  circular buffer indexed by SCN;
+* :mod:`repro.databus.bootstrap` — the bootstrap server: log +
+  snapshot storage serving *consolidated deltas* and *consistent
+  snapshots* for long look-back queries;
+* :mod:`repro.databus.client` — the client library: progress tracking,
+  automatic relay/bootstrap switchover, retry logic, at-least-once
+  delivery with window-boundary checkpoints.
+"""
+
+from repro.databus.events import (
+    DatabusEvent,
+    EventFilter,
+    partition_filter,
+    row_schema_for,
+    source_filter,
+)
+from repro.databus.relay import EventBuffer, Relay, capture_from_binlog
+from repro.databus.bootstrap import BootstrapServer
+from repro.databus.client import DatabusClient, DatabusConsumer
+
+__all__ = [
+    "DatabusEvent",
+    "EventFilter",
+    "partition_filter",
+    "row_schema_for",
+    "source_filter",
+    "EventBuffer",
+    "Relay",
+    "capture_from_binlog",
+    "BootstrapServer",
+    "DatabusClient",
+    "DatabusConsumer",
+]

@@ -1,0 +1,189 @@
+"""The Databus client library (§III.C).
+
+"The Databus client library is the glue between the Relays and
+Bootstrap servers and the business logic of the Databus consumers."
+
+Responsibilities implemented here:
+
+* progress tracking — a checkpoint SCN persisted by the client, only
+  advanced at transaction-window boundaries (timeline consistency,
+  at-least-once delivery);
+* automatic switchover — when the relay has evicted the client's
+  position it falls back to the bootstrap server (consolidated delta
+  when the client has state, consistent snapshot when it does not) and
+  then returns to the relay;
+* retry logic — a consumer callback that raises is retried up to a
+  bound, after which the window is aborted and re-delivered on the
+  next poll;
+* server-side filters are pushed down to both relay and bootstrap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError, SCNGoneError
+from repro.databus.bootstrap import BootstrapServer
+from repro.databus.events import DatabusEvent, EventFilter
+from repro.databus.relay import DEFAULT_BUFFER, Relay
+
+
+class DatabusConsumer:
+    """Callback interface for business logic.
+
+    Subclass and override; any callback may raise to signal a transient
+    processing failure (the library retries the window).
+    """
+
+    def on_start_window(self, scn: int) -> None:
+        """A transaction window is about to be delivered."""
+
+    def on_data_event(self, event: DatabusEvent) -> None:
+        """One change event (within the current window)."""
+
+    def on_end_window(self, scn: int) -> None:
+        """The window completed; the library checkpoints after this."""
+
+    def on_snapshot_row(self, event: DatabusEvent) -> None:
+        """A row from a bootstrap consistent snapshot (defaults to
+        treating it as a data event)."""
+        self.on_data_event(event)
+
+
+@dataclass
+class ClientStats:
+    windows_delivered: int = 0
+    events_delivered: int = 0
+    bootstraps: int = 0
+    snapshot_bootstraps: int = 0
+    delta_bootstraps: int = 0
+    consumer_retries: int = 0
+    windows_aborted: int = 0
+
+
+class DatabusClient:
+    """One subscription: a consumer, its checkpoint, and its sources."""
+
+    def __init__(self, consumer: DatabusConsumer, relay: Relay,
+                 bootstrap: BootstrapServer | None = None,
+                 buffer_name: str = DEFAULT_BUFFER,
+                 event_filter: EventFilter | None = None,
+                 checkpoint: int = 0, max_retries: int = 3):
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        self.consumer = consumer
+        self.relay = relay
+        self.bootstrap = bootstrap
+        self.buffer_name = buffer_name
+        self.event_filter = event_filter
+        self.checkpoint = checkpoint
+        self.has_state = checkpoint > 0
+        self.max_retries = max_retries
+        self.stats = ClientStats()
+
+    # -- the poll loop -----------------------------------------------------
+
+    def poll(self, max_events: int = 10_000) -> int:
+        """Pull available events and deliver them; returns events delivered.
+
+        Transparently bootstraps when the relay no longer retains the
+        checkpoint position.
+        """
+        try:
+            events = self.relay.stream_from(self.checkpoint, self.buffer_name,
+                                            self.event_filter, max_events)
+        except SCNGoneError:
+            self._bootstrap()
+            events = self.relay.stream_from(self.checkpoint, self.buffer_name,
+                                            self.event_filter, max_events)
+        return self._deliver_windows(events)
+
+    def _deliver_windows(self, events: list[DatabusEvent]) -> int:
+        delivered = 0
+        window: list[DatabusEvent] = []
+        for event in events:
+            window.append(event)
+            if event.end_of_window:
+                if self._deliver_one_window(window):
+                    delivered += len(window)
+                    self.stats.windows_delivered += 1
+                    self.stats.events_delivered += len(window)
+                    self.checkpoint = event.scn
+                    self.has_state = True
+                else:
+                    return delivered  # aborted; re-delivered next poll
+                window = []
+        return delivered
+
+    def _deliver_one_window(self, window: list[DatabusEvent]) -> bool:
+        """At-least-once delivery with bounded retries."""
+        scn = window[0].scn
+        for attempt in range(self.max_retries + 1):
+            try:
+                self.consumer.on_start_window(scn)
+                for event in window:
+                    self.consumer.on_data_event(event)
+                self.consumer.on_end_window(scn)
+                return True
+            except Exception:
+                self.stats.consumer_retries += 1
+                if attempt == self.max_retries:
+                    self.stats.windows_aborted += 1
+                    return False
+        return False
+
+    # -- bootstrap switchover ------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        if self.bootstrap is None:
+            raise SCNGoneError(
+                "relay evicted our position and no bootstrap server is "
+                "configured")
+        self.stats.bootstraps += 1
+        if self.has_state:
+            self._bootstrap_with_delta()
+        else:
+            self._bootstrap_with_snapshot()
+
+    def _bootstrap_with_delta(self) -> None:
+        """Consolidated delta: fast playback for lagging consumers."""
+        self.stats.delta_bootstraps += 1
+        events, high_watermark = self.bootstrap.consolidated_delta(
+            self.checkpoint, self.event_filter)
+        for event in events:
+            self._deliver_single(event)
+        self.checkpoint = max(self.checkpoint, high_watermark)
+
+    def _bootstrap_with_snapshot(self) -> None:
+        """Consistent snapshot: initialization for stateless consumers."""
+        self.stats.snapshot_bootstraps += 1
+        resume_scn = self.checkpoint
+        for kind, item in self.bootstrap.consistent_snapshot(self.event_filter):
+            if kind == "row":
+                self.consumer.on_snapshot_row(item)
+                self.stats.events_delivered += 1
+            elif kind == "replay":
+                self._deliver_single(item)
+            else:
+                resume_scn = item
+        self.checkpoint = max(self.checkpoint, resume_scn)
+        self.has_state = True
+
+    def _deliver_single(self, event: DatabusEvent) -> None:
+        self.consumer.on_start_window(event.scn)
+        self.consumer.on_data_event(event)
+        self.consumer.on_end_window(event.scn)
+        self.stats.windows_delivered += 1
+        self.stats.events_delivered += 1
+
+    # -- bookkeeping wrapper over _deliver_windows ------------------------------
+
+    def run_to_head(self, max_polls: int = 1000) -> int:
+        """Poll until caught up with the relay; returns total delivered."""
+        total = 0
+        for _ in range(max_polls):
+            delivered = self.poll()
+            total += delivered
+            if self.checkpoint >= self.relay.newest_scn(self.buffer_name):
+                break
+        return total

@@ -1,0 +1,245 @@
+"""The Databus relay (§III.C).
+
+"The Relay captures changes in the source database, serializes them to
+a common binary format and buffers those. ... The serialized events are
+stored in a circular in-memory buffer that is used to serve events to
+the Databus clients."
+
+The relay provides:
+
+* very low default serving latency (an in-memory suffix scan);
+* bounded buffering — old windows are evicted once capacity (bytes or
+  events) is exceeded, after which lagging clients get
+  :class:`SCNGoneError` and must bootstrap;
+* an SCN index for "serve events from a given sequence number S";
+* server-side filtering (source and partition filters);
+* fan-out to hundreds of consumers with no additional load on the
+  source database — consumers only ever touch the relay.
+
+Espresso's usage shards the binlog "into separate event buffers, one
+per partition" (§IV.B); :class:`Relay` therefore manages named
+:class:`EventBuffer` instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.common.errors import ConfigurationError, SCNGoneError
+from repro.common.serialization import RecordSchema, SchemaRegistry, encode_record
+from repro.databus.events import DatabusEvent, EventFilter, events_from_transaction
+from repro.sqlstore.binlog import BinlogTransaction
+from repro.sqlstore.database import SqlDatabase
+
+DEFAULT_BUFFER = "default"
+
+
+class EventBuffer:
+    """A circular in-memory buffer of complete transaction windows.
+
+    Eviction is window-at-a-time so a window is never half-retained —
+    partial transactions would break timeline consistency for readers.
+    """
+
+    def __init__(self, max_events: int = 100_000,
+                 max_bytes: int = 64 * 1024 * 1024):
+        if max_events <= 0 or max_bytes <= 0:
+            raise ConfigurationError("buffer capacity must be positive")
+        self.max_events = max_events
+        self.max_bytes = max_bytes
+        self._events: deque[DatabusEvent] = deque()
+        self._bytes = 0
+        self._evicted_through = 0   # highest SCN evicted
+        self.events_appended = 0
+        self.windows_appended = 0
+
+    @property
+    def oldest_scn(self) -> int | None:
+        return self._events[0].scn if self._events else None
+
+    @property
+    def newest_scn(self) -> int | None:
+        return self._events[-1].scn if self._events else None
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def append_window(self, events: list[DatabusEvent]) -> None:
+        """Append one transaction's events; evict old windows if full."""
+        if not events:
+            return
+        scn = events[0].scn
+        if any(e.scn != scn for e in events):
+            raise ConfigurationError("a window must share one SCN")
+        if not events[-1].end_of_window:
+            raise ConfigurationError("window must end with end_of_window")
+        newest = self.newest_scn
+        if newest is not None and scn <= newest:
+            raise ConfigurationError(
+                f"windows must arrive in SCN order: {scn} after {newest}")
+        for event in events:
+            self._events.append(event)
+            self._bytes += event.size_bytes
+        self.events_appended += len(events)
+        self.windows_appended += 1
+        self._evict()
+
+    def _evict(self) -> None:
+        while (len(self._events) > self.max_events
+               or self._bytes > self.max_bytes):
+            victim_scn = self._events[0].scn
+            while self._events and self._events[0].scn == victim_scn:
+                evicted = self._events.popleft()
+                self._bytes -= evicted.size_bytes
+            self._evicted_through = victim_scn
+
+    def events_since(self, scn: int, event_filter: EventFilter | None = None,
+                     max_events: int = 10_000) -> list[DatabusEvent]:
+        """Events with SCN strictly greater than ``scn``.
+
+        Only whole windows are returned (the last delivered event has
+        ``end_of_window`` set).  Raises :class:`SCNGoneError` when the
+        requested position has been evicted — the client must fall back
+        to the bootstrap server.
+        """
+        if scn < self._evicted_through:
+            raise SCNGoneError(
+                f"SCN {scn} evicted; oldest retained window starts at "
+                f"{self.oldest_scn}", oldest_retained=self.oldest_scn)
+        out: list[DatabusEvent] = []
+        delivered_through: int | None = None
+        for event in self._events:
+            if event.scn <= scn:
+                continue
+            if len(out) >= max_events and event.scn != delivered_through:
+                break  # stop only at a window boundary
+            if event_filter is None or event_filter(event):
+                out.append(event)
+            delivered_through = event.scn
+        # trim a trailing partial window (can't happen with well-formed
+        # buffers, but guard anyway)
+        while out and not _window_complete(out):
+            out.pop()
+        return out
+
+
+def _window_complete(events: list[DatabusEvent]) -> bool:
+    return events[-1].end_of_window
+
+
+class Relay:
+    """A shared-nothing relay process managing named event buffers."""
+
+    def __init__(self, name: str = "relay-1", max_events_per_buffer: int = 100_000,
+                 max_bytes_per_buffer: int = 64 * 1024 * 1024):
+        self.name = name
+        self._max_events = max_events_per_buffer
+        self._max_bytes = max_bytes_per_buffer
+        self._buffers: dict[str, EventBuffer] = {}
+        self.schemas = SchemaRegistry()
+        self.requests_served = 0
+
+    # -- buffers -----------------------------------------------------------
+
+    def buffer(self, name: str = DEFAULT_BUFFER) -> EventBuffer:
+        if name not in self._buffers:
+            self._buffers[name] = EventBuffer(self._max_events, self._max_bytes)
+        return self._buffers[name]
+
+    def buffer_names(self) -> list[str]:
+        return sorted(self._buffers)
+
+    # -- capture ---------------------------------------------------------------
+
+    def register_schema(self, schema: RecordSchema) -> int:
+        return self.schemas.register(schema)
+
+    def _encode(self, table: str, row: dict) -> tuple[bytes, int]:
+        schema = self.schemas.latest(table)
+        if schema is None:
+            raise ConfigurationError(f"relay has no schema for source {table!r}")
+        return encode_record(schema, row), schema.version
+
+    def capture_transaction(self, txn: BinlogTransaction,
+                            buffer_name: str = DEFAULT_BUFFER,
+                            route: Callable[[DatabusEvent], str] | None = None
+                            ) -> list[DatabusEvent]:
+        """Serialize one binlog transaction into the relay.
+
+        With ``route`` set, events are sharded into per-partition
+        buffers (Espresso's layout); each shard still closes its own
+        window so per-buffer timeline consistency holds.
+        """
+        events = events_from_transaction(txn, self._encode)
+        if route is None:
+            self.buffer(buffer_name).append_window(events)
+            return events
+        shards: dict[str, list[DatabusEvent]] = {}
+        for event in events:
+            shards.setdefault(route(event), []).append(event)
+        for shard_name, shard_events in shards.items():
+            closed = [
+                DatabusEvent(e.scn, e.source, e.kind, e.key, e.payload,
+                             e.schema_version,
+                             end_of_window=(i == len(shard_events) - 1),
+                             timestamp=e.timestamp)
+                for i, e in enumerate(shard_events)
+            ]
+            self.buffer(shard_name).append_window(closed)
+        return events
+
+    # -- serving -------------------------------------------------------------------
+
+    def stream_from(self, scn: int, buffer_name: str = DEFAULT_BUFFER,
+                    event_filter: EventFilter | None = None,
+                    max_events: int = 10_000) -> list[DatabusEvent]:
+        self.requests_served += 1
+        return self.buffer(buffer_name).events_since(scn, event_filter,
+                                                     max_events)
+
+    def newest_scn(self, buffer_name: str = DEFAULT_BUFFER) -> int:
+        existing = self._buffers.get(buffer_name)
+        if existing is None or existing.newest_scn is None:
+            return 0
+        return existing.newest_scn
+
+
+class capture_from_binlog:
+    """A pull-mode capture adapter: tails a database binlog into a relay.
+
+    "The Databus relay cluster ... pulls from a database, is stateless
+    across restarts" (§III.D) — on (re)start it resumes from whatever
+    the relay already holds.  Call :meth:`poll` to pull newly committed
+    transactions; registration of table schemas happens lazily from the
+    database's table definitions.
+    """
+
+    def __init__(self, database: SqlDatabase, relay: Relay,
+                 buffer_name: str = DEFAULT_BUFFER,
+                 route: Callable[[DatabusEvent], str] | None = None):
+        from repro.databus.events import row_schema_for
+        self.database = database
+        self.relay = relay
+        self.buffer_name = buffer_name
+        self.route = route
+        for table_name in database.table_names():
+            if relay.schemas.latest(table_name) is None:
+                relay.register_schema(
+                    row_schema_for(database.table(table_name).schema))
+        self.captured_through = relay.newest_scn(buffer_name)
+
+    def poll(self, max_transactions: int = 1000) -> int:
+        """Pull committed transactions; returns how many were captured."""
+        captured = 0
+        for txn in self.database.binlog.read_from(self.captured_through):
+            if captured >= max_transactions:
+                break
+            self.relay.capture_transaction(txn, self.buffer_name, self.route)
+            self.captured_through = txn.scn
+            captured += 1
+        return captured

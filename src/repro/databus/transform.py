@@ -1,0 +1,148 @@
+"""Declarative data transformations (§III.E future work).
+
+"Future work includes ... supporting declarative data transformations
+and multi-tenancy."  A transformation is declared as a plain dict and
+applied inside the client library, between the wire event and the
+consumer callback:
+
+    {
+        "source": "member",                  # which table's events
+        "where": ["industry", "==", "tech"], # row predicate
+        "project": ["member_id", "headline"],# keep only these fields
+        "rename": {"headline": "title"},     # output field names
+        "compute": {"id_mod_10": ["member_id", "%", 10]},
+    }
+
+Supported predicate operators: ``==``, ``!=``, ``<``, ``<=``, ``>``,
+``>=``, ``contains``.  Computed fields support ``+ - * / %`` on one
+source field and a constant.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.serialization import decode_record
+from repro.databus.client import DatabusConsumer
+from repro.databus.events import DatabusEvent
+from repro.databus.relay import Relay
+
+_PREDICATE_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "contains": lambda value, needle: needle in value,
+}
+_ARITHMETIC_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+}
+
+
+@dataclass(frozen=True)
+class DeclarativeTransform:
+    """A validated, immutable transformation pipeline."""
+
+    source: str | None = None
+    where: tuple | None = None              # (field, op, constant)
+    project: tuple[str, ...] | None = None
+    rename: tuple[tuple[str, str], ...] = ()
+    compute: tuple[tuple[str, tuple], ...] = ()  # (out, (field, op, const))
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "DeclarativeTransform":
+        unknown = set(spec) - {"source", "where", "project", "rename",
+                               "compute"}
+        if unknown:
+            raise ConfigurationError(f"unknown transform keys {sorted(unknown)}")
+        where = None
+        if "where" in spec:
+            fieldname, op, constant = spec["where"]
+            if op not in _PREDICATE_OPS:
+                raise ConfigurationError(f"unknown predicate op {op!r}")
+            where = (fieldname, op, constant)
+        compute = []
+        for out_field, expr in spec.get("compute", {}).items():
+            fieldname, op, constant = expr
+            if op not in _ARITHMETIC_OPS:
+                raise ConfigurationError(f"unknown arithmetic op {op!r}")
+            compute.append((out_field, (fieldname, op, constant)))
+        return cls(
+            source=spec.get("source"),
+            where=where,
+            project=tuple(spec["project"]) if "project" in spec else None,
+            rename=tuple(sorted(spec.get("rename", {}).items())),
+            compute=tuple(compute),
+        )
+
+    def apply_to_row(self, source: str, row: dict) -> dict | None:
+        """Transform a decoded row; None means filtered out."""
+        if self.source is not None and source != self.source:
+            return None
+        if self.where is not None:
+            fieldname, op, constant = self.where
+            value = row.get(fieldname)
+            if value is None or not _PREDICATE_OPS[op](value, constant):
+                return None
+        out = dict(row)
+        for out_field, (fieldname, op, constant) in self.compute:
+            if fieldname not in out:
+                raise ConfigurationError(
+                    f"compute references missing field {fieldname!r}")
+            out[out_field] = _ARITHMETIC_OPS[op](out[fieldname], constant)
+        if self.project is not None:
+            out = {k: v for k, v in out.items() if k in self.project
+                   or k in {name for name, _ in self.compute}}
+        for old_name, new_name in self.rename:
+            if old_name in out:
+                out[new_name] = out.pop(old_name)
+        return out
+
+
+@dataclass
+class TransformedRow:
+    """What a transforming subscription delivers."""
+
+    scn: int
+    source: str
+    key: tuple
+    row: dict
+
+
+class TransformingConsumer(DatabusConsumer):
+    """Client-library glue: decode, transform, deliver rows.
+
+    Wraps a plain callback (``on_row``) so applications receive already
+    transformed dicts instead of wire events.
+    """
+
+    def __init__(self, relay: Relay, transform: DeclarativeTransform,
+                 on_row=None):
+        self.relay = relay
+        self.transform = transform
+        self.rows: list[TransformedRow] = []
+        self._on_row = on_row
+        self.events_seen = 0
+        self.rows_delivered = 0
+
+    def on_data_event(self, event: DatabusEvent) -> None:
+        self.events_seen += 1
+        schema = self.relay.schemas.get(event.source, event.schema_version)
+        row = decode_record(schema, event.payload)
+        transformed = self.transform.apply_to_row(event.source, row)
+        if transformed is None:
+            return
+        delivered = TransformedRow(event.scn, event.source, event.key,
+                                   transformed)
+        self.rows.append(delivered)
+        self.rows_delivered += 1
+        if self._on_row is not None:
+            self._on_row(delivered)

@@ -1,0 +1,44 @@
+"""Espresso: a timeline-consistent distributed document store (paper §IV).
+
+The pieces, matching Figure IV.1:
+
+* :mod:`repro.espresso.uri` — the REST data model:
+  ``/<database>/<table>/<resource_id>[/<subresource_id>...]``;
+* :mod:`repro.espresso.schema` — database / table / document schemas
+  (Avro-style, freely evolvable under resolution rules);
+* :mod:`repro.espresso.index` — the Lucene stand-in: local secondary
+  indexes with term and free-text queries;
+* :mod:`repro.espresso.storage` — storage nodes: documents in a
+  MySQL-style local store (Table IV.1 layout), per-partition commit
+  sequences, secondary indexing, master/slave replica state;
+* :mod:`repro.espresso.replication` — internal replication through a
+  Databus relay with per-partition event buffers, semi-sync commit;
+* :mod:`repro.espresso.router` — routes requests to the master for the
+  resource's partition using Helix's external view;
+* :mod:`repro.espresso.cluster` — wires storage nodes, relay, router,
+  Zookeeper and the Helix controller into a running cluster, including
+  failover and elastic expansion.
+"""
+
+from repro.espresso.uri import EspressoUri, parse_uri
+from repro.espresso.schema import (
+    DatabaseSchema,
+    DocumentSchemaRegistry,
+    EspressoTableSchema,
+)
+from repro.espresso.index import LocalSecondaryIndex
+from repro.espresso.storage import EspressoStorageNode
+from repro.espresso.cluster import EspressoCluster
+from repro.espresso.router import Router
+
+__all__ = [
+    "EspressoUri",
+    "parse_uri",
+    "DatabaseSchema",
+    "DocumentSchemaRegistry",
+    "EspressoTableSchema",
+    "LocalSecondaryIndex",
+    "EspressoStorageNode",
+    "EspressoCluster",
+    "Router",
+]

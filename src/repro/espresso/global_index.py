@@ -1,0 +1,131 @@
+"""Global secondary indexes (§IV.A future enhancement).
+
+"At present, indexed access is limited to collection resources accessed
+via a common resource_id in the URI path.  Future enhancements will
+implement global secondary indexes maintained via a listener to the
+update stream."
+
+This module implements that enhancement: a :class:`GlobalIndexService`
+subscribes to every partition's Databus buffer (Espresso's internal
+update stream), decodes the replicated storage rows back into
+documents, and maintains one cluster-wide inverted index per table.
+Queries span *all* resources — the access path local indexes cannot
+serve — at the cost of eventual consistency: the index trails the
+stream by whatever the listener's lag is.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.common.serialization import decode_record, decode_with_resolution
+from repro.espresso.cluster import EspressoCluster
+from repro.espresso.index import LocalSecondaryIndex
+from repro.espresso.storage import DocumentRecord, partition_buffer_name
+from repro.sqlstore.binlog import ChangeKind
+
+
+class GlobalIndexService:
+    """An update-stream listener maintaining cross-resource indexes."""
+
+    def __init__(self, cluster: EspressoCluster):
+        self.cluster = cluster
+        self.database = cluster.database
+        self._indexes: dict[str, LocalSecondaryIndex] = {}
+        # partition -> consumed SCN
+        self._checkpoints: dict[int, int] = {
+            p: 0 for p in range(self.database.num_partitions)}
+        self.events_indexed = 0
+
+    # -- stream listener ------------------------------------------------------
+
+    def catch_up(self) -> int:
+        """Consume every partition buffer to its head; returns events."""
+        consumed = 0
+        for partition in range(self.database.num_partitions):
+            buffer_name = partition_buffer_name(self.database.name, partition)
+            if buffer_name not in self.cluster.relay.buffer_names():
+                continue
+            while True:
+                events = self.cluster.relay.stream_from(
+                    self._checkpoints[partition], buffer_name)
+                if not events:
+                    break
+                for event in events:
+                    self._apply(event)
+                    consumed += 1
+                self._checkpoints[partition] = events[-1].scn
+        return consumed
+
+    def _apply(self, event) -> None:
+        index = self._index_for(event.source)
+        doc_key = event.key
+        if event.kind is ChangeKind.DELETE:
+            index.remove(doc_key)
+        else:
+            row_schema = self.cluster.relay.schemas.get(event.source,
+                                                        event.schema_version)
+            row = decode_record(row_schema, event.payload)
+            document = self._decode_document(event.source, row)
+            index.add(doc_key, document)
+        self.events_indexed += 1
+
+    def _decode_document(self, table: str, row: dict) -> dict:
+        writer = self.cluster.schemas.get(self.database.name, table,
+                                          row["schema_version"])
+        reader = self.cluster.schemas.latest(self.database.name, table)
+        if writer.version == reader.version:
+            return decode_record(writer, row["val"])
+        return decode_with_resolution(writer, reader, row["val"])
+
+    def _index_for(self, table: str) -> LocalSecondaryIndex:
+        latest = self.cluster.schemas.latest(self.database.name, table)
+        index = self._indexes.get(table)
+        if index is None or index.schema.version != latest.version:
+            rebuilt = LocalSecondaryIndex(latest)
+            if index is not None:
+                # re-derive postings from the authoritative masters
+                for partition in range(self.database.num_partitions):
+                    master = self.cluster.master_node(partition)
+                    if master is None:
+                        continue
+                    for row in master.local.table(table).scan():
+                        espresso_table = self.database.table(table)
+                        key = tuple(row[k] for k in espresso_table.key_fields)
+                        if self.database.partition_for(key[0]) != partition:
+                            continue
+                        rebuilt.add(key, self._decode_document(table, row))
+            self._indexes[table] = rebuilt
+            index = rebuilt
+        return index
+
+    # -- queries -------------------------------------------------------------------
+
+    def query_keys(self, table: str, fieldname: str,
+                   value: str) -> list[tuple]:
+        """Document keys matching the query, across ALL resources."""
+        return self._index_for(table).query(fieldname, value)
+
+    def query_documents(self, table: str, fieldname: str,
+                        value: str) -> list[DocumentRecord]:
+        """Global query, then fetch each document from its partition's
+        current master (index gives keys; masters give truth)."""
+        out = []
+        for key in self.query_keys(table, fieldname, value):
+            master = self.cluster.master_node(
+                self.database.partition_for(key[0]))
+            if master is None:
+                raise ConfigurationError(
+                    f"no master for resource {key[0]!r}")
+            out.append(master.get_document(table, key))
+        return out
+
+    def lag(self) -> int:
+        """Unconsumed events across all partition buffers."""
+        total = 0
+        for partition in range(self.database.num_partitions):
+            buffer_name = partition_buffer_name(self.database.name, partition)
+            if buffer_name not in self.cluster.relay.buffer_names():
+                continue
+            head = self.cluster.relay.newest_scn(buffer_name)
+            total += max(0, head - self._checkpoints[partition])
+        return total

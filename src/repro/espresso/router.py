@@ -1,0 +1,126 @@
+"""The Espresso router (§IV.B "Router").
+
+"The router accepts HTTP requests, inspects the URI and forwards the
+request to the appropriate storage node.  For a given request, the
+router examines the database component of the path and retrieves the
+routing function from the corresponding database schema.  It then
+applies the routing function to the resource_id element of the request
+URI to compute a partition id.  Next it consults the routing table
+maintained by the cluster manager to determine which storage node is
+the master for the partition.  Finally, the router forwards the HTTP
+request to the selected storage node."
+
+The interface is HTTP-shaped (GET/PUT/POST/DELETE on URIs) returning
+plain Python results; a thin status-code layer maps library exceptions
+onto the responses an HTTP gateway would emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import (
+    ConfigurationError,
+    KeyNotFoundError,
+    NotMasterError,
+    TransactionAbortedError,
+)
+from repro.espresso.cluster import EspressoCluster
+from repro.espresso.uri import EspressoUri, parse_index_query, parse_uri
+
+
+@dataclass
+class Response:
+    """An HTTP-flavoured response."""
+
+    status: int
+    body: object = None
+    etag: str | None = None
+
+
+class Router:
+    """Stateless request router over one cluster."""
+
+    def __init__(self, cluster: EspressoCluster):
+        self.cluster = cluster
+        self.requests_routed = 0
+
+    def _target(self, uri: EspressoUri):
+        if uri.database != self.cluster.database.name:
+            raise ConfigurationError(f"unknown database {uri.database!r}")
+        if uri.resource_id is None:
+            raise ConfigurationError("URI names no resource")
+        self.requests_routed += 1
+        return self.cluster.node_for_resource(uri.resource_id)
+
+    # -- verbs ------------------------------------------------------------------
+
+    def get(self, uri: str) -> Response:
+        """Point read, collection read, or secondary-index query."""
+        parsed = parse_uri(uri)
+        try:
+            node = self._target(parsed)
+            if parsed.query is not None:
+                fieldname, value = parse_index_query(parsed.query)
+                records = node.query_index(parsed.table, fieldname, value,
+                                           resource_id=parsed.resource_id)
+                return Response(200, records)
+            if parsed.is_collection and \
+                    self.cluster.database.table(parsed.table).key_depth > 1:
+                records = node.get_collection(parsed.table, parsed.resource_id)
+                if not records:
+                    return Response(404, f"no documents under {uri}")
+                return Response(200, records)
+            record = node.get_document(parsed.table, parsed.key)
+            return Response(200, record, etag=record.etag)
+        except KeyNotFoundError as exc:
+            return Response(404, str(exc))
+        except ConfigurationError as exc:
+            return Response(400, str(exc))
+
+    def put(self, uri: str, document: dict,
+            if_match: str | None = None) -> Response:
+        """Create or replace one document (conditional on ``if_match``)."""
+        parsed = parse_uri(uri)
+        try:
+            node = self._target(parsed)
+            etag = node.put_document(parsed.table, parsed.key, document,
+                                     expected_etag=if_match)
+            return Response(200, None, etag=etag)
+        except NotMasterError as exc:
+            return Response(503, str(exc))
+        except TransactionAbortedError as exc:
+            return Response(412, str(exc))
+        except ConfigurationError as exc:
+            return Response(400, str(exc))
+
+    def delete(self, uri: str) -> Response:
+        parsed = parse_uri(uri)
+        try:
+            node = self._target(parsed)
+            node.delete_document(parsed.table, parsed.key)
+            return Response(200)
+        except KeyNotFoundError as exc:
+            return Response(404, str(exc))
+        except NotMasterError as exc:
+            return Response(503, str(exc))
+        except ConfigurationError as exc:
+            return Response(400, str(exc))
+
+    def post_transaction(self, database: str, resource_id: str,
+                         operations: list[tuple[str, str, tuple, dict | None]]
+                         ) -> Response:
+        """Transactional multi-table update: POST to a wildcard table
+        URI where 'the entity-body contains the individual document
+        updates' (§IV.A)."""
+        if database != self.cluster.database.name:
+            return Response(400, f"unknown database {database!r}")
+        try:
+            node = self.cluster.node_for_resource(resource_id)
+            self.requests_routed += 1
+            scn = node.transact(resource_id, operations)
+            return Response(200, {"scn": scn})
+        except NotMasterError as exc:
+            return Response(503, str(exc))
+        except (TransactionAbortedError, ConfigurationError) as exc:
+            return Response(409, str(exc))

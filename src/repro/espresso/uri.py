@@ -1,0 +1,81 @@
+"""Espresso URI parsing (§IV.A).
+
+Documents are identified by
+
+    /<database>/<table>/<resource_id>[/<subresource_id>...]
+
+A path naming only the ``resource_id`` may refer to a *collection
+resource* (all documents sharing that resource id).  Query parameters
+express secondary-index queries: ``?query=lyrics:"Lucy in the sky"``.
+A ``*`` table name with a POST is a transactional multi-table update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EspressoUri:
+    database: str
+    table: str
+    resource_id: str | None = None
+    subresource_ids: tuple[str, ...] = ()
+    query: str | None = None
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        """The document key: resource id plus subresource ids."""
+        if self.resource_id is None:
+            raise ConfigurationError("URI names no resource")
+        return (self.resource_id,) + self.subresource_ids
+
+    @property
+    def is_collection(self) -> bool:
+        """True when the path stops at the resource id (or earlier)."""
+        return self.resource_id is not None and not self.subresource_ids
+
+    @property
+    def is_transactional(self) -> bool:
+        return self.table == "*"
+
+
+def parse_uri(uri: str) -> EspressoUri:
+    """Parse a path (optionally a full URL) into an :class:`EspressoUri`.
+
+    >>> parse_uri("/Music/Album/Cher/Greatest_Hits").key
+    ('Cher', 'Greatest_Hits')
+    """
+    parsed = urlparse(uri)
+    path = parsed.path
+    if not path.startswith("/"):
+        raise ConfigurationError(f"Espresso URIs are absolute paths: {uri!r}")
+    parts = [unquote(p) for p in path.strip("/").split("/") if p]
+    if len(parts) < 2:
+        raise ConfigurationError(
+            f"URI needs at least /<database>/<table>: {uri!r}")
+    database, table = parts[0], parts[1]
+    resource_id = parts[2] if len(parts) > 2 else None
+    subresources = tuple(parts[3:])
+    query = None
+    if parsed.query:
+        params = parse_qs(parsed.query)
+        if "query" in params:
+            query = params["query"][0]
+    return EspressoUri(database, table, resource_id, subresources, query)
+
+
+def parse_index_query(query: str) -> tuple[str, str]:
+    """Split ``field:value`` (value optionally double-quoted)."""
+    if ":" not in query:
+        raise ConfigurationError(f"index queries look like field:value: {query!r}")
+    fieldname, _, value = query.partition(":")
+    value = value.strip()
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        value = value[1:-1]
+    if not fieldname or not value:
+        raise ConfigurationError(f"malformed index query {query!r}")
+    return fieldname.strip(), value

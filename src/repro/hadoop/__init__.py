@@ -1,0 +1,22 @@
+"""Mini Hadoop: an immutable-file namespace and a MapReduce runner.
+
+Voldemort's read-only engine offloads index construction to "offline
+systems like Hadoop" (§II.B): a MapReduce job partitions data by
+destination node, sorts by MD5 of key within each partition, and writes
+index + data files to HDFS, which Voldemort nodes then fetch in
+parallel.  This package provides exactly the substrate that pipeline
+needs — not a general cluster, but faithful semantics: write-once
+files, directory listing, and a map/shuffle-sort/reduce execution model
+where reducers see keys in sorted order.
+"""
+
+from repro.hadoop.hdfs import FileAlreadyExistsError, FileNotFoundInHDFSError, MiniHDFS
+from repro.hadoop.mapreduce import MapReduceJob, run_job
+
+__all__ = [
+    "FileAlreadyExistsError",
+    "FileNotFoundInHDFSError",
+    "MiniHDFS",
+    "MapReduceJob",
+    "run_job",
+]

@@ -1,0 +1,120 @@
+"""A write-once file namespace standing in for HDFS.
+
+Only the properties the read-only pipeline relies on are modelled:
+files are immutable once closed, paths are hierarchical, directories
+are listable, and readers can fetch whole files (the "parallel fetch
+from HDFS" of the pull phase is simulated by chunked reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import ReproError
+
+
+class FileNotFoundInHDFSError(ReproError):
+    """The path does not exist in the namespace."""
+
+
+class FileAlreadyExistsError(ReproError):
+    """HDFS files are write-once; the path already exists."""
+
+
+@dataclass
+class _FileEntry:
+    data: bytes
+    replication: int = 3
+
+
+@dataclass
+class MiniHDFS:
+    """In-memory immutable file store with hierarchical paths."""
+
+    default_replication: int = 3
+    _files: dict[str, _FileEntry] = field(default_factory=dict)
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        if not path.startswith("/"):
+            raise ValueError(f"HDFS paths are absolute, got {path!r}")
+        while "//" in path:
+            path = path.replace("//", "/")
+        return path.rstrip("/") or "/"
+
+    def create(self, path: str, data: bytes,
+               replication: int | None = None) -> None:
+        """Write a complete immutable file."""
+        path = self._normalize(path)
+        if path in self._files:
+            raise FileAlreadyExistsError(path)
+        self._files[path] = _FileEntry(
+            bytes(data), replication or self.default_replication)
+        self.bytes_written += len(data)
+
+    def read(self, path: str) -> bytes:
+        path = self._normalize(path)
+        try:
+            entry = self._files[path]
+        except KeyError:
+            raise FileNotFoundInHDFSError(path) from None
+        self.bytes_read += len(entry.data)
+        return entry.data
+
+    def read_chunks(self, path: str, chunk_size: int = 1 << 20) -> Iterator[bytes]:
+        """Chunked read, modelling a streaming fetch."""
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        data = self.read(path)
+        for start in range(0, len(data), chunk_size):
+            yield data[start:start + chunk_size]
+
+    def exists(self, path: str) -> bool:
+        return self._normalize(path) in self._files
+
+    def size(self, path: str) -> int:
+        path = self._normalize(path)
+        if path not in self._files:
+            raise FileNotFoundInHDFSError(path)
+        return len(self._files[path].data)
+
+    def listdir(self, directory: str) -> list[str]:
+        """Names of files and immediate subdirectories under ``directory``."""
+        directory = self._normalize(directory)
+        prefix = directory if directory.endswith("/") else directory + "/"
+        if directory == "/":
+            prefix = "/"
+        names: set[str] = set()
+        for path in self._files:
+            if path.startswith(prefix):
+                remainder = path[len(prefix):]
+                names.add(remainder.split("/", 1)[0])
+        if not names and directory != "/" and directory not in self._files:
+            raise FileNotFoundInHDFSError(directory)
+        return sorted(names)
+
+    def glob_files(self, directory: str) -> list[str]:
+        """All file paths under ``directory`` (recursive), sorted."""
+        directory = self._normalize(directory)
+        prefix = directory if directory.endswith("/") else directory + "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def delete(self, path: str, recursive: bool = False) -> int:
+        """Remove a file, or a subtree with ``recursive``; returns count."""
+        path = self._normalize(path)
+        if path in self._files:
+            del self._files[path]
+            return 1
+        if recursive:
+            prefix = path + "/"
+            doomed = [p for p in self._files if p.startswith(prefix)]
+            for p in doomed:
+                del self._files[p]
+            return len(doomed)
+        raise FileNotFoundInHDFSError(path)
+
+    def total_bytes(self) -> int:
+        return sum(len(e.data) for e in self._files.values())

@@ -1,0 +1,35 @@
+"""Helix-style generic cluster manager (§IV.B "Cluster Manager").
+
+The paper models Helix as a state machine over three cluster states:
+
+* IDEALSTATE — the assignment when every configured node is up;
+* CURRENTSTATE — what the nodes actually report;
+* BESTPOSSIBLESTATE — the closest achievable state given live nodes.
+
+The controller computes BESTPOSSIBLESTATE and emits transition tasks
+(e.g. OFFLINE->SLAVE, SLAVE->MASTER) to participants until the current
+state converges.  Espresso storage nodes and Databus relays are managed
+as Helix participants; Kafka-consumer-style components can observe the
+external view for routing.
+"""
+
+from repro.helix.statemodel import (
+    MASTER_SLAVE,
+    ONLINE_OFFLINE,
+    StateModelDef,
+    Transition,
+)
+from repro.helix.idealstate import IdealState, compute_ideal_state
+from repro.helix.controller import HelixController
+from repro.helix.participant import Participant
+
+__all__ = [
+    "MASTER_SLAVE",
+    "ONLINE_OFFLINE",
+    "StateModelDef",
+    "Transition",
+    "IdealState",
+    "compute_ideal_state",
+    "HelixController",
+    "Participant",
+]

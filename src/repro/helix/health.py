@@ -1,0 +1,125 @@
+"""Cluster health monitoring (§IV.B: "Health check: It monitors cluster
+health and provides alerts on SLA violations").
+
+The monitor evaluates the controller's current state against declared
+SLAs and emits typed alerts:
+
+* ``NO_MASTER`` — a partition has no live master (writes unavailable);
+* ``UNDER_REPLICATED`` — a partition has fewer live replicas than the
+  resource's replication factor;
+* ``INSTANCES_DOWN`` — live instances fell below the configured
+  fraction of the registered fleet;
+* ``MASTER_IMBALANCE`` — the master spread exceeds the balance SLA
+  (one node carrying disproportionate write load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import ConfigurationError
+from repro.helix.controller import HelixController
+
+
+class AlertCode(Enum):
+    NO_MASTER = "no-master"
+    UNDER_REPLICATED = "under-replicated"
+    INSTANCES_DOWN = "instances-down"
+    MASTER_IMBALANCE = "master-imbalance"
+
+
+class Severity(Enum):
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Alert:
+    code: AlertCode
+    severity: Severity
+    resource: str | None
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code.value}: {self.subject} — {self.detail}"
+
+
+@dataclass(frozen=True)
+class HealthSLA:
+    """The thresholds a deployment declares."""
+
+    min_live_instance_fraction: float = 0.5
+    max_master_imbalance: int = 2  # max-min masters per live node
+
+    def __post_init__(self):
+        if not 0.0 < self.min_live_instance_fraction <= 1.0:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        if self.max_master_imbalance < 0:
+            raise ConfigurationError("imbalance bound must be >= 0")
+
+
+class HealthMonitor:
+    """Evaluates SLAs against the controller's view of the cluster."""
+
+    def __init__(self, controller: HelixController,
+                 sla: HealthSLA | None = None):
+        self.controller = controller
+        self.sla = sla or HealthSLA()
+        self.evaluations = 0
+        self.alert_history: list[Alert] = []
+
+    def evaluate(self) -> list[Alert]:
+        """One health sweep; returns (and records) current alerts."""
+        self.evaluations += 1
+        alerts: list[Alert] = []
+        live = self.controller.live_instances()
+        registered = set(self.controller._participants)
+        if registered:
+            fraction = len(live) / len(registered)
+            if fraction < self.sla.min_live_instance_fraction:
+                alerts.append(Alert(
+                    AlertCode.INSTANCES_DOWN, Severity.CRITICAL, None,
+                    f"{len(live)}/{len(registered)} instances live",
+                    f"below SLA fraction {self.sla.min_live_instance_fraction}"))
+        for resource, ideal in self.controller._ideal_states.items():
+            alerts.extend(self._evaluate_resource(resource, ideal, live))
+        self.alert_history.extend(alerts)
+        return alerts
+
+    def _evaluate_resource(self, resource: str, ideal, live) -> list[Alert]:
+        alerts: list[Alert] = []
+        current = self.controller.current_state(resource)
+        master_counts: dict[str, int] = {}
+        for partition in range(ideal.num_partitions):
+            states = current.get(partition, {})
+            masters = [i for i, s in states.items() if s == "MASTER"]
+            replicas = [i for i, s in states.items()
+                        if s in ("MASTER", "SLAVE", "ONLINE")]
+            if not masters and "MASTER" in ideal.state_model.states:
+                alerts.append(Alert(
+                    AlertCode.NO_MASTER, Severity.CRITICAL, resource,
+                    f"partition {partition}", "no live master; writes halted"))
+            for master in masters:
+                master_counts[master] = master_counts.get(master, 0) + 1
+            if len(replicas) < ideal.replicas:
+                alerts.append(Alert(
+                    AlertCode.UNDER_REPLICATED, Severity.WARNING, resource,
+                    f"partition {partition}",
+                    f"{len(replicas)}/{ideal.replicas} replicas live"))
+        if master_counts and len(live) > 1:
+            spread = max(master_counts.values()) - min(
+                master_counts.get(i, 0) for i in live)
+            if spread > self.sla.max_master_imbalance:
+                alerts.append(Alert(
+                    AlertCode.MASTER_IMBALANCE, Severity.WARNING, resource,
+                    "master distribution",
+                    f"spread {spread} exceeds {self.sla.max_master_imbalance}"))
+        return alerts
+
+    def is_healthy(self) -> bool:
+        return not self.evaluate()
+
+    def critical_alerts(self) -> list[Alert]:
+        return [a for a in self.evaluate() if a.severity is Severity.CRITICAL]

@@ -1,0 +1,129 @@
+"""IDEALSTATE computation: replica placement when every node is up.
+
+The placement is the classic Helix AUTO mode: for partition ``p`` the
+preference list is the instance list rotated by ``p``; the first entry
+is the MASTER (or top state), the next ``replicas - 1`` entries are
+SLAVEs.  Rotation spreads masters evenly and ensures each node masters
+some partitions and slaves others, matching Figure IV.3's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.helix.statemodel import StateModelDef
+
+
+@dataclass(frozen=True)
+class IdealState:
+    """Immutable placement: resource -> partition -> preference list."""
+
+    resource: str
+    num_partitions: int
+    replicas: int
+    state_model: StateModelDef
+    preference_lists: tuple[tuple[str, ...], ...]
+
+    def preference_list(self, partition: int) -> tuple[str, ...]:
+        return self.preference_lists[partition]
+
+    def ideal_master(self, partition: int) -> str:
+        return self.preference_lists[partition][0]
+
+    def instances(self) -> set[str]:
+        out: set[str] = set()
+        for plist in self.preference_lists:
+            out.update(plist)
+        return out
+
+    def master_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for plist in self.preference_lists:
+            counts[plist[0]] = counts.get(plist[0], 0) + 1
+        return counts
+
+
+def compute_ideal_state(resource: str, instances: list[str],
+                        num_partitions: int, replicas: int,
+                        state_model: StateModelDef) -> IdealState:
+    """Rotate-and-slice placement over a stable instance ordering."""
+    if not instances:
+        raise ConfigurationError("need at least one instance")
+    if replicas > len(instances):
+        raise ConfigurationError(
+            f"replicas={replicas} exceeds instance count {len(instances)}")
+    if num_partitions <= 0 or replicas <= 0:
+        raise ConfigurationError("num_partitions and replicas must be positive")
+    ordered = sorted(instances)
+    lists = []
+    for partition in range(num_partitions):
+        rotated = [ordered[(partition + i) % len(ordered)]
+                   for i in range(len(ordered))]
+        lists.append(tuple(rotated[:replicas]))
+    return IdealState(resource, num_partitions, replicas, state_model,
+                      tuple(lists))
+
+
+def compute_weighted_ideal_state(resource: str, capacities: dict[str, float],
+                                 num_partitions: int, replicas: int,
+                                 state_model: StateModelDef) -> IdealState:
+    """Capacity-aware placement (§IV.B: "smart allocation of resources
+    to servers (nodes) based on server capacity").
+
+    Masterships are allocated proportionally to declared capacity by
+    largest remainder, then interleaved so no capacity class clumps;
+    slaves rotate over the remaining instances as usual.
+    """
+    if not capacities:
+        raise ConfigurationError("need at least one instance")
+    if any(c <= 0 for c in capacities.values()):
+        raise ConfigurationError("capacities must be positive")
+    if replicas > len(capacities):
+        raise ConfigurationError("replicas exceed instance count")
+    ordered = sorted(capacities)
+    total = sum(capacities.values())
+    # largest-remainder apportionment of masterships
+    exact = {i: num_partitions * capacities[i] / total for i in ordered}
+    quota = {i: int(exact[i]) for i in ordered}
+    leftover = num_partitions - sum(quota.values())
+    for instance in sorted(ordered, key=lambda i: exact[i] - quota[i],
+                           reverse=True)[:leftover]:
+        quota[instance] += 1
+    # interleave masters to avoid long runs of one node
+    masters: list[str] = []
+    remaining = dict(quota)
+    while len(masters) < num_partitions:
+        progressed = False
+        for instance in sorted(remaining, key=lambda i: remaining[i] / max(quota[i], 1),
+                               reverse=True):
+            if remaining[instance] > 0:
+                masters.append(instance)
+                remaining[instance] -= 1
+                progressed = True
+                if len(masters) == num_partitions:
+                    break
+        if not progressed:
+            break
+    lists = []
+    for partition, master in enumerate(masters):
+        others = [i for i in ordered if i != master]
+        rotation = [others[(partition + k) % len(others)]
+                    for k in range(replicas - 1)]
+        lists.append(tuple([master] + rotation))
+    return IdealState(resource, num_partitions, replicas, state_model,
+                      tuple(lists))
+
+
+def rebalance_ideal_state(current: IdealState,
+                          instances: list[str]) -> IdealState:
+    """Recompute placement for a changed instance set (expansion §IV.B).
+
+    A fresh rotation over the new membership; the controller then
+    diffs this against current state and emits the migration
+    transitions (snapshot-bootstrap + catch-up are the storage layer's
+    job — see :mod:`repro.espresso.rebalance`).
+    """
+    return compute_ideal_state(current.resource, instances,
+                               current.num_partitions, current.replicas,
+                               current.state_model)

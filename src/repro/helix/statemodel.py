@@ -1,0 +1,115 @@
+"""State model definitions and legal-transition computation.
+
+A state model declares the states a replica may be in, which direct
+transitions are legal, and per-partition occupancy constraints (the
+crucial one: at most one MASTER per partition at any time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single replica state change requested of a participant."""
+
+    instance: str
+    resource: str
+    partition: int
+    from_state: str
+    to_state: str
+
+    def __str__(self) -> str:
+        return (f"{self.instance}: {self.resource}[{self.partition}] "
+                f"{self.from_state}->{self.to_state}")
+
+
+@dataclass(frozen=True)
+class StateModelDef:
+    """States, legal edges, and occupancy bounds for one replica model."""
+
+    name: str
+    initial_state: str
+    states: tuple[str, ...]
+    # legal direct transitions, e.g. ("OFFLINE", "SLAVE")
+    transitions: tuple[tuple[str, str], ...]
+    # max replicas per partition allowed in a state; -1 = unbounded,
+    # "R" = replica count (resolved by the controller)
+    state_counts: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.initial_state not in self.states:
+            raise ConfigurationError("initial state must be a declared state")
+        for src, dst in self.transitions:
+            if src not in self.states or dst not in self.states:
+                raise ConfigurationError(f"transition {src}->{dst} uses unknown state")
+
+    def is_legal(self, from_state: str, to_state: str) -> bool:
+        return (from_state, to_state) in self.transitions
+
+    def next_step(self, from_state: str, to_state: str) -> str | None:
+        """First hop on the shortest legal path ``from_state -> to_state``.
+
+        Helix never jumps states: promoting OFFLINE to MASTER takes two
+        tasks (OFFLINE->SLAVE, then SLAVE->MASTER).  Returns ``None``
+        when the target is unreachable or already reached.
+        """
+        if from_state == to_state:
+            return None
+        # BFS over the legal-transition graph
+        frontier = [(from_state, None)]
+        seen = {from_state}
+        parents: dict[str, str] = {}
+        while frontier:
+            state, _ = frontier.pop(0)
+            for src, dst in self.transitions:
+                if src != state or dst in seen:
+                    continue
+                parents[dst] = state
+                if dst == to_state:
+                    # walk back to find the first hop
+                    hop = dst
+                    while parents.get(hop) != from_state:
+                        hop = parents[hop]
+                    return hop
+                seen.add(dst)
+                frontier.append((dst, state))
+        return None
+
+    def max_per_partition(self, state: str, replica_count: int) -> int:
+        bound = self.state_counts.get(state, -1)
+        if bound == "R":
+            return replica_count
+        if bound == -1:
+            return 10 ** 9
+        return int(bound)
+
+
+MASTER_SLAVE = StateModelDef(
+    name="MasterSlave",
+    initial_state="OFFLINE",
+    states=("OFFLINE", "SLAVE", "MASTER", "DROPPED"),
+    transitions=(
+        ("OFFLINE", "SLAVE"),
+        ("SLAVE", "MASTER"),
+        ("MASTER", "SLAVE"),
+        ("SLAVE", "OFFLINE"),
+        ("OFFLINE", "DROPPED"),
+    ),
+    state_counts={"MASTER": 1, "SLAVE": "R"},
+)
+
+ONLINE_OFFLINE = StateModelDef(
+    name="OnlineOffline",
+    initial_state="OFFLINE",
+    states=("OFFLINE", "ONLINE", "DROPPED"),
+    transitions=(
+        ("OFFLINE", "ONLINE"),
+        ("ONLINE", "OFFLINE"),
+        ("OFFLINE", "DROPPED"),
+    ),
+    state_counts={"ONLINE": "R"},
+)

@@ -1,0 +1,38 @@
+"""Kafka: log-structured pub/sub messaging (paper §V).
+
+* :mod:`repro.kafka.message` — the wire format: size/CRC/attributes
+  framing, message sets, gzip compression (§V.B "compression");
+* :mod:`repro.kafka.log` — partition logs as segment files addressed
+  by *logical byte offsets* (no message-id index), flush-before-visible
+  semantics, time-based retention, plus the message-id-index ablation
+  baseline;
+* :mod:`repro.kafka.broker` — brokers hosting topic partitions,
+  registering in Zookeeper;
+* :mod:`repro.kafka.producer` — batched publishing with random or
+  key-hash partition selection;
+* :mod:`repro.kafka.consumer` — pull consumers, consumer groups with
+  Zookeeper-coordinated rebalancing, consumer-side offset tracking,
+  rewind support;
+* :mod:`repro.kafka.mirror` — the cross-datacenter replica cluster and
+  Hadoop-load pipeline of §V.D;
+* :mod:`repro.kafka.audit` — the end-to-end loss-detection audit.
+"""
+
+from repro.kafka.message import Message, MessageAndOffset, MessageSet
+from repro.kafka.log import PartitionLog
+from repro.kafka.broker import Broker, KafkaCluster
+from repro.kafka.producer import Producer
+from repro.kafka.consumer import ConsumerGroupMember, MessageStream, SimpleConsumer
+
+__all__ = [
+    "Message",
+    "MessageAndOffset",
+    "MessageSet",
+    "PartitionLog",
+    "Broker",
+    "KafkaCluster",
+    "Producer",
+    "ConsumerGroupMember",
+    "MessageStream",
+    "SimpleConsumer",
+]

@@ -1,0 +1,201 @@
+"""Brokers and the cluster view (§V.A, Figure V.1).
+
+"A Kafka cluster typically consists of multiple brokers.  To balance
+load, a topic is divided into multiple partitions and each broker
+stores one or more of those partitions."
+
+Brokers register ephemeral znodes under ``/brokers/ids`` and advertise
+the topic partitions they host under ``/brokers/topics`` — the
+Zookeeper layout consumers rebalance against (§V.C task 1: "detecting
+the addition and the removal of brokers and consumers").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.common.clock import Clock, WallClock
+from repro.common.errors import ConfigurationError
+from repro.kafka.log import PartitionLog
+from repro.kafka.message import MessageSet
+from repro.zookeeper import CreateMode, ZooKeeperServer
+
+
+@dataclass(frozen=True)
+class TopicPartition:
+    topic: str
+    partition: int
+    broker_id: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.topic}-{self.partition}"
+
+
+class Broker:
+    """One broker process: a set of partition logs plus ZK registration."""
+
+    def __init__(self, broker_id: int, data_dir: str,
+                 zookeeper: ZooKeeperServer | None = None,
+                 clock: Clock | None = None,
+                 flush_interval_messages: int = 1,
+                 flush_interval_seconds: float = 0.0,
+                 segment_bytes: int = 1 << 20):
+        self.broker_id = broker_id
+        self.data_dir = data_dir
+        self.clock = clock or WallClock()
+        self.flush_interval_messages = flush_interval_messages
+        self.flush_interval_seconds = flush_interval_seconds
+        self.segment_bytes = segment_bytes
+        self._logs: dict[tuple[str, int], PartitionLog] = {}
+        self._zookeeper = zookeeper
+        self._session = None
+        self.bytes_in = 0
+        self.bytes_out = 0
+        if zookeeper is not None:
+            self.register()
+
+    # -- zookeeper liveness -----------------------------------------------------
+
+    def register(self) -> None:
+        """Join (or rejoin after a restart): liveness znode plus log
+        recovery for any partitions closed by a previous shutdown."""
+        self._session = self._zookeeper.connect()
+        self._session.ensure_path("/brokers/ids")
+        self._session.create(f"/brokers/ids/{self.broker_id}",
+                             data=str(self.broker_id).encode(),
+                             mode=CreateMode.EPHEMERAL)
+        for key, log in list(self._logs.items()):
+            if log._active_file is None or log._active_file.closed:
+                self._logs[key] = PartitionLog(
+                    log.directory, segment_bytes=self.segment_bytes,
+                    flush_interval_messages=self.flush_interval_messages,
+                    flush_interval_seconds=self.flush_interval_seconds,
+                    clock=self.clock)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._session is not None
+
+    def shutdown(self) -> None:
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+        for log in self._logs.values():
+            log.close()
+
+    # -- partition hosting -------------------------------------------------------
+
+    def create_partition(self, topic: str, partition: int) -> PartitionLog:
+        key = (topic, partition)
+        if key in self._logs:
+            raise ConfigurationError(f"{topic}-{partition} already hosted")
+        directory = os.path.join(self.data_dir, f"{topic}-{partition}")
+        log = PartitionLog(directory, segment_bytes=self.segment_bytes,
+                           flush_interval_messages=self.flush_interval_messages,
+                           flush_interval_seconds=self.flush_interval_seconds,
+                           clock=self.clock)
+        self._logs[key] = log
+        if self._session is not None:
+            self._session.ensure_path(f"/brokers/topics/{topic}")
+            self._session.create(
+                f"/brokers/topics/{topic}/{self.broker_id}-{partition}",
+                mode=CreateMode.EPHEMERAL)
+        return log
+
+    def log(self, topic: str, partition: int) -> PartitionLog:
+        try:
+            return self._logs[(topic, partition)]
+        except KeyError:
+            raise ConfigurationError(
+                f"broker {self.broker_id} does not host "
+                f"{topic}-{partition}") from None
+
+    def partitions(self) -> list[tuple[str, int]]:
+        return sorted(self._logs)
+
+    # -- produce / fetch ------------------------------------------------------------
+
+    def produce(self, topic: str, partition: int,
+                message_set: MessageSet) -> int:
+        data_size = message_set.wire_size
+        self.bytes_in += data_size
+        return self.log(topic, partition).append(message_set)
+
+    def fetch(self, topic: str, partition: int, offset: int,
+              max_bytes: int = 300 * 1024) -> bytes:
+        data = self.log(topic, partition).read(offset, max_bytes)
+        self.bytes_out += len(data)
+        return data
+
+    def run_retention(self, retention_seconds: float) -> int:
+        return sum(log.delete_old_segments(retention_seconds)
+                   for log in self._logs.values())
+
+
+class KafkaCluster:
+    """Wiring: brokers, topic layout, and the shared Zookeeper."""
+
+    def __init__(self, num_brokers: int, data_root: str,
+                 zookeeper: ZooKeeperServer | None = None,
+                 clock: Clock | None = None,
+                 partitions_per_topic: int = 4,
+                 flush_interval_messages: int = 1,
+                 segment_bytes: int = 1 << 20):
+        if num_brokers <= 0:
+            raise ConfigurationError("need at least one broker")
+        self.zookeeper = zookeeper or ZooKeeperServer()
+        self.clock = clock or WallClock()
+        self.partitions_per_topic = partitions_per_topic
+        self.brokers: dict[int, Broker] = {}
+        for broker_id in range(num_brokers):
+            self.brokers[broker_id] = Broker(
+                broker_id, os.path.join(data_root, f"broker-{broker_id}"),
+                self.zookeeper, clock=self.clock,
+                flush_interval_messages=flush_interval_messages,
+                segment_bytes=segment_bytes)
+        self._topics: dict[str, list[TopicPartition]] = {}
+
+    def create_topic(self, topic: str,
+                     partitions: int | None = None) -> list[TopicPartition]:
+        """Create a topic, spreading partitions round-robin over brokers."""
+        if topic in self._topics:
+            raise ConfigurationError(f"topic {topic!r} exists")
+        count = partitions or self.partitions_per_topic
+        layout = []
+        broker_ids = sorted(self.brokers)
+        for partition in range(count):
+            broker_id = broker_ids[partition % len(broker_ids)]
+            self.brokers[broker_id].create_partition(topic, partition)
+            layout.append(TopicPartition(topic, partition, broker_id))
+        self._topics[topic] = layout
+        return layout
+
+    def topic_layout(self, topic: str) -> list[TopicPartition]:
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise ConfigurationError(f"unknown topic {topic!r}") from None
+
+    def topics(self) -> list[str]:
+        return sorted(self._topics)
+
+    def broker_for(self, topic: str, partition: int) -> Broker:
+        for tp in self.topic_layout(topic):
+            if tp.partition == partition:
+                return self.brokers[tp.broker_id]
+        raise ConfigurationError(f"no partition {topic}-{partition}")
+
+    def flush_all(self) -> None:
+        for broker in self.brokers.values():
+            for topic, partition in broker.partitions():
+                broker.log(topic, partition).flush()
+
+    def run_retention(self, retention_seconds: float) -> int:
+        return sum(b.run_retention(retention_seconds)
+                   for b in self.brokers.values())
+
+    def shutdown(self) -> None:
+        for broker in self.brokers.values():
+            broker.shutdown()

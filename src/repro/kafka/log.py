@@ -1,0 +1,263 @@
+"""The partition log: segment files addressed by byte offsets (§V.B).
+
+"Each partition of a topic corresponds to a logical log.  Physically, a
+log is implemented as a set of segment files of approximately the same
+size. ... a message stored in Kafka doesn't have an explicit message
+id.  Instead, each message is addressed by its logical offset in the
+log.  This avoids the overhead of maintaining auxiliary index
+structures. ... To compute the id of the next message, we have to add
+the length of the current message to its id."
+
+Semantics reproduced here:
+
+* segment files named by their base offset; "the broker keeps in memory
+  the initial offset of each segment file" and locates a fetch target
+  with binary search over that list;
+* **flush-before-visible**: appends buffer in memory and become
+  consumable only after a flush, triggered by message count or elapsed
+  time ("a message is only exposed to the consumers after it is
+  flushed");
+* **time-based retention**: whole segments are deleted once older than
+  the retention period;
+* no in-process message cache — reads hit the files and rely on the OS
+  page cache, per the paper's double-buffering argument.
+
+:class:`MessageIdIndexedLog` is the ablation baseline: the same log
+plus the explicit id->position index the paper's design avoids.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.common.clock import Clock, WallClock
+from repro.common.errors import ConfigurationError, OffsetOutOfRangeError
+from repro.kafka.message import MessageSet
+
+
+@dataclass
+class _Segment:
+    base_offset: int
+    path: str
+    size: int
+    created_at: float
+    last_append_at: float
+
+
+class PartitionLog:
+    """One topic-partition's on-disk log."""
+
+    def __init__(self, directory: str, segment_bytes: int = 1 << 20,
+                 flush_interval_messages: int = 1,
+                 flush_interval_seconds: float = 0.0,
+                 clock: Clock | None = None):
+        if segment_bytes <= 0:
+            raise ConfigurationError("segment_bytes must be positive")
+        if flush_interval_messages < 1:
+            raise ConfigurationError("flush_interval_messages must be >= 1")
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.segment_bytes = segment_bytes
+        self.flush_interval_messages = flush_interval_messages
+        self.flush_interval_seconds = flush_interval_seconds
+        self.clock = clock or WallClock()
+        self._segments: list[_Segment] = []
+        self._active_file = None
+        self._pending = bytearray()      # appended but not flushed
+        self._pending_messages = 0
+        self._last_flush_at = self.clock.now()
+        self.log_end_offset = 0          # next offset to assign
+        self.high_watermark = 0          # flushed, consumer-visible end
+        self.messages_appended = 0
+        self._recover()
+        if not self._segments:
+            self._roll(base_offset=0)
+
+    # -- recovery / segment management ----------------------------------------
+
+    @staticmethod
+    def _segment_name(base_offset: int) -> str:
+        return f"{base_offset:020d}.kafka"
+
+    def _recover(self) -> None:
+        found = []
+        for name in os.listdir(self.directory):
+            if name.endswith(".kafka"):
+                base = int(name.split(".")[0])
+                path = os.path.join(self.directory, name)
+                size = os.path.getsize(path)
+                found.append(_Segment(base, path, size,
+                                      created_at=self.clock.now(),
+                                      last_append_at=self.clock.now()))
+        found.sort(key=lambda s: s.base_offset)
+        self._segments = found
+        if found:
+            last = found[-1]
+            self.log_end_offset = last.base_offset + last.size
+            self.high_watermark = self.log_end_offset
+            self._active_file = open(last.path, "ab")
+
+    def _roll(self, base_offset: int) -> None:
+        if self._active_file is not None:
+            self._active_file.close()
+        path = os.path.join(self.directory, self._segment_name(base_offset))
+        self._active_file = open(path, "ab")
+        now = self.clock.now()
+        self._segments.append(_Segment(base_offset, path, 0, now, now))
+
+    @property
+    def _active(self) -> _Segment:
+        return self._segments[-1]
+
+    def segment_base_offsets(self) -> list[int]:
+        """The in-memory offset list used to locate fetch targets."""
+        return [s.base_offset for s in self._segments]
+
+    # -- append path ----------------------------------------------------------------
+
+    def append(self, message_set: MessageSet) -> int:
+        """Append a message set; returns the first assigned offset.
+
+        The bytes are staged and only made consumer-visible by a flush
+        (automatic when the configured thresholds trip).
+        """
+        if not message_set.messages:
+            raise ConfigurationError("empty message set")
+        first_offset = self.log_end_offset
+        data = message_set.encode()
+        self._pending.extend(data)
+        self._pending_messages += len(message_set)
+        self.log_end_offset += len(data)
+        self.messages_appended += len(message_set)
+        self._maybe_flush()
+        return first_offset
+
+    def _maybe_flush(self) -> None:
+        if self._pending_messages >= self.flush_interval_messages:
+            self.flush()
+        elif (self.flush_interval_seconds > 0
+              and self.clock.now() - self._last_flush_at
+              >= self.flush_interval_seconds
+              and self._pending_messages > 0):
+            self.flush()
+
+    def append_raw(self, data: bytes) -> int:
+        """Append already-framed bytes (the replication path: followers
+        copy the leader's log verbatim).  Returns the first offset."""
+        if not data:
+            raise ConfigurationError("empty raw append")
+        first_offset = self.log_end_offset
+        self._pending.extend(data)
+        self.log_end_offset += len(data)
+        return first_offset
+
+    def flush(self) -> None:
+        """Write pending bytes to the active segment and expose them."""
+        if self._pending:
+            if self._active.size + len(self._pending) > self.segment_bytes \
+                    and self._active.size > 0:
+                self._roll(base_offset=self.high_watermark)
+            self._active_file.write(self._pending)
+            self._active_file.flush()
+            self._active.size += len(self._pending)
+            self._active.last_append_at = self.clock.now()
+            self._pending.clear()
+            self._pending_messages = 0
+        self.high_watermark = self.log_end_offset
+        self._last_flush_at = self.clock.now()
+
+    # -- fetch path ----------------------------------------------------------------------
+
+    @property
+    def oldest_offset(self) -> int:
+        return self._segments[0].base_offset if self._segments else 0
+
+    def read(self, offset: int, max_bytes: int = 300 * 1024) -> bytes:
+        """Raw bytes starting at ``offset``, at most ``max_bytes``.
+
+        Serves only flushed data; a fetch at the high watermark returns
+        empty (the consumer's blocking iterator polls again).  The
+        segment is located by binary search over base offsets.
+        """
+        if max_bytes <= 0:
+            raise ConfigurationError("max_bytes must be positive")
+        if offset == self.high_watermark:
+            return b""
+        if offset < self.oldest_offset or offset > self.high_watermark:
+            raise OffsetOutOfRangeError(
+                f"offset {offset} outside [{self.oldest_offset}, "
+                f"{self.high_watermark}]")
+        index = bisect_right([s.base_offset for s in self._segments], offset) - 1
+        segment = self._segments[index]
+        position = offset - segment.base_offset
+        visible_end = min(segment.size,
+                          self.high_watermark - segment.base_offset)
+        length = min(max_bytes, visible_end - position)
+        if length <= 0:
+            return b""
+        with open(segment.path, "rb") as f:
+            f.seek(position)
+            return f.read(length)
+
+    # -- retention ----------------------------------------------------------------------------
+
+    def delete_old_segments(self, retention_seconds: float) -> int:
+        """Time-based retention (§V.B): drop whole segments whose last
+        append is older than the SLA; never the active segment."""
+        now = self.clock.now()
+        deleted = 0
+        while len(self._segments) > 1:
+            segment = self._segments[0]
+            if now - segment.last_append_at <= retention_seconds:
+                break
+            os.remove(segment.path)
+            self._segments.pop(0)
+            deleted += 1
+        return deleted
+
+    def size_bytes(self) -> int:
+        return sum(s.size for s in self._segments) + len(self._pending)
+
+    def close(self) -> None:
+        if self._active_file is not None and not self._active_file.closed:
+            self._active_file.close()
+
+
+class MessageIdIndexedLog:
+    """Ablation baseline: a log *with* the auxiliary message-id index
+    Kafka deliberately avoids.
+
+    Every message gets a sequential id; an in-memory dict maps id ->
+    byte offset.  The benchmark compares its memory footprint and
+    maintenance cost against offset addressing.
+    """
+
+    def __init__(self, directory: str, **log_kwargs):
+        self.log = PartitionLog(directory, **log_kwargs)
+        self.id_index: dict[int, int] = {}
+        self.next_id = 0
+
+    def append(self, message_set: MessageSet) -> list[int]:
+        ids = []
+        offset = self.log.append(message_set)
+        for message in message_set.messages:
+            self.id_index[self.next_id] = offset
+            ids.append(self.next_id)
+            self.next_id += 1
+            offset += message.wire_size
+        return ids
+
+    def read_by_id(self, message_id: int, max_bytes: int = 300 * 1024) -> bytes:
+        try:
+            offset = self.id_index[message_id]
+        except KeyError:
+            raise OffsetOutOfRangeError(f"no message id {message_id}") from None
+        return self.log.read(offset, max_bytes)
+
+    def index_entries(self) -> int:
+        return len(self.id_index)
+
+    def close(self) -> None:
+        self.log.close()

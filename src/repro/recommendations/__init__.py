@@ -1,0 +1,24 @@
+"""The recommendation system (paper §I.A, Figure I.1).
+
+"The recommendation system matches relevant jobs, job candidates,
+connections, ads, news articles, and other content to users."  Its
+flagship product is People You May Know (§II.C): "a link prediction
+problem ... powered by a single store backed by the custom read-only
+storage engine", rebuilt offline on Hadoop every run because "most of
+the scores change between runs".
+
+This package implements that pipeline end to end: triangle-closing
+link prediction as a MapReduce job over the social graph, and a
+controller that pushes each run's scores through the Voldemort
+build/pull/swap cycle into online serving.
+"""
+
+from repro.recommendations.pymk import (
+    PymkPipeline,
+    score_common_neighbors,
+)
+
+__all__ = [
+    "PymkPipeline",
+    "score_common_neighbors",
+]

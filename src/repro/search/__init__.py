@@ -1,0 +1,19 @@
+"""People search (paper §I.A, Figure I.1).
+
+"The search system powers people search, which is a core feature for
+LinkedIn ... The queries to these systems are orders of magnitude more
+complex than traditional systems since they involve ranking against
+complex models as well as integration of activity data and social
+features."  The index stays "consistent and up-to-date with the changes
+happening in the databases" by subscribing to Databus (§III.E).
+"""
+
+from repro.search.index import RankedInvertedIndex, SearchHit
+from repro.search.service import MEMBER_TABLE, PeopleSearchService
+
+__all__ = [
+    "RankedInvertedIndex",
+    "SearchHit",
+    "PeopleSearchService",
+    "MEMBER_TABLE",
+]

@@ -1,0 +1,19 @@
+"""Deterministic network simulation and failure injection."""
+
+from repro.simnet.network import (
+    FailureInjector,
+    LatencyModel,
+    SimNetwork,
+    fixed_latency,
+    lognormal_latency,
+    uniform_latency,
+)
+
+__all__ = [
+    "FailureInjector",
+    "LatencyModel",
+    "SimNetwork",
+    "fixed_latency",
+    "lognormal_latency",
+    "uniform_latency",
+]

@@ -1,0 +1,184 @@
+"""A deterministic message-passing substrate for the simulated clusters.
+
+The paper's distributed behaviours — quorum writes racing a node crash,
+hinted handoff draining after recovery, slaves catching up from a relay
+during failover — depend on message latency and failure timing.  Real
+sockets would make those tests flaky; instead every inter-node call in
+the simulated clusters goes through :class:`SimNetwork`, which
+
+* samples a latency for each hop from a configurable, seeded model;
+* applies failure rules (crashed nodes, transient error probability,
+  network partitions) before delivering;
+* accumulates per-request latency so callers can report end-to-end
+  simulated service times.
+
+Components that run purely in-process for throughput benchmarks (the
+Kafka log, Voldemort storage engines) bypass this layer; it exists for
+*behavioural* fidelity, not wall-clock measurement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.clock import Clock, SimClock
+from repro.common.errors import (
+    NodeUnavailableError,
+    RequestTimeoutError,
+    TransientNetworkError,
+)
+
+LatencyModel = Callable[[random.Random], float]
+
+
+def fixed_latency(seconds: float) -> LatencyModel:
+    """Every hop takes exactly ``seconds``."""
+    def model(_rng: random.Random) -> float:
+        return seconds
+    return model
+
+
+def uniform_latency(low: float, high: float) -> LatencyModel:
+    if low < 0 or high < low:
+        raise ValueError("require 0 <= low <= high")
+    def model(rng: random.Random) -> float:
+        return rng.uniform(low, high)
+    return model
+
+
+def lognormal_latency(median: float, sigma: float = 0.5) -> LatencyModel:
+    """Heavy-tailed latency typical of datacenter RPC distributions."""
+    import math
+    mu = math.log(median)
+    def model(rng: random.Random) -> float:
+        return rng.lognormvariate(mu, sigma)
+    return model
+
+
+@dataclass
+class FailureInjector:
+    """Mutable failure state consulted on every delivery attempt.
+
+    ``transient_error_rate`` models the "frequent transient and
+    short-term failures" the paper says dominate production datacenters
+    (Voldemort §II.A, citing [FLP+10]).
+    """
+
+    crashed: set[str] = field(default_factory=set)
+    transient_error_rate: float = 0.0
+    _partition_groups: list[frozenset[str]] = field(default_factory=list)
+
+    def crash(self, node: str) -> None:
+        self.crashed.add(node)
+
+    def recover(self, node: str) -> None:
+        self.crashed.discard(node)
+
+    def partition(self, *groups: set[str]) -> None:
+        """Split the cluster: traffic only flows within a group."""
+        self._partition_groups = [frozenset(g) for g in groups]
+
+    def heal_partition(self) -> None:
+        self._partition_groups = []
+
+    def reachable(self, src: str, dst: str) -> bool:
+        if dst in self.crashed or src in self.crashed:
+            return False
+        if not self._partition_groups:
+            return True
+        for group in self._partition_groups:
+            if src in group and dst in group:
+                return True
+        # nodes absent from every group can reach each other
+        in_any_src = any(src in g for g in self._partition_groups)
+        in_any_dst = any(dst in g for g in self._partition_groups)
+        return not in_any_src and not in_any_dst
+
+
+class SimNetwork:
+    """Point-to-point messaging with latency sampling and fault injection."""
+
+    def __init__(self, clock: Clock | None = None, seed: int = 0,
+                 latency_model: LatencyModel | None = None,
+                 default_timeout: float = 0.5):
+        self.clock = clock if clock is not None else SimClock()
+        self.rng = random.Random(seed)
+        self.latency_model = latency_model or fixed_latency(0.0005)
+        self.default_timeout = default_timeout
+        self.failures = FailureInjector()
+        self.hops_delivered = 0
+        self.hops_failed = 0
+        self.bytes_sent = 0
+
+    # -- synchronous request/response -----------------------------------
+
+    def invoke(self, src: str, dst: str, func: Callable, *args,
+               timeout: float | None = None, payload_bytes: int = 0, **kwargs):
+        """Simulate a round trip: returns ``(result, simulated_latency)``.
+
+        Raises :class:`TransientNetworkError` on an injected transient
+        fault, :class:`NodeUnavailableError` when ``dst`` is crashed or
+        partitioned away, and :class:`RequestTimeoutError` when the
+        sampled round-trip latency exceeds the timeout.  On failure, the
+        time burned (up to the timeout) is still reported via the
+        exception's ``simulated_latency`` attribute, so callers can
+        account for it.
+        """
+        timeout = self.default_timeout if timeout is None else timeout
+        if not self.failures.reachable(src, dst):
+            self.hops_failed += 1
+            exc = NodeUnavailableError(f"{dst} unreachable from {src}")
+            exc.simulated_latency = timeout
+            raise exc
+        if self.failures.transient_error_rate > 0 and \
+                self.rng.random() < self.failures.transient_error_rate:
+            self.hops_failed += 1
+            exc = TransientNetworkError(f"transient failure calling {dst}")
+            exc.simulated_latency = self.latency_model(self.rng)
+            raise exc
+        latency = self.latency_model(self.rng) * 2  # request + response hops
+        if latency > timeout:
+            self.hops_failed += 1
+            exc = RequestTimeoutError(f"call to {dst} exceeded {timeout}s")
+            exc.simulated_latency = timeout
+            raise exc
+        result = func(*args, **kwargs)
+        self.hops_delivered += 1
+        self.bytes_sent += payload_bytes
+        return result, latency
+
+    # -- asynchronous one-way delivery -----------------------------------
+
+    def send(self, src: str, dst: str, callback: Callable[[], None],
+             payload_bytes: int = 0) -> bool:
+        """Deliver a one-way message after a sampled delay.
+
+        Returns ``False`` (message dropped) when the destination is
+        unreachable at send time.  Requires a :class:`SimClock`.
+        """
+        if not isinstance(self.clock, SimClock):
+            raise TypeError("async send requires a SimClock")
+        if not self.failures.reachable(src, dst):
+            self.hops_failed += 1
+            return False
+        if self.failures.transient_error_rate > 0 and \
+                self.rng.random() < self.failures.transient_error_rate:
+            self.hops_failed += 1
+            return False
+        delay = self.latency_model(self.rng)
+        dst_name = dst
+
+        def deliver():
+            # re-check reachability at delivery time: the destination may
+            # have crashed while the message was in flight
+            if self.failures.reachable(dst_name, dst_name):
+                self.hops_delivered += 1
+                callback()
+            else:
+                self.hops_failed += 1
+
+        self.clock.call_later(delay, deliver)
+        self.bytes_sent += payload_bytes
+        return True

@@ -1,0 +1,18 @@
+"""The social graph service (paper §I.A, Figure I.1).
+
+"The social graph powers the social features on the site from a
+partitioned graph of LinkedIn members and their attribute data ...
+Example queries include showing paths between users, calculating
+minimum distances between users, counting or intersecting connection
+lists."  It stays fresh by subscribing to the Databus change feed, like
+the search and recommendation systems.
+"""
+
+from repro.socialgraph.graph import PartitionedSocialGraph
+from repro.socialgraph.service import CONNECTION_TABLE, SocialGraphService
+
+__all__ = [
+    "PartitionedSocialGraph",
+    "SocialGraphService",
+    "CONNECTION_TABLE",
+]

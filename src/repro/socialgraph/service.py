@@ -1,0 +1,83 @@
+"""The graph service as a Databus subscriber.
+
+"the social graph, search, and recommendation systems subscribe to the
+feed of profile changes" (§I.A).  Here the source of truth is a
+``connection`` table in the primary store; every accepted or removed
+connection flows through Databus into the in-memory partitioned graph,
+keeping graph queries off the primary database entirely.
+"""
+
+from __future__ import annotations
+
+from repro.common.serialization import decode_record
+from repro.databus.client import DatabusClient, DatabusConsumer
+from repro.databus.relay import Relay
+from repro.socialgraph.graph import PartitionedSocialGraph
+from repro.sqlstore.binlog import ChangeKind
+from repro.sqlstore.table import Column, TableSchema
+
+CONNECTION_TABLE = TableSchema(
+    "connection",
+    (Column("low_member", int), Column("high_member", int),
+     Column("accepted_at", int)),
+    primary_key=("low_member", "high_member"),
+)
+
+
+def connection_row(a: int, b: int, accepted_at: int = 0) -> dict:
+    """Canonical row for an undirected edge (low id first)."""
+    low, high = sorted((a, b))
+    return {"low_member": low, "high_member": high,
+            "accepted_at": accepted_at}
+
+
+class SocialGraphService(DatabusConsumer):
+    """Maintains the graph from connection-table CDC events."""
+
+    def __init__(self, relay: Relay, num_partitions: int = 16,
+                 checkpoint: int = 0):
+        self.relay = relay
+        self.graph = PartitionedSocialGraph(num_partitions)
+        self.client = DatabusClient(self, relay, checkpoint=checkpoint)
+        self.events_applied = 0
+
+    # -- Databus consumer callbacks -------------------------------------------
+
+    def on_data_event(self, event) -> None:
+        if event.source != CONNECTION_TABLE.name:
+            return
+        schema = self.relay.schemas.get(event.source, event.schema_version)
+        row = decode_record(schema, event.payload)
+        a, b = row["low_member"], row["high_member"]
+        if event.kind is ChangeKind.DELETE:
+            self.graph.disconnect(a, b)
+        else:
+            self.graph.connect(a, b)
+        self.events_applied += 1
+
+    # -- operation ----------------------------------------------------------------
+
+    def catch_up(self) -> int:
+        """Drain the relay; returns events applied this call."""
+        before = self.events_applied
+        self.client.run_to_head()
+        return self.events_applied - before
+
+    @property
+    def checkpoint(self) -> int:
+        return self.client.checkpoint
+
+    # -- the site-facing query API (§I.A examples) -----------------------------------
+
+    def degree_badge(self, viewer: int, profile: int) -> str:
+        """The 1st/2nd/3rd-degree marker shown on every profile."""
+        distance = self.graph.distance(viewer, profile, max_degrees=3)
+        if distance is None:
+            return "out-of-network"
+        return {0: "self", 1: "1st", 2: "2nd", 3: "3rd"}[distance]
+
+    def mutual_connections(self, viewer: int, profile: int) -> list[int]:
+        return sorted(self.graph.shared_connections(viewer, profile))
+
+    def path_between(self, viewer: int, profile: int) -> list[int] | None:
+        return self.graph.shortest_path(viewer, profile)

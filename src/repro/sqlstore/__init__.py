@@ -1,0 +1,36 @@
+"""MySQL-style local store: tables, transactions, binlog, semi-sync.
+
+Espresso "stores documents in MySQL as the local data store" and
+captures every change, tagged with its transaction sequence number, in
+"a single MySQL binlog to preserve sequential I/O pattern" (§IV.B).
+Databus consumes "the database replication log" as one of its capture
+approaches (§III.C).  This package supplies that substrate:
+
+* :class:`Table` / :class:`TableSchema` — rows with composite primary
+  keys, NOT NULL enforcement, ordered scans;
+* :class:`SqlDatabase` — multi-statement transactions committing
+  atomically, each commit assigned a monotonic SCN and appended to a
+  single per-database :class:`Binlog`;
+* semi-synchronous replication — commit blocks until the registered
+  replication listener (the Databus relay, in Espresso's deployment)
+  acknowledges the transaction, so "each change is written to two
+  places before being committed".
+"""
+
+from repro.sqlstore.table import Column, Row, Table, TableSchema
+from repro.sqlstore.binlog import Binlog, BinlogTransaction, ChangeEvent, ChangeKind
+from repro.sqlstore.database import SemiSyncTimeoutError, SqlDatabase, Transaction
+
+__all__ = [
+    "Column",
+    "Row",
+    "Table",
+    "TableSchema",
+    "Binlog",
+    "BinlogTransaction",
+    "ChangeEvent",
+    "ChangeKind",
+    "SemiSyncTimeoutError",
+    "SqlDatabase",
+    "Transaction",
+]

@@ -1,0 +1,110 @@
+"""The binlog: commit-ordered change capture.
+
+Every committed transaction appends one :class:`BinlogTransaction`
+holding the full row images of its changes, stamped with the commit
+SCN.  Databus relays tail this log ("consuming from the database
+replication log", §III.C); Espresso ships it to the relay via
+MySQL-replication-style readers (§IV.B).
+
+The binlog is the *source of truth for ordering*: SCNs are dense
+(consecutive integers) and assigned in commit order, which is what
+gives Databus its timeline consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Iterator
+
+
+class ChangeKind(Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One row change within a transaction.
+
+    ``row`` is the post-image for inserts/updates and the pre-image for
+    deletes — consumers need the key either way, and downstream caches
+    want the deleted row's identity.
+    """
+
+    table: str
+    kind: ChangeKind
+    key: tuple
+    row: dict
+
+
+@dataclass(frozen=True)
+class BinlogTransaction:
+    """An atomic group of changes committed at one SCN."""
+
+    scn: int
+    changes: tuple[ChangeEvent, ...]
+    timestamp: float = 0.0
+
+    def tables_touched(self) -> set[str]:
+        return {c.table for c in self.changes}
+
+
+class Binlog:
+    """Append-only, SCN-indexed transaction log with tailing support."""
+
+    def __init__(self):
+        self._transactions: list[BinlogTransaction] = []
+        self._listeners: list[Callable[[BinlogTransaction], None]] = []
+        self._base_scn = 0  # > 0 on replicas restored from a snapshot
+
+    def append(self, txn: BinlogTransaction) -> None:
+        expected = self.last_scn + 1
+        if txn.scn != expected:
+            raise ValueError(f"binlog SCN gap: expected {expected}, got {txn.scn}")
+        self._transactions.append(txn)
+        for listener in self._listeners:
+            listener(txn)
+
+    @property
+    def last_scn(self) -> int:
+        """SCN of the newest transaction; the restore baseline when empty."""
+        return (self._transactions[-1].scn if self._transactions
+                else self._base_scn)
+
+    def reset_to(self, scn: int) -> None:
+        """Fast-forward an *empty* binlog to a snapshot's SCN.
+
+        A replica restored from a snapshot at SCN ``scn`` never held the
+        earlier transactions; its log continues from ``scn + 1``.
+        """
+        if self._transactions:
+            raise ValueError("cannot reset a non-empty binlog")
+        if scn < 0:
+            raise ValueError("baseline SCN cannot be negative")
+        self._base_scn = scn
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def read_from(self, after_scn: int) -> Iterator[BinlogTransaction]:
+        """All retained transactions with SCN strictly greater than
+        ``after_scn``.  SCNs are dense, so the slice is a direct index
+        (offset by the restore baseline).
+        """
+        start = max(0, min(after_scn - self._base_scn,
+                           len(self._transactions)))
+        for txn in self._transactions[start:]:
+            yield txn
+
+    def subscribe(self, listener: Callable[[BinlogTransaction], None]) -> None:
+        """Push-mode tailing: ``listener`` fires on every future commit.
+
+        This models MySQL replication shipping the binlog to the
+        Databus relay as commits happen.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[BinlogTransaction], None]) -> None:
+        self._listeners.remove(listener)

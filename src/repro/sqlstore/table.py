@@ -1,0 +1,155 @@
+"""Tables with composite primary keys and ordered scans.
+
+The layout mirrors Table IV.1 of the paper: an Espresso Song table is a
+MySQL table whose primary key is (artist, album, song) with payload
+columns (timestamp, etag, val blob, schema_version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import ConfigurationError, KeyNotFoundError
+
+Row = dict
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name, a python type tag, nullability."""
+
+    name: str
+    type: type = bytes
+    nullable: bool = False
+
+    def validate(self, value: object) -> None:
+        if value is None:
+            if not self.nullable:
+                raise ValueError(f"column {self.name!r} is NOT NULL")
+            return
+        if self.type is float and isinstance(value, int):
+            return  # ints are acceptable floats
+        if not isinstance(value, self.type):
+            raise ValueError(
+                f"column {self.name!r} expects {self.type.__name__}, "
+                f"got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Column definitions plus the ordered primary-key column list."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...]
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"table {self.name}: duplicate columns")
+        for pk in self.primary_key:
+            if pk not in names:
+                raise ConfigurationError(
+                    f"table {self.name}: primary key column {pk!r} undeclared")
+        if not self.primary_key:
+            raise ConfigurationError(f"table {self.name}: primary key required")
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise ConfigurationError(f"table {self.name}: no column {name!r}")
+
+    def key_of(self, row: Row) -> tuple:
+        try:
+            return tuple(row[k] for k in self.primary_key)
+        except KeyError as exc:
+            raise ValueError(f"row missing primary key column {exc}") from exc
+
+    def validate_row(self, row: Row) -> None:
+        declared = {c.name for c in self.columns}
+        unknown = set(row) - declared
+        if unknown:
+            raise ValueError(f"table {self.name}: unknown columns {sorted(unknown)}")
+        for col in self.columns:
+            col.validate(row.get(col.name))
+
+
+class Table:
+    """Row storage keyed by primary key, kept in key-sorted order.
+
+    Rows are plain dicts; the table stores copies so callers cannot
+    mutate storage behind its back.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: dict[tuple, Row] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def get(self, key: tuple) -> Row:
+        try:
+            return dict(self._rows[key])
+        except KeyError:
+            raise KeyNotFoundError(
+                f"{self.schema.name}: no row with key {key!r}") from None
+
+    def contains(self, key: tuple) -> bool:
+        return key in self._rows
+
+    def insert(self, row: Row) -> tuple:
+        self.schema.validate_row(row)
+        key = self.schema.key_of(row)
+        if key in self._rows:
+            raise ValueError(f"{self.schema.name}: duplicate key {key!r}")
+        self._rows[key] = dict(row)
+        return key
+
+    def update(self, row: Row) -> tuple:
+        """Full-row replacement by primary key."""
+        self.schema.validate_row(row)
+        key = self.schema.key_of(row)
+        if key not in self._rows:
+            raise KeyNotFoundError(f"{self.schema.name}: no row {key!r}")
+        self._rows[key] = dict(row)
+        return key
+
+    def upsert(self, row: Row) -> tuple[tuple, bool]:
+        """Insert-or-replace; returns (key, was_insert)."""
+        self.schema.validate_row(row)
+        key = self.schema.key_of(row)
+        was_insert = key not in self._rows
+        self._rows[key] = dict(row)
+        return key, was_insert
+
+    def delete(self, key: tuple) -> Row:
+        try:
+            return self._rows.pop(key)
+        except KeyError:
+            raise KeyNotFoundError(f"{self.schema.name}: no row {key!r}") from None
+
+    def scan(self, key_prefix: tuple = ()) -> Iterator[Row]:
+        """Rows in primary-key order, optionally filtered by key prefix.
+
+        Prefix scans serve Espresso collection resources: all songs of
+        one artist share the leading key component.
+        """
+        for key in sorted(self._rows):
+            if key[:len(key_prefix)] == key_prefix:
+                yield dict(self._rows[key])
+
+    def keys(self) -> list[tuple]:
+        return sorted(self._rows)
+
+    def snapshot(self) -> list[Row]:
+        """A consistent full copy (bootstrap/backup source)."""
+        return [dict(self._rows[k]) for k in sorted(self._rows)]
+
+    def restore(self, rows: list[Row]) -> None:
+        """Replace contents wholesale (bootstrap target)."""
+        self._rows.clear()
+        for row in rows:
+            self.insert(row)

@@ -1,0 +1,128 @@
+"""Cluster and store configuration.
+
+A Voldemort *cluster* is a set of nodes and a partition ring; *stores*
+(database tables) map onto a cluster, each with its own replication
+factor N, required reads R, required writes W, and engine type (§II.B).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.common.clock import Clock, SimClock
+from repro.common.errors import ConfigurationError
+from repro.common.ring import HashRing, build_balanced_ring
+from repro.simnet import SimNetwork
+from repro.voldemort.engines import (
+    InMemoryStorageEngine,
+    LogStructuredEngine,
+    ReadOnlyStorageEngine,
+    StorageEngine,
+)
+
+
+@dataclass(frozen=True)
+class StoreDefinition:
+    """Per-store configuration: schema of the quorum and the engine."""
+
+    name: str
+    replication_factor: int = 3
+    required_reads: int = 2
+    required_writes: int = 2
+    engine_type: str = "memory"  # "memory" | "log-structured" | "read-only"
+    required_zones: int = 0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("store needs a name")
+        if self.replication_factor < 1:
+            raise ConfigurationError("replication_factor must be >= 1")
+        if not 1 <= self.required_reads <= self.replication_factor:
+            raise ConfigurationError("require 1 <= R <= N")
+        if not 1 <= self.required_writes <= self.replication_factor:
+            raise ConfigurationError("require 1 <= W <= N")
+        if self.required_zones < 0:
+            raise ConfigurationError("required_zones must be >= 0")
+
+    @property
+    def strongly_consistent(self) -> bool:
+        """R + W > N guarantees read-your-writes across the quorum."""
+        return self.required_reads + self.required_writes > self.replication_factor
+
+
+class VoldemortCluster:
+    """Nodes + ring + store definitions + the shared simulated network.
+
+    The cluster object is the wiring harness: it builds one
+    :class:`repro.voldemort.server.VoldemortServer` per ring node and
+    creates the configured engine for every store on every node.
+    """
+
+    def __init__(self, num_nodes: int = 3, partitions_per_node: int = 8,
+                 num_zones: int = 1, clock: Clock | None = None,
+                 network: SimNetwork | None = None,
+                 data_root: str | None = None, seed: int = 0):
+        from repro.voldemort.server import VoldemortServer
+        self.clock = clock if clock is not None else SimClock()
+        self.network = network or SimNetwork(clock=self.clock, seed=seed)
+        self.ring: HashRing = build_balanced_ring(
+            num_nodes, num_nodes * partitions_per_node, num_zones)
+        self.stores: dict[str, StoreDefinition] = {}
+        self.data_root = data_root
+        self.servers: dict[int, VoldemortServer] = {
+            node_id: VoldemortServer(node_id, self)
+            for node_id in self.ring.nodes
+        }
+
+    # -- store management (the Admin Service creates/drops via these) --------
+
+    def define_store(self, definition: StoreDefinition) -> None:
+        if definition.name in self.stores:
+            raise ConfigurationError(f"store {definition.name!r} already defined")
+        if definition.replication_factor > len(self.ring.nodes):
+            raise ConfigurationError("replication factor exceeds cluster size")
+        self.stores[definition.name] = definition
+        for server in self.servers.values():
+            server.open_store(definition)
+
+    def drop_store(self, name: str) -> None:
+        if name not in self.stores:
+            raise ConfigurationError(f"no store {name!r}")
+        del self.stores[name]
+        for server in self.servers.values():
+            server.close_store(name)
+
+    def store_definition(self, name: str) -> StoreDefinition:
+        try:
+            return self.stores[name]
+        except KeyError:
+            raise ConfigurationError(f"no store {name!r}") from None
+
+    # -- helpers ---------------------------------------------------------------
+
+    def node_name(self, node_id: int) -> str:
+        return f"node-{node_id}"
+
+    def server_for(self, node_id: int):
+        return self.servers[node_id]
+
+    def make_engine(self, definition: StoreDefinition,
+                    node_id: int) -> StorageEngine:
+        if definition.engine_type == "memory":
+            return InMemoryStorageEngine()
+        if definition.engine_type in ("log-structured", "read-only"):
+            if self.data_root is None:
+                raise ConfigurationError(
+                    f"store {definition.name!r} needs on-disk storage; "
+                    "construct the cluster with data_root=...")
+            directory = os.path.join(self.data_root, f"node-{node_id}",
+                                     definition.name)
+            if definition.engine_type == "log-structured":
+                return LogStructuredEngine(directory)
+            return ReadOnlyStorageEngine(directory)
+        raise ConfigurationError(f"unknown engine type {definition.engine_type!r}")
+
+    def close(self) -> None:
+        for server in self.servers.values():
+            server.close()

@@ -1,0 +1,31 @@
+"""Pluggable storage engines.
+
+"Every module in the architecture implements the same code interface
+thereby making it easy to (a) interchange modules ... and (b) test code
+easily by mocking modules" (§II.B).  :class:`StorageEngine` is that
+interface; three implementations ship:
+
+* :class:`InMemoryStorageEngine` — dict-backed, for tests and caches;
+* :class:`LogStructuredEngine` — the BDB-JE stand-in for read-write
+  traffic: an append-only on-disk log with an in-memory key index,
+  CRC-checked records, and compaction;
+* :class:`ReadOnlyStorageEngine` — the custom bulk-load engine: MD5-
+  sorted index + data files in versioned directories, binary search,
+  instant swap and rollback.
+"""
+
+from repro.voldemort.engines.base import StorageEngine
+from repro.voldemort.engines.memory import InMemoryStorageEngine
+from repro.voldemort.engines.logstructured import LogStructuredEngine
+from repro.voldemort.engines.readonly import (
+    ReadOnlyStorageEngine,
+    build_store_files,
+)
+
+__all__ = [
+    "StorageEngine",
+    "InMemoryStorageEngine",
+    "LogStructuredEngine",
+    "ReadOnlyStorageEngine",
+    "build_store_files",
+]

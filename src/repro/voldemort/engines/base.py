@@ -1,0 +1,66 @@
+"""The storage-engine interface every engine implements."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import ObsoleteVersionError
+from repro.common.vectorclock import Occurred
+from repro.voldemort.versioned import Versioned
+
+
+class StorageEngine:
+    """Key -> list-of-concurrent-versions storage.
+
+    The multi-version contract (shared by all engines):
+
+    * ``get`` returns every version not dominated by another — the
+      concurrent frontier;
+    * ``put`` fails with :class:`ObsoleteVersionError` when an existing
+      version dominates or equals the written clock (the optimistic-
+      locking signal of §II.B);
+    * a successful ``put`` removes versions the new one dominates and
+      keeps genuinely concurrent siblings.
+    """
+
+    name = "abstract"
+    writable = True
+
+    def get(self, key: bytes) -> list[Versioned]:
+        raise NotImplementedError
+
+    def put(self, key: bytes, versioned: Versioned) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: bytes, versioned: Versioned) -> None:
+        """Write a tombstone version (deletes are writes with None)."""
+        self.put(key, Versioned(None, versioned.clock))
+
+    def keys(self) -> Iterator[bytes]:
+        raise NotImplementedError
+
+    def entries(self) -> Iterator[tuple[bytes, Versioned]]:
+        for key in self.keys():
+            for versioned in self.get(key):
+                yield key, versioned
+
+    def close(self) -> None:
+        """Release resources; default is a no-op."""
+
+    # -- shared version-merge logic ------------------------------------------
+
+    @staticmethod
+    def merge_version(existing: list[Versioned],
+                      incoming: Versioned) -> list[Versioned]:
+        """Apply the multi-version write contract; returns the new list."""
+        survivors: list[Versioned] = []
+        for versioned in existing:
+            relation = incoming.clock.compare(versioned.clock)
+            if relation in (Occurred.BEFORE, Occurred.EQUAL):
+                raise ObsoleteVersionError(
+                    "a stored version dominates or equals the write")
+            if relation is Occurred.CONCURRENT:
+                survivors.append(versioned)
+            # AFTER: incoming supersedes it; drop
+        survivors.append(incoming)
+        return survivors

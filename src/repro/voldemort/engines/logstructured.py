@@ -1,0 +1,238 @@
+"""Log-structured on-disk engine — the BerkeleyDB JE stand-in.
+
+The paper uses BDB-JE (itself a log-structured B-tree) for read-write
+traffic (§II.B).  We reproduce the properties that matter to Voldemort:
+durable writes via an append-only log, fast point reads via an
+in-memory key index, crash recovery by log replay, CRC detection of
+torn writes, and compaction that drops superseded versions.
+
+On-disk record format (little-endian):
+
+    [crc32 : 4B][body_len : 4B][body]
+    body = [key_len : 4B][key]
+           [clock_count : 2B][(node_id : 8B, counter : 8B) * count]
+           [flags : 1B]                # bit 0: tombstone
+           [value_len : 4B][value]
+
+The in-memory index maps key -> list of (clock, offset, length,
+tombstone) so the multi-version merge never touches disk; only value
+reads do.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterator
+
+from repro.common.errors import ChecksumError, KeyNotFoundError
+from repro.common.vectorclock import VectorClock
+from repro.voldemort.engines.base import StorageEngine
+from repro.voldemort.versioned import Versioned
+
+_HEADER = struct.Struct("<II")
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_CLOCK_ENTRY = struct.Struct("<QQ")
+_FLAG_TOMBSTONE = 0x01
+
+
+def _encode_clock(clock: VectorClock) -> bytes:
+    entries = clock.entries
+    out = bytearray(_U16.pack(len(entries)))
+    for node, counter in sorted(entries.items()):
+        out.extend(_CLOCK_ENTRY.pack(node, counter))
+    return bytes(out)
+
+
+def _decode_clock(data: bytes, offset: int) -> tuple[VectorClock, int]:
+    (count,) = _U16.unpack_from(data, offset)
+    offset += _U16.size
+    entries = {}
+    for _ in range(count):
+        node, counter = _CLOCK_ENTRY.unpack_from(data, offset)
+        offset += _CLOCK_ENTRY.size
+        entries[node] = counter
+    return VectorClock(entries), offset
+
+
+def _encode_record(key: bytes, versioned: Versioned) -> bytes:
+    value = versioned.value if versioned.value is not None else b""
+    flags = _FLAG_TOMBSTONE if versioned.is_tombstone else 0
+    body = bytearray()
+    body.extend(_U32.pack(len(key)))
+    body.extend(key)
+    body.extend(_encode_clock(versioned.clock))
+    body.append(flags)
+    body.extend(_U32.pack(len(value)))
+    body.extend(value)
+    return _HEADER.pack(zlib.crc32(bytes(body)), len(body)) + bytes(body)
+
+
+def _decode_body(body: bytes) -> tuple[bytes, Versioned]:
+    (key_len,) = _U32.unpack_from(body, 0)
+    offset = _U32.size
+    key = body[offset:offset + key_len]
+    offset += key_len
+    clock, offset = _decode_clock(body, offset)
+    flags = body[offset]
+    offset += 1
+    (value_len,) = _U32.unpack_from(body, offset)
+    offset += _U32.size
+    value = body[offset:offset + value_len]
+    if flags & _FLAG_TOMBSTONE:
+        return key, Versioned(None, clock)
+    return key, Versioned(bytes(value), clock)
+
+
+class _IndexEntry:
+    __slots__ = ("clock", "offset", "length", "tombstone")
+
+    def __init__(self, clock: VectorClock, offset: int, length: int,
+                 tombstone: bool):
+        self.clock = clock
+        self.offset = offset
+        self.length = length
+        self.tombstone = tombstone
+
+
+class LogStructuredEngine(StorageEngine):
+    """Append-only log + in-memory index, with recovery and compaction."""
+
+    name = "log-structured"
+    LOG_NAME = "data.log"
+
+    def __init__(self, directory: str, sync_every_write: bool = False):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._path = os.path.join(directory, self.LOG_NAME)
+        self._index: dict[bytes, list[_IndexEntry]] = {}
+        self._log = open(self._path, "ab+")
+        self._sync = sync_every_write
+        self.live_bytes = 0
+        self._recover()
+
+    # -- recovery ---------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild the index by replaying the log; truncate a torn tail."""
+        self._log.seek(0)
+        good_end = 0
+        while True:
+            header = self._log.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                break
+            crc, body_len = _HEADER.unpack(header)
+            body = self._log.read(body_len)
+            if len(body) < body_len or zlib.crc32(body) != crc:
+                break  # torn write at crash; discard the tail
+            key, versioned = _decode_body(body)
+            self._index_put(key, versioned, good_end, _HEADER.size + body_len)
+            good_end += _HEADER.size + body_len
+        self._log.truncate(good_end)
+        self._log.seek(0, os.SEEK_END)
+
+    def _index_put(self, key: bytes, versioned: Versioned, offset: int,
+                   length: int) -> None:
+        """Index update during recovery: apply merge rules, but a stale
+        replayed record is skipped rather than raising (the log already
+        accepted it once)."""
+        existing = self._index.get(key, [])
+        for entry in existing:
+            if entry.clock.descends_from(versioned.clock):
+                return  # record superseded later in the log
+        survivors = [e for e in existing
+                     if e.clock.concurrent_with(versioned.clock)]
+        survivors.append(_IndexEntry(versioned.clock, offset, length,
+                                     versioned.is_tombstone))
+        self._index[key] = survivors
+        self.live_bytes += length
+
+    # -- StorageEngine interface ------------------------------------------
+
+    def get(self, key: bytes) -> list[Versioned]:
+        entries = [e for e in self._index.get(key, []) if not e.tombstone]
+        if not entries:
+            raise KeyNotFoundError(repr(key))
+        out = []
+        for entry in entries:
+            out.append(Versioned(self._read_value(key, entry), entry.clock))
+        return out
+
+    def _read_value(self, key: bytes, entry: _IndexEntry) -> bytes:
+        self._log.seek(entry.offset)
+        raw = self._log.read(entry.length)
+        crc, body_len = _HEADER.unpack_from(raw, 0)
+        body = raw[_HEADER.size:_HEADER.size + body_len]
+        if zlib.crc32(body) != crc:
+            raise ChecksumError(f"corrupt record for key {key!r}")
+        stored_key, versioned = _decode_body(body)
+        if stored_key != key:
+            raise ChecksumError(f"index pointed {key!r} at record for {stored_key!r}")
+        return versioned.value or b""
+
+    def put(self, key: bytes, versioned: Versioned) -> None:
+        # enforce the version contract against the in-memory clocks first
+        existing_versions = [Versioned(None, e.clock)
+                             for e in self._index.get(key, [])]
+        self.merge_version(existing_versions, versioned)  # raises if obsolete
+        record = _encode_record(key, versioned)
+        self._log.seek(0, os.SEEK_END)
+        offset = self._log.tell()
+        self._log.write(record)
+        self._log.flush()
+        if self._sync:
+            os.fsync(self._log.fileno())
+        entry = _IndexEntry(versioned.clock, offset, len(record),
+                            versioned.is_tombstone)
+        survivors = [e for e in self._index.get(key, [])
+                     if e.clock.concurrent_with(versioned.clock)]
+        survivors.append(entry)
+        self._index[key] = survivors
+        self.live_bytes += len(record)
+
+    def keys(self) -> Iterator[bytes]:
+        for key, entries in self._index.items():
+            if any(not e.tombstone for e in entries):
+                yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # -- maintenance ---------------------------------------------------------
+
+    def log_size_bytes(self) -> int:
+        self._log.seek(0, os.SEEK_END)
+        return self._log.tell()
+
+    def compact(self) -> int:
+        """Rewrite only live versions; returns bytes reclaimed."""
+        before = self.log_size_bytes()
+        compact_path = self._path + ".compact"
+        new_index: dict[bytes, list[_IndexEntry]] = {}
+        with open(compact_path, "wb") as out:
+            offset = 0
+            for key, entries in self._index.items():
+                fresh: list[_IndexEntry] = []
+                for entry in entries:
+                    if entry.tombstone:
+                        continue  # compaction drops tombstones
+                    value = self._read_value(key, entry)
+                    record = _encode_record(key, Versioned(value, entry.clock))
+                    out.write(record)
+                    fresh.append(_IndexEntry(entry.clock, offset,
+                                             len(record), False))
+                    offset += len(record)
+                if fresh:
+                    new_index[key] = fresh
+        self._log.close()
+        os.replace(compact_path, self._path)
+        self._log = open(self._path, "ab+")
+        self._index = new_index
+        return before - self.log_size_bytes()
+
+    def close(self) -> None:
+        if not self._log.closed:
+            self._log.flush()
+            self._log.close()

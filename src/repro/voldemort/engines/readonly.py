@@ -1,0 +1,222 @@
+"""The custom read-only storage engine (§II.B "Storage Engine").
+
+Layout per the paper: each data deployment creates a new *versioned
+directory* under the store directory containing a compact **index
+file** — "a compact list of sorted MD5 of key and offset to data into
+the data file" — and a **data file**.  Lookups binary-search the index
+(which is memory-mapped, delegating caching to the OS page cache) and
+then read the record from the data file.  Keeping multiple complete
+versions on disk makes rollback instantaneous: swap back to the
+previous directory.
+
+File formats (little-endian):
+
+    index:  [md5(key) : 16B][data_offset : 8B]  * n, sorted by md5
+    data:   [key_len : 4B][key][value_len : 4B][value]  * n
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import struct
+from typing import Iterable, Iterator
+
+from repro.common.errors import ConfigurationError, KeyNotFoundError
+from repro.common.vectorclock import VectorClock
+from repro.voldemort.engines.base import StorageEngine
+from repro.voldemort.versioned import Versioned
+
+INDEX_ENTRY = struct.Struct("<16sQ")
+_U32 = struct.Struct("<I")
+
+INDEX_FILE = "0.index"
+DATA_FILE = "0.data"
+
+
+def build_store_files(pairs: Iterable[tuple[bytes, bytes]]) -> tuple[bytes, bytes]:
+    """Serialize (key, value) pairs into (index_bytes, data_bytes).
+
+    Entries are sorted by MD5 of key — the sort the paper offloads to
+    Hadoop's shuffle.  This helper is shared by the MapReduce build job
+    and by tests that construct store files directly.
+    """
+    hashed = sorted((hashlib.md5(key).digest(), key, value)
+                    for key, value in pairs)
+    index = bytearray()
+    data = bytearray()
+    seen: set[bytes] = set()
+    for digest, key, value in hashed:
+        if key in seen:
+            raise ConfigurationError(f"duplicate key in read-only build: {key!r}")
+        seen.add(key)
+        index.extend(INDEX_ENTRY.pack(digest, len(data)))
+        data.extend(_U32.pack(len(key)))
+        data.extend(key)
+        data.extend(_U32.pack(len(value)))
+        data.extend(value)
+    return bytes(index), bytes(data)
+
+
+def write_version_dir(store_dir: str, version: int, index: bytes,
+                      data: bytes) -> str:
+    """Materialize one versioned directory; returns its path."""
+    version_dir = os.path.join(store_dir, f"version-{version}")
+    os.makedirs(version_dir, exist_ok=True)
+    with open(os.path.join(version_dir, INDEX_FILE), "wb") as f:
+        f.write(index)
+    with open(os.path.join(version_dir, DATA_FILE), "wb") as f:
+        f.write(data)
+    return version_dir
+
+
+class ReadOnlyStorageEngine(StorageEngine):
+    """Binary-search reads over the currently-swapped version directory."""
+
+    name = "read-only"
+    writable = False
+
+    def __init__(self, store_dir: str):
+        self.store_dir = store_dir
+        os.makedirs(store_dir, exist_ok=True)
+        self._index_mmap: mmap.mmap | None = None
+        self._index_file = None
+        self._data_file = None
+        self.current_version: int | None = None
+        latest = self.versions_on_disk()
+        if latest:
+            self.swap(latest[-1])
+
+    # -- version management -------------------------------------------------
+
+    def versions_on_disk(self) -> list[int]:
+        versions = []
+        for name in os.listdir(self.store_dir):
+            if name.startswith("version-"):
+                try:
+                    versions.append(int(name.split("-", 1)[1]))
+                except ValueError:
+                    continue
+        return sorted(versions)
+
+    def _version_dir(self, version: int) -> str:
+        return os.path.join(self.store_dir, f"version-{version}")
+
+    def swap(self, version: int) -> None:
+        """Atomically switch serving to ``version``: close the current
+        index and memory-map the new one (§II.B swap phase)."""
+        version_dir = self._version_dir(version)
+        index_path = os.path.join(version_dir, INDEX_FILE)
+        data_path = os.path.join(version_dir, DATA_FILE)
+        if not (os.path.exists(index_path) and os.path.exists(data_path)):
+            raise ConfigurationError(f"incomplete version directory {version_dir}")
+        self._close_files()
+        self._index_file = open(index_path, "rb")
+        index_size = os.path.getsize(index_path)
+        if index_size:
+            self._index_mmap = mmap.mmap(self._index_file.fileno(), 0,
+                                         access=mmap.ACCESS_READ)
+        else:
+            self._index_mmap = None
+        self._data_file = open(data_path, "rb")
+        self.current_version = version
+
+    def rollback(self) -> int:
+        """Swap back to the newest version older than the current one."""
+        if self.current_version is None:
+            raise ConfigurationError("nothing is being served")
+        older = [v for v in self.versions_on_disk() if v < self.current_version]
+        if not older:
+            raise ConfigurationError("no older version to roll back to")
+        self.swap(older[-1])
+        return older[-1]
+
+    def delete_version(self, version: int) -> None:
+        if version == self.current_version:
+            raise ConfigurationError("cannot delete the serving version")
+        version_dir = self._version_dir(version)
+        for name in (INDEX_FILE, DATA_FILE):
+            path = os.path.join(version_dir, name)
+            if os.path.exists(path):
+                os.remove(path)
+        os.rmdir(version_dir)
+
+    def _close_files(self) -> None:
+        if self._index_mmap is not None:
+            self._index_mmap.close()
+            self._index_mmap = None
+        for handle in (self._index_file, self._data_file):
+            if handle is not None and not handle.closed:
+                handle.close()
+        self._index_file = None
+        self._data_file = None
+
+    def close(self) -> None:
+        self._close_files()
+
+    # -- reads ------------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        if self._index_mmap is None:
+            return 0
+        return len(self._index_mmap) // INDEX_ENTRY.size
+
+    def get(self, key: bytes) -> list[Versioned]:
+        if self.current_version is None:
+            raise KeyNotFoundError("no version swapped in")
+        digest = hashlib.md5(key).digest()
+        position = self._search(digest)
+        if position is None:
+            raise KeyNotFoundError(repr(key))
+        # scan forward over equal digests (md5 collisions are verified
+        # against the stored key)
+        count = self.entry_count
+        while position < count:
+            entry_digest, offset = INDEX_ENTRY.unpack_from(
+                self._index_mmap, position * INDEX_ENTRY.size)
+            if entry_digest != digest:
+                break
+            stored_key, value = self._read_record(offset)
+            if stored_key == key:
+                return [Versioned(value, VectorClock({0: 1}))]
+            position += 1
+        raise KeyNotFoundError(repr(key))
+
+    def _search(self, digest: bytes) -> int | None:
+        """Index of the first entry with md5 >= digest, if it matches."""
+        if self._index_mmap is None:
+            return None
+        lo, hi = 0, self.entry_count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            entry_digest = self._index_mmap[mid * INDEX_ENTRY.size:
+                                            mid * INDEX_ENTRY.size + 16]
+            if entry_digest < digest:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= self.entry_count:
+            return None
+        first = self._index_mmap[lo * INDEX_ENTRY.size:
+                                 lo * INDEX_ENTRY.size + 16]
+        return lo if first == digest else None
+
+    def _read_record(self, offset: int) -> tuple[bytes, bytes]:
+        self._data_file.seek(offset)
+        (key_len,) = _U32.unpack(self._data_file.read(4))
+        key = self._data_file.read(key_len)
+        (value_len,) = _U32.unpack(self._data_file.read(4))
+        value = self._data_file.read(value_len)
+        return key, value
+
+    def keys(self) -> Iterator[bytes]:
+        for position in range(self.entry_count):
+            _, offset = INDEX_ENTRY.unpack_from(self._index_mmap,
+                                                position * INDEX_ENTRY.size)
+            key, _ = self._read_record(offset)
+            yield key
+
+    def put(self, key: bytes, versioned: Versioned) -> None:
+        raise ConfigurationError("read-only store: use the build/pull/swap cycle")

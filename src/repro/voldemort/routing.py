@@ -1,0 +1,356 @@
+"""Quorum routing with repair mechanisms (§II.B "Routing").
+
+:class:`RoutedStore` implements Dynamo-style coordination:
+
+* the replica set for a key is found by jumping the ring (zone-aware
+  when the store requires it);
+* reads fan out to available replicas and succeed once R respond; the
+  version frontier is computed with vector clocks, and *read repair*
+  pushes the frontier back to stale replicas;
+* writes fan out and succeed once W respond; when a replica is down,
+  *hinted handoff* parks the write on another live node, which replays
+  it after recovery;
+* every outcome feeds the failure detector, so routing avoids nodes
+  that are currently unavailable.
+
+The request model is parallel fan-out: per-replica latencies are
+sampled independently and the operation's simulated latency is the
+k-th smallest among the successful responses (k = R or W), matching
+how a parallel quorum behaves.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import (
+    InsufficientOperationalNodesError,
+    KeyNotFoundError,
+    NodeUnavailableError,
+    ObsoleteVersionError,
+)
+from repro.common.metrics import MetricsRegistry
+from repro.common.vectorclock import Occurred
+from repro.voldemort.cluster import StoreDefinition, VoldemortCluster
+from repro.voldemort.failure_detector import FailureDetector
+from repro.voldemort.server import Hint
+from repro.voldemort.versioned import Versioned
+
+
+class RoutedStore:
+    """Client-side (or server-side — the module is pluggable) router
+    for one store."""
+
+    def __init__(self, cluster: VoldemortCluster, store: str,
+                 client_name: str = "client",
+                 failure_detector: FailureDetector | None = None,
+                 enable_read_repair: bool = True,
+                 enable_hinted_handoff: bool = True,
+                 client_zone: int | None = None):
+        self.cluster = cluster
+        self.store = store
+        self.definition: StoreDefinition = cluster.store_definition(store)
+        self.client_name = client_name
+        self.detector = failure_detector or FailureDetector(
+            cluster.clock, ping=self._ping_node)
+        self.enable_read_repair = enable_read_repair
+        self.enable_hinted_handoff = enable_hinted_handoff
+        # multi-datacenter read locality: with a client zone declared,
+        # reads prefer replicas in nearby zones (the zone "proximity
+        # list" of §II.B)
+        self.client_zone = client_zone
+        # the admin service's redirect table: while a partition is
+        # migrating, "requests of moving partitions [redirect] to their
+        # new destination" (§II.B Admin Service)
+        self.admin = None
+        self.metrics = MetricsRegistry()
+
+    # -- replica selection ------------------------------------------------------
+
+    def replica_nodes(self, key: bytes) -> list[int]:
+        """Replica node ids for ``key``, preference order.
+
+        Consults the admin service's redirect table when one is
+        attached, so requests for a partition that is mid-migration
+        land on its new destination immediately.
+        """
+        ring = self.cluster.ring
+        partition = ring.partition_for_key(key)
+        if self.definition.required_zones > 0:
+            partitions = ring.zone_aware_replica_partitions(
+                partition, self.definition.replication_factor,
+                self.definition.required_zones)
+        else:
+            partitions = ring.replica_partitions(
+                partition, self.definition.replication_factor)
+        if self.admin is None:
+            return [ring.node_for_partition(p).node_id for p in partitions]
+        out = []
+        for p in partitions:
+            owner = self.admin.effective_owner(p)
+            if owner not in out:
+                out.append(owner)
+        return out
+
+    def _ping_node(self, node_id: int) -> bool:
+        server = self.cluster.server_for(node_id)
+        try:
+            self.cluster.network.invoke(
+                self.client_name, self.cluster.node_name(node_id), server.ping)
+            return True
+        except NodeUnavailableError:
+            return False
+
+    # -- reads ---------------------------------------------------------------------
+
+    def get(self, key: bytes, transform: tuple | None = None
+            ) -> tuple[list[Versioned], float]:
+        """Quorum read; returns (version frontier, simulated latency).
+
+        Raises :class:`KeyNotFoundError` when a quorum of replicas agree
+        the key is absent, and
+        :class:`InsufficientOperationalNodesError` when fewer than R
+        replicas respond at all.
+        """
+        replicas = self.replica_nodes(key)
+        required = self.definition.required_reads
+        responses: dict[int, list[Versioned]] = {}
+        latencies: list[float] = []
+        missing_nodes: list[int] = []
+        for node_id in self._ordered_by_availability(replicas):
+            if len(responses) + len(missing_nodes) >= required:
+                break
+            result = self._call_get(node_id, key, transform)
+            if result is None:
+                continue
+            latency, versions = result
+            latencies.append(latency)
+            if versions is None:
+                missing_nodes.append(node_id)
+            else:
+                responses[node_id] = versions
+        answered = len(responses) + len(missing_nodes)
+        if answered < required:
+            self.metrics.counter("get.unavailable").increment()
+            raise InsufficientOperationalNodesError(
+                f"only {answered} of {required} required reads succeeded",
+                required=required, achieved=answered)
+        operation_latency = sorted(latencies)[required - 1] if latencies else 0.0
+        self.metrics.histogram("get").record(operation_latency)
+        if not responses:
+            raise KeyNotFoundError(repr(key))
+        frontier = self._resolve_frontier(responses)
+        if self.enable_read_repair and transform is None:
+            self._read_repair(key, frontier, responses, missing_nodes)
+        return frontier, operation_latency
+
+    def _call_get(self, node_id: int, key: bytes, transform: tuple | None
+                  ) -> tuple[float, list[Versioned] | None] | None:
+        """One replica read.  Returns None on node failure, (latency,
+        None) when the node answered 'no such key'."""
+        server = self.cluster.server_for(node_id)
+        try:
+            versions, latency = self.cluster.network.invoke(
+                self.client_name, self.cluster.node_name(node_id),
+                server.get, self.store, key, transform)
+            self.detector.record_success(node_id)
+            return latency, versions
+        except KeyNotFoundError:
+            self.detector.record_success(node_id)
+            return 0.0005, None
+        except NodeUnavailableError:
+            self.detector.record_failure(node_id)
+            self.metrics.counter("get.node_failures").increment()
+            return None
+
+    @staticmethod
+    def _resolve_frontier(responses: dict[int, list[Versioned]]
+                          ) -> list[Versioned]:
+        merged: list[Versioned] = []
+        for versions in responses.values():
+            for incoming in versions:
+                dominated = False
+                merged = [kept for kept in merged
+                          if not _supersedes(incoming, kept)]
+                for kept in merged:
+                    if _supersedes(kept, incoming) or kept.clock == incoming.clock:
+                        dominated = True
+                        break
+                if not dominated:
+                    merged.append(incoming)
+        return merged
+
+    def _read_repair(self, key: bytes, frontier: list[Versioned],
+                     responses: dict[int, list[Versioned]],
+                     missing_nodes: list[int]) -> None:
+        """Push frontier versions to replicas that lack them (§II.B)."""
+        stale: list[int] = list(missing_nodes)
+        for node_id, versions in responses.items():
+            clocks = {v.clock for v in versions}
+            if any(f.clock not in clocks for f in frontier):
+                stale.append(node_id)
+        for node_id in stale:
+            server = self.cluster.server_for(node_id)
+            for versioned in frontier:
+                try:
+                    self.cluster.network.invoke(
+                        self.client_name, self.cluster.node_name(node_id),
+                        server.engine(self.store).put, key, versioned)
+                    self.metrics.counter("read_repairs").increment()
+                except (ObsoleteVersionError, NodeUnavailableError):
+                    pass
+
+    def get_all(self, keys: list[bytes]
+                ) -> tuple[dict[bytes, list[Versioned]], float]:
+        """Batched quorum reads: one request per node, not per key.
+
+        Each key is assigned to its first R available replicas; each
+        node receives a single ``get_batch`` for all its assigned keys.
+        Returns (key -> version frontier, simulated latency); keys
+        absent everywhere are omitted.  Keys that cannot reach R
+        replicas raise, matching :meth:`get`.
+        """
+        required = self.definition.required_reads
+        per_node: dict[int, list[bytes]] = {}
+        assignments: dict[bytes, list[int]] = {}
+        for key in keys:
+            replicas = self._ordered_by_availability(self.replica_nodes(key))
+            chosen = replicas[:required]
+            assignments[key] = chosen
+            for node_id in chosen:
+                per_node.setdefault(node_id, []).append(key)
+        responses: dict[bytes, dict[int, list[Versioned]]] = {}
+        answered: dict[bytes, int] = {key: 0 for key in keys}
+        latencies: list[float] = []
+        for node_id, node_keys in per_node.items():
+            server = self.cluster.server_for(node_id)
+            try:
+                found, latency = self.cluster.network.invoke(
+                    self.client_name, self.cluster.node_name(node_id),
+                    server.get_batch, self.store, node_keys)
+                self.detector.record_success(node_id)
+                latencies.append(latency)
+            except NodeUnavailableError:
+                self.detector.record_failure(node_id)
+                continue
+            for key in node_keys:
+                answered[key] += 1
+                if key in found:
+                    responses.setdefault(key, {})[node_id] = found[key]
+        short = [key for key, count in answered.items() if count < required]
+        if short:
+            raise InsufficientOperationalNodesError(
+                f"{len(short)} keys reached fewer than {required} replicas",
+                required=required, achieved=min(answered[k] for k in short))
+        operation_latency = max(latencies) if latencies else 0.0
+        self.metrics.histogram("get_all").record(operation_latency)
+        return ({key: self._resolve_frontier(by_node)
+                 for key, by_node in responses.items()},
+                operation_latency)
+
+    # -- writes ---------------------------------------------------------------------
+
+    def put(self, key: bytes, versioned: Versioned,
+            transform: tuple | None = None) -> float:
+        """Quorum write; returns simulated latency.
+
+        Needs W replica acks.  Unreachable replicas trigger hinted
+        handoff (when enabled): the write is parked on a live non-
+        replica node and counts toward neither W nor failure.
+        """
+        return self._write(key, versioned, transform, is_delete=False)
+
+    def delete(self, key: bytes, versioned: Versioned) -> float:
+        """Tombstone write with the same quorum rules."""
+        return self._write(key, versioned, None, is_delete=True)
+
+    def _write(self, key: bytes, versioned: Versioned,
+               transform: tuple | None, is_delete: bool) -> float:
+        replicas = self.replica_nodes(key)
+        required = self.definition.required_writes
+        successes = 0
+        first_error: Exception | None = None
+        latencies: list[float] = []
+        failed_nodes: list[int] = []
+        for node_id in replicas:
+            if not self.detector.is_available(node_id):
+                failed_nodes.append(node_id)
+                continue
+            server = self.cluster.server_for(node_id)
+            try:
+                if is_delete:
+                    _, latency = self.cluster.network.invoke(
+                        self.client_name, self.cluster.node_name(node_id),
+                        server.delete, self.store, key, versioned)
+                else:
+                    _, latency = self.cluster.network.invoke(
+                        self.client_name, self.cluster.node_name(node_id),
+                        server.put, self.store, key, versioned, transform)
+                successes += 1
+                latencies.append(latency)
+                self.detector.record_success(node_id)
+            except ObsoleteVersionError as exc:
+                # optimistic-locking conflict: surface to the caller
+                self.detector.record_success(node_id)
+                first_error = exc
+            except NodeUnavailableError:
+                self.detector.record_failure(node_id)
+                failed_nodes.append(node_id)
+        if first_error is not None:
+            self.metrics.counter("put.conflicts").increment()
+            raise first_error
+        if failed_nodes and self.enable_hinted_handoff and not is_delete:
+            self._hand_off(key, versioned, replicas, failed_nodes)
+        if successes < required:
+            self.metrics.counter("put.unavailable").increment()
+            raise InsufficientOperationalNodesError(
+                f"only {successes} of {required} required writes succeeded",
+                required=required, achieved=successes)
+        operation_latency = sorted(latencies)[required - 1]
+        self.metrics.histogram("put").record(operation_latency)
+        return operation_latency
+
+    def _hand_off(self, key: bytes, versioned: Versioned,
+                  replicas: list[int], failed_nodes: list[int]) -> None:
+        """Park writes for unreachable replicas on live fallback nodes."""
+        fallbacks = [n for n in self.cluster.ring.nodes
+                     if n not in replicas and self.detector.is_available(n)]
+        if not fallbacks:
+            return
+        for i, dead_node in enumerate(failed_nodes):
+            holder_id = fallbacks[i % len(fallbacks)]
+            holder = self.cluster.server_for(holder_id)
+            hint = Hint(self.store, key, versioned, dead_node)
+            try:
+                self.cluster.network.invoke(
+                    self.client_name, self.cluster.node_name(holder_id),
+                    holder.store_hint, hint)
+                self.metrics.counter("hints_stored").increment()
+            except NodeUnavailableError:
+                continue
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _zone_distance(self, node_id: int) -> int:
+        """0 for the client's own zone, then proximity-list order."""
+        if self.client_zone is None:
+            return 0
+        node_zone = self.cluster.ring.nodes[node_id].zone_id
+        if node_zone == self.client_zone:
+            return 0
+        zone = self.cluster.ring.zones.get(self.client_zone)
+        if zone is None or node_zone not in zone.proximity:
+            return 10 ** 6
+        return zone.proximity.index(node_zone) + 1
+
+    def _ordered_by_availability(self, replicas: list[int]) -> list[int]:
+        """Available replicas first, nearest zone first within each
+        group, preserving ring order as the final tie-break."""
+        indexed = list(enumerate(replicas))
+        indexed.sort(key=lambda pair: (
+            not self.detector.is_available(pair[1]),
+            self._zone_distance(pair[1]),
+            pair[0]))
+        return [node_id for _, node_id in indexed]
+
+
+def _supersedes(a: Versioned, b: Versioned) -> bool:
+    return a.clock.compare(b.clock) is Occurred.AFTER

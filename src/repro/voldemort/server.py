@@ -1,0 +1,163 @@
+"""The storage-node server: local store operations plus hint storage.
+
+A server owns one engine per store and exposes the node-local
+operations the routing layer calls over the (simulated) network.  It
+also holds *hints* — writes accepted on behalf of an unreachable
+replica during hinted handoff (§II.B "Repair mechanism") — and can
+replay them once the destination recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import (
+    ConfigurationError,
+    KeyNotFoundError,
+    NodeUnavailableError,
+)
+from repro.voldemort.engines.base import StorageEngine
+from repro.voldemort.transforms import TRANSFORM_REGISTRY
+from repro.voldemort.versioned import Versioned
+
+
+@dataclass(frozen=True)
+class Hint:
+    """A write held for an unreachable replica."""
+
+    store: str
+    key: bytes
+    versioned: Versioned
+    destination_node: int
+
+
+class VoldemortServer:
+    """One node's server process."""
+
+    def __init__(self, node_id: int, cluster):
+        self.node_id = node_id
+        self.cluster = cluster
+        self._engines: dict[str, StorageEngine] = {}
+        self.hints: list[Hint] = []
+        self.requests_served = 0
+
+    # -- store lifecycle (invoked by the admin service) ----------------------
+
+    def open_store(self, definition) -> None:
+        if definition.name in self._engines:
+            raise ConfigurationError(f"store {definition.name} already open")
+        self._engines[definition.name] = self.cluster.make_engine(
+            definition, self.node_id)
+
+    def close_store(self, name: str) -> None:
+        engine = self._engines.pop(name, None)
+        if engine is not None:
+            engine.close()
+
+    def engine(self, store: str) -> StorageEngine:
+        try:
+            return self._engines[store]
+        except KeyError:
+            raise ConfigurationError(
+                f"node {self.node_id} has no store {store!r}") from None
+
+    # -- node-local operations (called via the network) ----------------------
+
+    def get(self, store: str, key: bytes,
+            transform: tuple | None = None) -> list[Versioned]:
+        self.requests_served += 1
+        versions = self.engine(store).get(key)
+        if transform is None:
+            return versions
+        name, *args = transform
+        fn = TRANSFORM_REGISTRY.get_transform(name)
+        return [Versioned(fn(v.value, *args), v.clock) for v in versions]
+
+    def put(self, store: str, key: bytes, versioned: Versioned,
+            transform: tuple | None = None) -> None:
+        self.requests_served += 1
+        if transform is not None:
+            name, *args = transform
+            fn = TRANSFORM_REGISTRY.get_transform(name)
+            try:
+                current = self.engine(store).get(key)
+                base = max(current, key=lambda v: sum(v.clock.entries.values()))
+                new_value = fn(base.value, *args)
+            except KeyError:
+                new_value = fn(None, *args)
+            versioned = Versioned(new_value, versioned.clock)
+        self.engine(store).put(key, versioned)
+
+    def delete(self, store: str, key: bytes, versioned: Versioned) -> None:
+        self.requests_served += 1
+        self.engine(store).delete(key, versioned)
+
+    def get_batch(self, store: str, keys: list[bytes]
+                  ) -> dict[bytes, list[Versioned]]:
+        """Batched point reads; absent keys are omitted from the result.
+
+        One network round trip serves many keys — the server half of the
+        client's ``get_all``.
+        """
+        self.requests_served += 1
+        engine = self.engine(store)
+        out: dict[bytes, list[Versioned]] = {}
+        for key in keys:
+            try:
+                out[key] = engine.get(key)
+            except KeyNotFoundError:
+                continue
+        return out
+
+    def get_versions(self, store: str, key: bytes) -> list:
+        """Just the clocks — cheaper than full values for conflict checks."""
+        return [v.clock for v in self.engine(store).get(key)]
+
+    def ping(self) -> bool:
+        return True
+
+    # -- hinted handoff ----------------------------------------------------------
+
+    def store_hint(self, hint: Hint) -> None:
+        self.hints.append(hint)
+
+    def hints_for(self, destination_node: int) -> list[Hint]:
+        return [h for h in self.hints if h.destination_node == destination_node]
+
+    def deliver_hints(self, destination_node: int) -> int:
+        """Push held hints to a (recovered) replica; returns delivered count.
+
+        Obsolete-version errors count as delivered — the destination
+        already has newer data, so the hint's job is done.
+        """
+        from repro.common.errors import ObsoleteVersionError
+        network = self.cluster.network
+        delivered = 0
+        remaining: list[Hint] = []
+        for hint in self.hints:
+            if hint.destination_node != destination_node:
+                remaining.append(hint)
+                continue
+            target = self.cluster.server_for(hint.destination_node)
+            try:
+                network.invoke(self.cluster.node_name(self.node_id),
+                               self.cluster.node_name(hint.destination_node),
+                               target.engine(hint.store).put,
+                               hint.key, hint.versioned)
+                delivered += 1
+            except ObsoleteVersionError:
+                delivered += 1
+            except NodeUnavailableError:
+                remaining.append(hint)
+        self.hints = remaining
+        return delivered
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def stores_open(self) -> list[str]:
+        return sorted(self._engines)
+
+    def close(self) -> None:
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()

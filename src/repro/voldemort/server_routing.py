@@ -1,0 +1,84 @@
+"""Server-side routing (Figure II.1).
+
+"Voldemort supports both server and client side routing by moving the
+routing and associated modules."  With client-side routing the client
+holds the topology and talks straight to replicas; with server-side
+routing the client sends each request to *any* node, which coordinates
+the quorum on its behalf — one extra network hop in exchange for thin
+clients that need no topology metadata.
+
+Both flavours reuse the exact same :class:`RoutedStore` module, which
+is the pluggability point the paper highlights.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common.errors import NodeUnavailableError
+from repro.common.metrics import MetricsRegistry
+from repro.voldemort.cluster import VoldemortCluster
+from repro.voldemort.routing import RoutedStore
+from repro.voldemort.versioned import Versioned
+
+
+class ServerSideRoutedStore:
+    """Thin client: forwards operations to a coordinator node.
+
+    The coordinator is chosen round-robin over live nodes (a load
+    balancer stand-in); it runs the shared routing module server-side,
+    so its quorum traffic is node-to-node.
+    """
+
+    def __init__(self, cluster: VoldemortCluster, store: str,
+                 client_name: str = "thin-client"):
+        self.cluster = cluster
+        self.store = store
+        self.client_name = client_name
+        self.metrics = MetricsRegistry()
+        # each node runs its own instance of the routing module
+        self._coordinators: dict[int, RoutedStore] = {
+            node_id: RoutedStore(cluster, store,
+                                 client_name=cluster.node_name(node_id))
+            for node_id in cluster.ring.nodes
+        }
+        self._rotation = itertools.cycle(sorted(self._coordinators))
+
+    def _pick_coordinator(self) -> int:
+        for _ in range(len(self._coordinators)):
+            node_id = next(self._rotation)
+            name = self.cluster.node_name(node_id)
+            if self.cluster.network.failures.reachable(self.client_name, name):
+                return node_id
+        raise NodeUnavailableError("no reachable coordinator")
+
+    def get(self, key: bytes) -> tuple[list[Versioned], float]:
+        """Forwarded quorum read; latency includes the client hop."""
+        node_id = self._pick_coordinator()
+        coordinator = self._coordinators[node_id]
+        (frontier, internal_latency), hop_latency = self.cluster.network.invoke(
+            self.client_name, self.cluster.node_name(node_id),
+            coordinator.get, key)
+        total = hop_latency + internal_latency
+        self.metrics.histogram("get").record(total)
+        return frontier, total
+
+    def put(self, key: bytes, versioned: Versioned) -> float:
+        node_id = self._pick_coordinator()
+        coordinator = self._coordinators[node_id]
+        internal_latency, hop_latency = self.cluster.network.invoke(
+            self.client_name, self.cluster.node_name(node_id),
+            coordinator.put, key, versioned)
+        total = hop_latency + internal_latency
+        self.metrics.histogram("put").record(total)
+        return total
+
+    def delete(self, key: bytes, versioned: Versioned) -> float:
+        node_id = self._pick_coordinator()
+        coordinator = self._coordinators[node_id]
+        internal_latency, hop_latency = self.cluster.network.invoke(
+            self.client_name, self.cluster.node_name(node_id),
+            coordinator.delete, key, versioned)
+        total = hop_latency + internal_latency
+        self.metrics.histogram("delete").record(total)
+        return total

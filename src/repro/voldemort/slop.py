@@ -1,0 +1,68 @@
+"""The slop pusher: periodic hinted-handoff delivery.
+
+Hints ("slops", in Voldemort's vocabulary) parked by
+:meth:`RoutedStore.put` during node failures must eventually reach
+their real owners.  The slop pusher is the background task that retries
+delivery on a schedule, complementing the failure detector's
+asynchronous recovery probe: as soon as the destination answers again,
+the next push drains its hints.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigurationError
+from repro.voldemort.cluster import VoldemortCluster
+
+
+class SlopPusherService:
+    """A recurring cluster-wide hint-delivery sweep on the sim clock."""
+
+    def __init__(self, cluster: VoldemortCluster, interval: float = 5.0):
+        if interval <= 0:
+            raise ConfigurationError("interval must be positive")
+        if not isinstance(cluster.clock, SimClock):
+            raise ConfigurationError("slop pusher schedules on a SimClock")
+        self.cluster = cluster
+        self.interval = interval
+        self.sweeps = 0
+        self.hints_delivered = 0
+        self._running = False
+        self._event = None
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            SimClock.cancel(self._event)
+            self._event = None
+
+    def _schedule(self) -> None:
+        self._event = self.cluster.clock.call_later(self.interval, self._sweep)
+
+    def _sweep(self) -> None:
+        if not self._running:
+            return
+        self.sweeps += 1
+        self.hints_delivered += self.push_once()
+        self._schedule()
+
+    def push_once(self) -> int:
+        """One synchronous sweep: every holder tries every destination."""
+        delivered = 0
+        destinations = list(self.cluster.servers)
+        for server in self.cluster.servers.values():
+            if not server.hints:
+                continue
+            for destination in destinations:
+                if server.hints_for(destination):
+                    delivered += server.deliver_hints(destination)
+        return delivered
+
+    def outstanding_hints(self) -> int:
+        return sum(len(server.hints) for server in self.cluster.servers.values())

@@ -1,0 +1,84 @@
+"""Server-side transforms (§II.B, client API methods 3 and 4).
+
+"If the value is a list, we can run a transformed get to retrieve a
+sub-list or a transformed put to append an entity to a list, thereby
+saving a client round trip and network bandwidth."
+
+Transforms are named server-side functions over the stored bytes.  The
+built-ins operate on JSON-encoded lists — the shape of the Company
+Follow stores (member id -> list of company ids).  Applications can
+register their own.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+
+TransformFn = Callable[..., bytes]
+
+
+class TransformRegistry:
+    """Named transform functions available on every server."""
+
+    def __init__(self):
+        self._transforms: dict[str, TransformFn] = {}
+
+    def register(self, name: str, fn: TransformFn) -> None:
+        if name in self._transforms:
+            raise ConfigurationError(f"transform {name!r} already registered")
+        self._transforms[name] = fn
+
+    def get_transform(self, name: str) -> TransformFn:
+        try:
+            return self._transforms[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown transform {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._transforms)
+
+
+def _load_list(value: bytes | None) -> list:
+    if value is None or value == b"":
+        return []
+    loaded = json.loads(value.decode("utf-8"))
+    if not isinstance(loaded, list):
+        raise ConfigurationError("list transforms require a JSON list value")
+    return loaded
+
+
+def list_append(value: bytes | None, *items) -> bytes:
+    """Put-transform: append items to the stored JSON list."""
+    data = _load_list(value)
+    data.extend(items)
+    return json.dumps(data).encode("utf-8")
+
+
+def list_slice(value: bytes | None, start: int = 0,
+               stop: int | None = None) -> bytes:
+    """Get-transform: return a sub-list without shipping the whole value."""
+    data = _load_list(value)
+    return json.dumps(data[start:stop]).encode("utf-8")
+
+
+def list_remove(value: bytes | None, *items) -> bytes:
+    """Put-transform: remove every occurrence of the given items."""
+    doomed = set(items)
+    data = [x for x in _load_list(value) if x not in doomed]
+    return json.dumps(data).encode("utf-8")
+
+
+def counter_add(value: bytes | None, delta: int = 1) -> bytes:
+    """Put-transform: integer counter increment."""
+    current = int(value) if value else 0
+    return str(current + delta).encode("utf-8")
+
+
+TRANSFORM_REGISTRY = TransformRegistry()
+TRANSFORM_REGISTRY.register("list_append", list_append)
+TRANSFORM_REGISTRY.register("list_slice", list_slice)
+TRANSFORM_REGISTRY.register("list_remove", list_remove)
+TRANSFORM_REGISTRY.register("counter_add", counter_add)

@@ -1,0 +1,17 @@
+"""Workload generation: key popularity, value sizing, request mixes, events."""
+
+from repro.workloads.generators import (
+    ActivityEventGenerator,
+    KeyValueWorkload,
+    RequestMix,
+    ZipfGenerator,
+    zipf_sizes,
+)
+
+__all__ = [
+    "ActivityEventGenerator",
+    "KeyValueWorkload",
+    "RequestMix",
+    "ZipfGenerator",
+    "zipf_sizes",
+]

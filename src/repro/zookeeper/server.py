@@ -1,0 +1,289 @@
+"""The znode tree, sessions, and watch machinery.
+
+Semantics follow Apache Zookeeper closely where the paper's systems
+depend on them:
+
+* znodes form a slash-separated tree; every node carries bytes and a
+  version counter (compare-and-set via expected version);
+* EPHEMERAL znodes die with their owning session — Kafka consumers
+  and Helix participants register liveness this way;
+* SEQUENTIAL znodes get a monotonically increasing zero-padded suffix;
+* watches are one-shot: set by a read (exists/get/get_children), fired
+  once on the next matching change, then discarded.  Rebalance loops
+  re-register after every event, exactly as Kafka's consumer does.
+
+Everything is synchronous and single-threaded; "sessions expire" when
+the test or the failure injector says so, not on a timer, keeping
+distributed-coordination tests deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.common.errors import ReproError
+
+
+class NoNodeError(ReproError):
+    """The referenced znode does not exist."""
+
+
+class NodeExistsError(ReproError):
+    """A create collided with an existing znode."""
+
+
+class NotEmptyError(ReproError):
+    """Cannot delete a znode that still has children."""
+
+
+class BadVersionError(ReproError):
+    """Compare-and-set failed: expected version did not match."""
+
+
+class SessionExpiredError(ReproError):
+    """The session was expired by the server; the handle is dead."""
+
+
+class CreateMode(Enum):
+    PERSISTENT = "persistent"
+    EPHEMERAL = "ephemeral"
+    PERSISTENT_SEQUENTIAL = "persistent_sequential"
+    EPHEMERAL_SEQUENTIAL = "ephemeral_sequential"
+
+    @property
+    def is_ephemeral(self) -> bool:
+        return self in (CreateMode.EPHEMERAL, CreateMode.EPHEMERAL_SEQUENTIAL)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self in (CreateMode.PERSISTENT_SEQUENTIAL,
+                        CreateMode.EPHEMERAL_SEQUENTIAL)
+
+
+class EventType(Enum):
+    CREATED = "created"
+    DELETED = "deleted"
+    DATA_CHANGED = "data_changed"
+    CHILDREN_CHANGED = "children_changed"
+    SESSION_EXPIRED = "session_expired"
+
+
+@dataclass(frozen=True)
+class WatchedEvent:
+    type: EventType
+    path: str
+
+
+Watcher = Callable[[WatchedEvent], None]
+
+
+@dataclass
+class _ZNode:
+    data: bytes = b""
+    version: int = 0
+    owner_session: int | None = None  # set for ephemerals
+    children: dict[str, "_ZNode"] = field(default_factory=dict)
+    sequence_counter: int = 0
+
+
+def _validate_path(path: str) -> list[str]:
+    if not path.startswith("/") or (path != "/" and path.endswith("/")):
+        raise ValueError(f"invalid znode path {path!r}")
+    if path == "/":
+        return []
+    return path[1:].split("/")
+
+
+class ZooKeeperServer:
+    """The coordination service shared by a simulated cluster."""
+
+    def __init__(self):
+        self._root = _ZNode()
+        self._session_ids = itertools.count(1)
+        self._live_sessions: set[int] = set()
+        self._ephemerals: dict[int, set[str]] = {}
+        # path -> list of (watcher, want_data_events, want_child_events)
+        self._data_watches: dict[str, list[Watcher]] = {}
+        self._child_watches: dict[str, list[Watcher]] = {}
+        self._exists_watches: dict[str, list[Watcher]] = {}
+
+    # -- sessions ----------------------------------------------------------
+
+    def connect(self) -> "ZooKeeperSession":
+        session_id = next(self._session_ids)
+        self._live_sessions.add(session_id)
+        self._ephemerals[session_id] = set()
+        return ZooKeeperSession(self, session_id)
+
+    def expire_session(self, session_id: int) -> None:
+        """Kill a session, deleting its ephemerals (fires watches)."""
+        if session_id not in self._live_sessions:
+            return
+        self._live_sessions.discard(session_id)
+        for path in sorted(self._ephemerals.pop(session_id, set()),
+                           key=len, reverse=True):
+            try:
+                self._delete(path, force=True)
+            except (NoNodeError, NotEmptyError):
+                pass
+
+    def session_alive(self, session_id: int) -> bool:
+        return session_id in self._live_sessions
+
+    # -- tree operations (used via ZooKeeperSession) -----------------------
+
+    def _lookup(self, path: str) -> _ZNode:
+        node = self._root
+        for part in _validate_path(path):
+            if part not in node.children:
+                raise NoNodeError(path)
+            node = node.children[part]
+        return node
+
+    def _lookup_parent(self, path: str) -> tuple[_ZNode, str]:
+        parts = _validate_path(path)
+        if not parts:
+            raise ValueError("cannot operate on the root znode")
+        node = self._root
+        for part in parts[:-1]:
+            if part not in node.children:
+                raise NoNodeError(f"parent of {path} missing")
+            node = node.children[part]
+        return node, parts[-1]
+
+    def _create(self, path: str, data: bytes, mode: CreateMode,
+                session_id: int) -> str:
+        parent, name = self._lookup_parent(path)
+        if mode.is_sequential:
+            name = f"{name}{parent.sequence_counter:010d}"
+            parent.sequence_counter += 1
+            path = path.rsplit("/", 1)[0] + "/" + name
+        if name in parent.children:
+            raise NodeExistsError(path)
+        owner = session_id if mode.is_ephemeral else None
+        parent.children[name] = _ZNode(data=data, owner_session=owner)
+        if mode.is_ephemeral:
+            self._ephemerals[session_id].add(path)
+        self._fire(self._exists_watches, path, EventType.CREATED)
+        parent_path = path.rsplit("/", 1)[0] or "/"
+        self._fire(self._child_watches, parent_path, EventType.CHILDREN_CHANGED)
+        return path
+
+    def _delete(self, path: str, expected_version: int = -1,
+                force: bool = False) -> None:
+        parent, name = self._lookup_parent(path)
+        if name not in parent.children:
+            raise NoNodeError(path)
+        node = parent.children[name]
+        if node.children and not force:
+            raise NotEmptyError(path)
+        if expected_version not in (-1, node.version):
+            raise BadVersionError(f"{path}: expected {expected_version}, "
+                                  f"have {node.version}")
+        if node.owner_session is not None:
+            self._ephemerals.get(node.owner_session, set()).discard(path)
+        del parent.children[name]
+        self._fire(self._data_watches, path, EventType.DELETED)
+        self._fire(self._exists_watches, path, EventType.DELETED)
+        parent_path = path.rsplit("/", 1)[0] or "/"
+        self._fire(self._child_watches, parent_path, EventType.CHILDREN_CHANGED)
+
+    def _set(self, path: str, data: bytes, expected_version: int = -1) -> int:
+        node = self._lookup(path)
+        if expected_version not in (-1, node.version):
+            raise BadVersionError(f"{path}: expected {expected_version}, "
+                                  f"have {node.version}")
+        node.data = data
+        node.version += 1
+        self._fire(self._data_watches, path, EventType.DATA_CHANGED)
+        return node.version
+
+    # -- watches -----------------------------------------------------------
+
+    def _fire(self, table: dict[str, list[Watcher]], path: str,
+              event_type: EventType) -> None:
+        watchers = table.pop(path, [])
+        event = WatchedEvent(event_type, path)
+        for watcher in watchers:
+            watcher(event)
+
+    def _register(self, table: dict[str, list[Watcher]], path: str,
+                  watcher: Watcher) -> None:
+        table.setdefault(path, []).append(watcher)
+
+
+class ZooKeeperSession:
+    """A client handle; all reads can attach one-shot watches."""
+
+    def __init__(self, server: ZooKeeperServer, session_id: int):
+        self._server = server
+        self.session_id = session_id
+
+    def _check(self) -> None:
+        if not self._server.session_alive(self.session_id):
+            raise SessionExpiredError(f"session {self.session_id} expired")
+
+    def create(self, path: str, data: bytes = b"",
+               mode: CreateMode = CreateMode.PERSISTENT) -> str:
+        """Create a znode; returns the actual path (sequential suffix)."""
+        self._check()
+        return self._server._create(path, data, mode, self.session_id)
+
+    def ensure_path(self, path: str) -> None:
+        """Create missing persistent ancestors, like Kazoo's ensure_path."""
+        self._check()
+        parts = _validate_path(path)
+        current = ""
+        for part in parts:
+            current += "/" + part
+            try:
+                self._server._create(current, b"", CreateMode.PERSISTENT,
+                                     self.session_id)
+            except NodeExistsError:
+                pass
+
+    def get(self, path: str, watch: Watcher | None = None) -> tuple[bytes, int]:
+        self._check()
+        node = self._server._lookup(path)
+        if watch is not None:
+            self._server._register(self._server._data_watches, path, watch)
+        return node.data, node.version
+
+    def set(self, path: str, data: bytes, expected_version: int = -1) -> int:
+        self._check()
+        return self._server._set(path, data, expected_version)
+
+    def exists(self, path: str, watch: Watcher | None = None) -> bool:
+        self._check()
+        try:
+            self._server._lookup(path)
+            found = True
+        except NoNodeError:
+            found = False
+        if watch is not None:
+            table = (self._server._data_watches if found
+                     else self._server._exists_watches)
+            self._server._register(table, path, watch)
+        return found
+
+    def get_children(self, path: str, watch: Watcher | None = None) -> list[str]:
+        self._check()
+        node = self._server._lookup(path)
+        if watch is not None:
+            self._server._register(self._server._child_watches, path, watch)
+        return sorted(node.children)
+
+    def delete(self, path: str, expected_version: int = -1,
+               recursive: bool = False) -> None:
+        self._check()
+        if recursive:
+            for child in self.get_children(path):
+                self.delete(f"{path}/{child}" if path != "/" else f"/{child}",
+                            recursive=True)
+        self._server._delete(path, expected_version)
+
+    def close(self) -> None:
+        self._server.expire_session(self.session_id)

@@ -1,0 +1,104 @@
+"""Latency histogram accuracy and metric plumbing."""
+
+import random
+
+import pytest
+
+from repro.common.metrics import (
+    Counter,
+    LatencyHistogram,
+    Meter,
+    MetricsRegistry,
+    percentile_of_sorted,
+)
+
+
+def test_empty_histogram_summary():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.percentile(99) == 0.0
+
+
+def test_single_sample():
+    hist = LatencyHistogram()
+    hist.record(0.003)
+    assert hist.count == 1
+    assert hist.mean == pytest.approx(0.003)
+    assert hist.percentile(50) == pytest.approx(0.003, rel=0.10)
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        LatencyHistogram().record(-1.0)
+
+
+def test_percentile_bounds_validated():
+    hist = LatencyHistogram()
+    hist.record(0.001)
+    with pytest.raises(ValueError):
+        hist.percentile(0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_percentiles_within_bucket_error():
+    rng = random.Random(7)
+    samples = sorted(rng.uniform(0.0001, 0.1) for _ in range(5000))
+    hist = LatencyHistogram()
+    for s in samples:
+        hist.record(s)
+    for p in (50, 90, 99):
+        exact = percentile_of_sorted(samples, p)
+        assert hist.percentile(p) == pytest.approx(exact, rel=0.12)
+
+
+def test_max_is_exact():
+    hist = LatencyHistogram()
+    for s in (0.001, 0.5, 0.002):
+        hist.record(s)
+    assert hist.max == 0.5
+    assert hist.percentile(100) == 0.5
+
+
+def test_out_of_range_samples_clamp_to_edge_buckets():
+    hist = LatencyHistogram(min_value=1e-6, max_value=1.0)
+    hist.record(1e-9)
+    hist.record(50.0)
+    assert hist.count == 2
+    assert hist.percentile(100) == 50.0
+
+
+def test_counter_only_increments():
+    counter = Counter()
+    counter.increment()
+    counter.increment(5)
+    assert counter.value == 6
+    with pytest.raises(ValueError):
+        counter.increment(-1)
+
+
+def test_meter_rates():
+    meter = Meter(started_at=0.0)
+    meter.mark(events=100, nbytes=1000)
+    assert meter.events_per_second(now=2.0) == 50.0
+    assert meter.bytes_per_second(now=2.0) == 500.0
+    assert meter.events_per_second(now=0.0) == 0.0
+
+
+def test_registry_creates_and_reuses():
+    registry = MetricsRegistry()
+    registry.histogram("get").record(0.001)
+    registry.histogram("get").record(0.002)
+    registry.counter("errors").increment()
+    snap = registry.snapshot()
+    assert snap["get"]["count"] == 2
+    assert snap["errors"]["count"] == 1
+
+
+def test_percentile_of_sorted_empty_and_edges():
+    assert percentile_of_sorted([], 50) == 0.0
+    assert percentile_of_sorted([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+    assert percentile_of_sorted([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+    with pytest.raises(ValueError):
+        percentile_of_sorted([1.0], 0)

@@ -1,0 +1,113 @@
+"""Coverage for small public surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SchemaError
+from repro.common.serialization import Field, RecordSchema, SchemaRegistry
+
+
+class TestRegisterExact:
+    def test_mirrors_declared_versions(self):
+        registry = SchemaRegistry()
+        v3 = RecordSchema("T", [Field("a", "int")], version=3)
+        registry.register_exact(v3)
+        assert registry.latest("T").version == 3
+        assert registry.get("T", 3) is v3
+
+    def test_idempotent(self):
+        registry = SchemaRegistry()
+        schema = RecordSchema("T", [Field("a", "int")], version=2)
+        registry.register_exact(schema)
+        registry.register_exact(schema)
+        assert registry.latest("T").version == 2
+
+    def test_never_downgrades_latest(self):
+        registry = SchemaRegistry()
+        registry.register_exact(RecordSchema("T", [Field("a", "int")],
+                                             version=5))
+        registry.register_exact(RecordSchema("T", [Field("a", "int")],
+                                             version=2))
+        assert registry.latest("T").version == 5
+        assert registry.get("T", 2).version == 2
+
+    def test_missing_version_still_raises(self):
+        registry = SchemaRegistry()
+        registry.register_exact(RecordSchema("T", [Field("a", "int")],
+                                             version=3))
+        with pytest.raises(SchemaError):
+            registry.get("T", 1)
+
+
+class TestTransformRegistry:
+    def test_duplicate_registration_rejected(self):
+        from repro.voldemort.transforms import TransformRegistry
+        registry = TransformRegistry()
+        registry.register("x", lambda v: v)
+        with pytest.raises(ConfigurationError):
+            registry.register("x", lambda v: v)
+
+    def test_unknown_transform(self):
+        from repro.voldemort.transforms import TransformRegistry
+        with pytest.raises(ConfigurationError):
+            TransformRegistry().get_transform("ghost")
+
+    def test_builtins_registered(self):
+        from repro.voldemort.transforms import TRANSFORM_REGISTRY
+        assert {"list_append", "list_slice", "list_remove",
+                "counter_add"} <= set(TRANSFORM_REGISTRY.names())
+
+    def test_list_transform_rejects_non_list_value(self):
+        from repro.voldemort.transforms import list_append
+        with pytest.raises(ConfigurationError):
+            list_append(b'{"not": "a list"}', 1)
+
+    def test_list_transform_handles_empty_value(self):
+        from repro.voldemort.transforms import list_append
+        assert list_append(None, 1) == b"[1]"
+        assert list_append(b"", 2) == b"[2]"
+
+
+class TestEventHelpers:
+    def test_row_schema_maps_sql_types(self):
+        from repro.databus.events import row_schema_for
+        from repro.sqlstore import Column, TableSchema
+        table = TableSchema("t", (
+            Column("id", int), Column("name", str),
+            Column("score", float), Column("blob", bytes, nullable=True),
+            Column("flag", bool),
+        ), primary_key=("id",))
+        schema = row_schema_for(table)
+        types = {f.name: f.type for f in schema.fields}
+        assert types == {"id": "long", "name": "string", "score": "double",
+                         "blob": ["null", "bytes"], "flag": "boolean"}
+
+    def test_and_filters(self):
+        from repro.databus.events import (
+            DatabusEvent,
+            and_filters,
+            partition_filter,
+            source_filter,
+        )
+        from repro.sqlstore.binlog import ChangeKind
+        combined = and_filters(source_filter("member"),
+                               partition_filter(1, 0))
+        event = DatabusEvent(1, "member", ChangeKind.INSERT, (1,), b"")
+        other = DatabusEvent(1, "other", ChangeKind.INSERT, (1,), b"")
+        assert combined(event)
+        assert not combined(other)
+
+
+class TestSimnetAccounting:
+    def test_payload_bytes_counted(self):
+        from repro.simnet import SimNetwork
+        net = SimNetwork()
+        net.invoke("a", "b", lambda: None, payload_bytes=123)
+        assert net.bytes_sent == 123
+
+    def test_async_payload_counted(self):
+        from repro.common.clock import SimClock
+        from repro.simnet import SimNetwork
+        clock = SimClock()
+        net = SimNetwork(clock=clock)
+        net.send("a", "b", lambda: None, payload_bytes=77)
+        assert net.bytes_sent == 77

@@ -1,0 +1,106 @@
+"""Vector clock semantics (Voldemort §II.B)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.vectorclock import Occurred, VectorClock, prune_obsolete
+
+
+def test_empty_clocks_are_equal():
+    assert VectorClock().compare(VectorClock()) is Occurred.EQUAL
+
+
+def test_increment_creates_new_clock():
+    base = VectorClock()
+    bumped = base.incremented(1)
+    assert base.counter_of(1) == 0
+    assert bumped.counter_of(1) == 1
+    assert bumped.compare(base) is Occurred.AFTER
+    assert base.compare(bumped) is Occurred.BEFORE
+
+
+def test_concurrent_writes_detected():
+    base = VectorClock().incremented(1)
+    a = base.incremented(1)
+    b = base.incremented(2)
+    assert a.compare(b) is Occurred.CONCURRENT
+    assert b.compare(a) is Occurred.CONCURRENT
+
+
+def test_merge_dominates_both_parents():
+    a = VectorClock().incremented(1).incremented(1)
+    b = VectorClock().incremented(2)
+    merged = a.merged(b)
+    assert merged.descends_from(a)
+    assert merged.descends_from(b)
+
+
+def test_positive_counters_enforced():
+    with pytest.raises(ValueError):
+        VectorClock({1: 0})
+
+
+def test_prune_obsolete_keeps_concurrent_frontier():
+    base = VectorClock().incremented(1)
+    newer = base.incremented(1)
+    sibling = base.incremented(2)
+    survivors = prune_obsolete([(base, "old"), (newer, "new"), (sibling, "side")])
+    values = {v for _, v in survivors}
+    assert values == {"new", "side"}
+
+
+def test_prune_obsolete_deduplicates_equal_versions():
+    clock = VectorClock().incremented(1)
+    survivors = prune_obsolete([(clock, "a"), (clock, "a")])
+    assert len(survivors) == 1
+
+
+def test_repr_is_stable():
+    clock = VectorClock().incremented(2).incremented(1)
+    assert repr(clock) == "VectorClock({1:1, 2:1})"
+
+
+# -- property-based laws ----------------------------------------------------
+
+clock_entries = st.dictionaries(st.integers(0, 6), st.integers(1, 5), max_size=5)
+
+
+@given(clock_entries, clock_entries)
+def test_compare_antisymmetry(a_entries, b_entries):
+    a, b = VectorClock(a_entries), VectorClock(b_entries)
+    relation = a.compare(b)
+    inverse = b.compare(a)
+    expected = {
+        Occurred.BEFORE: Occurred.AFTER,
+        Occurred.AFTER: Occurred.BEFORE,
+        Occurred.EQUAL: Occurred.EQUAL,
+        Occurred.CONCURRENT: Occurred.CONCURRENT,
+    }[relation]
+    assert inverse is expected
+
+
+@given(clock_entries, clock_entries)
+def test_merge_is_least_upper_bound(a_entries, b_entries):
+    a, b = VectorClock(a_entries), VectorClock(b_entries)
+    merged = a.merged(b)
+    assert merged.descends_from(a)
+    assert merged.descends_from(b)
+    # least: every entry equals one of the parents' counters
+    for node, counter in merged.entries.items():
+        assert counter == max(a.counter_of(node), b.counter_of(node))
+
+
+@given(clock_entries, st.integers(0, 6))
+def test_increment_always_moves_forward(entries, node):
+    clock = VectorClock(entries)
+    assert clock.incremented(node).compare(clock) is Occurred.AFTER
+
+
+@given(st.lists(clock_entries, max_size=6))
+def test_prune_survivors_pairwise_concurrent_or_equalfree(entry_sets):
+    versions = [(VectorClock(e), i) for i, e in enumerate(entry_sets)]
+    survivors = prune_obsolete(versions)
+    for i, (clock_a, _) in enumerate(survivors):
+        for j, (clock_b, _) in enumerate(survivors):
+            if i != j:
+                assert clock_a.compare(clock_b) is Occurred.CONCURRENT

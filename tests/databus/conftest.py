@@ -1,0 +1,50 @@
+"""Shared Databus test fixtures: a source database wired to a relay."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.databus import Relay, capture_from_binlog
+from repro.sqlstore import Column, SqlDatabase, TableSchema
+
+MEMBER_SCHEMA = TableSchema(
+    "member",
+    (Column("member_id", int), Column("name", str), Column("headline", str)),
+    primary_key=("member_id",),
+)
+POSITION_SCHEMA = TableSchema(
+    "position",
+    (Column("member_id", int), Column("company", str), Column("title", str)),
+    primary_key=("member_id", "company"),
+)
+
+
+@pytest.fixture
+def source_db():
+    db = SqlDatabase("profiles", clock=SimClock())
+    db.create_table(MEMBER_SCHEMA)
+    db.create_table(POSITION_SCHEMA)
+    return db
+
+
+@pytest.fixture
+def relay():
+    return Relay("relay-1")
+
+
+@pytest.fixture
+def capture(source_db, relay):
+    return capture_from_binlog(source_db, relay)
+
+
+def insert_member(db, member_id, name="x", headline="h"):
+    txn = db.begin()
+    txn.insert("member", {"member_id": member_id, "name": name,
+                          "headline": headline})
+    return txn.commit()
+
+
+def update_member(db, member_id, name="x", headline="h"):
+    txn = db.begin()
+    txn.update("member", {"member_id": member_id, "name": name,
+                          "headline": headline})
+    return txn.commit()

@@ -1,0 +1,72 @@
+"""Property-based invariants of the relay's circular event buffer."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.common.errors import SCNGoneError
+from repro.databus.events import DatabusEvent
+from repro.databus.relay import EventBuffer
+from repro.sqlstore.binlog import ChangeKind
+
+
+def window(scn: int, size: int) -> list[DatabusEvent]:
+    return [DatabusEvent(scn, "t", ChangeKind.UPDATE, (i,), b"p" * 16,
+                         end_of_window=(i == size - 1))
+            for i in range(size)]
+
+
+window_sizes = st.lists(st.integers(1, 4), min_size=1, max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(window_sizes, st.integers(4, 30))
+def test_retained_suffix_is_contiguous_and_complete(sizes, capacity):
+    buffer = EventBuffer(max_events=capacity)
+    for scn, size in enumerate(sizes, start=1):
+        buffer.append_window(window(scn, size))
+    # whatever is retained: read it all from the oldest position
+    oldest = buffer.oldest_scn
+    if oldest is None:
+        return
+    events = buffer.events_since(oldest - 1)
+    # 1. SCNs are non-decreasing and gap-free across windows
+    scns = sorted({e.scn for e in events})
+    assert scns == list(range(scns[0], scns[-1] + 1))
+    # 2. every retained window is complete
+    by_scn: dict[int, list[DatabusEvent]] = {}
+    for event in events:
+        by_scn.setdefault(event.scn, []).append(event)
+    for scn, events_of_window in by_scn.items():
+        assert len(events_of_window) == sizes[scn - 1]
+        assert events_of_window[-1].end_of_window
+    # 3. the newest window is always retained
+    assert scns[-1] == len(sizes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(window_sizes, st.integers(4, 30), st.integers(0, 45))
+def test_reads_are_exact_suffixes_or_scngone(sizes, capacity, from_scn):
+    buffer = EventBuffer(max_events=capacity)
+    for scn, size in enumerate(sizes, start=1):
+        buffer.append_window(window(scn, size))
+    evicted_through = buffer._evicted_through
+    if from_scn < evicted_through:
+        with pytest.raises(SCNGoneError):
+            buffer.events_since(from_scn)
+        return
+    events = buffer.events_since(from_scn)
+    expected = [scn for scn in range(max(from_scn + 1, 1), len(sizes) + 1)]
+    assert sorted({e.scn for e in events}) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(window_sizes)
+def test_capacity_never_exceeded_by_more_than_last_window(sizes):
+    capacity = 6
+    buffer = EventBuffer(max_events=capacity)
+    for scn, size in enumerate(sizes, start=1):
+        buffer.append_window(window(scn, size))
+        # eviction may leave up to capacity events, plus however many a
+        # single (oversized) window needs
+        assert len(buffer) <= max(capacity, size)

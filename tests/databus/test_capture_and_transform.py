@@ -1,0 +1,216 @@
+"""Trigger capture, relay chaining, and declarative transformations."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SCNGoneError
+from repro.databus import DatabusClient, Relay, capture_from_binlog
+from repro.databus.capture import RelayChain, TriggerCapture
+from repro.databus.relay import EventBuffer
+from repro.databus.transform import (
+    DeclarativeTransform,
+    TransformingConsumer,
+)
+from repro.sqlstore import Column, SqlDatabase, TableSchema
+from repro.common.clock import SimClock
+
+MEMBER = TableSchema(
+    "member",
+    (Column("member_id", int), Column("headline", str), Column("industry", str)),
+    primary_key=("member_id",))
+
+
+@pytest.fixture
+def db():
+    database = SqlDatabase("src", clock=SimClock())
+    database.create_table(MEMBER)
+    return database
+
+
+def commit_member(db, member_id, headline="engineer", industry="tech"):
+    txn = db.begin()
+    txn.upsert("member", {"member_id": member_id, "headline": headline,
+                          "industry": industry})
+    txn.commit()
+
+
+class TestTriggerCapture:
+    def test_commits_land_in_relay_synchronously(self, db):
+        relay = Relay()
+        capture = TriggerCapture(db, relay)
+        commit_member(db, 1)
+        assert len(relay.stream_from(0)) == 1  # no poll needed
+        commit_member(db, 2)
+        assert len(relay.stream_from(0)) == 2
+        assert capture.transactions_captured == 2
+
+    def test_detach_stops_capture(self, db):
+        relay = Relay()
+        capture = TriggerCapture(db, relay)
+        commit_member(db, 1)
+        capture.detach()
+        commit_member(db, 2)
+        assert len(relay.stream_from(0)) == 1
+
+    def test_trigger_and_log_capture_agree(self, db):
+        trigger_relay = Relay("trigger")
+        TriggerCapture(db, trigger_relay)
+        log_relay = Relay("log")
+        puller = capture_from_binlog(db, log_relay)
+        for member_id in range(5):
+            commit_member(db, member_id)
+        puller.poll()
+        trigger_events = trigger_relay.stream_from(0)
+        log_events = log_relay.stream_from(0)
+        assert [(e.scn, e.key) for e in trigger_events] == \
+            [(e.scn, e.key) for e in log_events]
+        assert [e.payload for e in trigger_events] == \
+            [e.payload for e in log_events]
+
+
+class TestRelayChain:
+    def test_chain_serves_same_windows(self, db):
+        upstream = Relay("up")
+        capture = capture_from_binlog(db, upstream)
+        downstream = Relay("down")
+        chain = RelayChain(upstream, downstream)
+        for member_id in range(6):
+            commit_member(db, member_id)
+        capture.poll()
+        assert chain.poll() == 6
+        up_events = upstream.stream_from(0)
+        down_events = downstream.stream_from(0)
+        assert [(e.scn, e.key, e.payload) for e in up_events] == \
+            [(e.scn, e.key, e.payload) for e in down_events]
+
+    def test_chain_poll_is_incremental(self, db):
+        upstream = Relay("up")
+        capture = capture_from_binlog(db, upstream)
+        chain = RelayChain(upstream, Relay("down"))
+        commit_member(db, 1)
+        capture.poll()
+        assert chain.poll() == 1
+        assert chain.poll() == 0
+        commit_member(db, 2)
+        capture.poll()
+        assert chain.poll() == 1
+
+    def test_self_chain_rejected(self):
+        relay = Relay()
+        with pytest.raises(ConfigurationError):
+            RelayChain(relay, relay)
+
+    def test_clients_can_consume_from_downstream(self, db):
+        upstream = Relay("up")
+        capture = capture_from_binlog(db, upstream)
+        downstream = Relay("down")
+        chain = RelayChain(upstream, downstream)
+        for member_id in range(4):
+            commit_member(db, member_id)
+        capture.poll()
+        chain.poll()
+        transform = DeclarativeTransform.from_spec({"project": ["member_id"]})
+        consumer = TransformingConsumer(downstream, transform)
+        DatabusClient(consumer, downstream).run_to_head()
+        assert [r.row for r in consumer.rows] == [{"member_id": i}
+                                                  for i in range(4)]
+
+    def test_lagging_chain_hits_scn_gone(self, db):
+        upstream = Relay("up")
+        upstream._buffers["default"] = EventBuffer(max_events=2)
+        capture = capture_from_binlog(db, upstream)
+        chain = RelayChain(upstream, Relay("down"))
+        for member_id in range(8):
+            commit_member(db, member_id)
+        capture.poll()
+        with pytest.raises(SCNGoneError):
+            chain.poll()
+
+    def test_fanout_on_chain_never_touches_upstream_after_copy(self, db):
+        upstream = Relay("up")
+        capture = capture_from_binlog(db, upstream)
+        downstream = Relay("down")
+        chain = RelayChain(upstream, downstream)
+        commit_member(db, 1)
+        capture.poll()
+        chain.poll()
+        served_before = upstream.requests_served
+        for _ in range(50):
+            downstream.stream_from(0)
+        assert upstream.requests_served == served_before
+
+
+class TestDeclarativeTransform:
+    def run(self, db, spec):
+        relay = Relay()
+        capture = capture_from_binlog(db, relay)
+        consumer = TransformingConsumer(
+            relay, DeclarativeTransform.from_spec(spec))
+        commit_member(db, 1, headline="Kafka engineer", industry="tech")
+        commit_member(db, 2, headline="Recruiter", industry="hr")
+        commit_member(db, 3, headline="Espresso engineer", industry="tech")
+        capture.poll()
+        DatabusClient(consumer, relay).run_to_head()
+        return consumer
+
+    def test_projection(self, db):
+        consumer = self.run(db, {"project": ["member_id"]})
+        assert [r.row for r in consumer.rows] == [
+            {"member_id": 1}, {"member_id": 2}, {"member_id": 3}]
+
+    def test_where_filter(self, db):
+        consumer = self.run(db, {"where": ["industry", "==", "tech"],
+                                 "project": ["member_id"]})
+        assert [r.row["member_id"] for r in consumer.rows] == [1, 3]
+        assert consumer.events_seen == 3
+        assert consumer.rows_delivered == 2
+
+    def test_contains_predicate(self, db):
+        consumer = self.run(db, {"where": ["headline", "contains", "engineer"],
+                                 "project": ["member_id"]})
+        assert [r.row["member_id"] for r in consumer.rows] == [1, 3]
+
+    def test_rename_and_compute(self, db):
+        consumer = self.run(db, {
+            "project": ["member_id", "headline"],
+            "rename": {"headline": "title"},
+            "compute": {"shard": ["member_id", "%", 2]},
+        })
+        first = consumer.rows[0].row
+        assert set(first) == {"member_id", "title", "shard"}
+        assert first["shard"] == 1
+
+    def test_source_scoping(self, db):
+        consumer = self.run(db, {"source": "position",
+                                 "project": ["member_id"]})
+        assert consumer.rows == []
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeclarativeTransform.from_spec({"bogus": 1})
+        with pytest.raises(ConfigurationError):
+            DeclarativeTransform.from_spec({"where": ["f", "~=", 1]})
+        with pytest.raises(ConfigurationError):
+            DeclarativeTransform.from_spec({"compute": {"x": ["f", "^", 2]}})
+
+    def test_compute_missing_field_raises(self, db):
+        relay = Relay()
+        capture = capture_from_binlog(db, relay)
+        consumer = TransformingConsumer(relay, DeclarativeTransform.from_spec(
+            {"compute": {"x": ["ghost", "+", 1]}}))
+        commit_member(db, 1)
+        capture.poll()
+        client = DatabusClient(consumer, relay, max_retries=0)
+        assert client.poll() == 0  # window aborted
+        assert client.stats.windows_aborted == 1
+
+    def test_callback_delivery(self, db):
+        relay = Relay()
+        capture = capture_from_binlog(db, relay)
+        seen = []
+        consumer = TransformingConsumer(
+            relay, DeclarativeTransform.from_spec({"project": ["member_id"]}),
+            on_row=lambda r: seen.append(r.row["member_id"]))
+        commit_member(db, 7)
+        capture.poll()
+        DatabusClient(consumer, relay).run_to_head()
+        assert seen == [7]

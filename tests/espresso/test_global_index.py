@@ -1,0 +1,96 @@
+"""Global secondary indexes via the update stream (§IV.A future work)."""
+
+import pytest
+
+from repro.espresso.global_index import GlobalIndexService
+
+from tests.espresso.conftest import put_album, put_song
+
+
+@pytest.fixture
+def service(cluster):
+    return GlobalIndexService(cluster)
+
+
+def test_query_spans_resources(router, service):
+    """The whole point: local indexes are scoped to one resource_id;
+    the global index answers across all of them."""
+    put_album(router, "Akon", "Trouble", 2004)
+    put_album(router, "Babyface", "Grown_and_Sexy", 2004)
+    put_album(router, "Coolio", "Steal_Hear", 2008)
+    service.catch_up()
+    keys = service.query_keys("Album", "year", "2004")
+    assert keys == [("Akon", "Trouble"), ("Babyface", "Grown_and_Sexy")]
+
+
+def test_query_documents_fetches_from_masters(router, service):
+    put_album(router, "Akon", "Trouble", 2004)
+    put_album(router, "Babyface", "Grown_and_Sexy", 2004)
+    service.catch_up()
+    records = service.query_documents("Album", "year", "2004")
+    assert [r.document["title"] for r in records] == ["Trouble",
+                                                      "Grown and Sexy"]
+
+
+def test_free_text_across_artists(router, service):
+    put_song(router, "The_Beatles", "SP", "Lucy", lyrics="diamonds in the sky")
+    put_song(router, "Etta_James", "Gold", "At_Last", lyrics="sky of blue")
+    put_song(router, "Akon", "Trouble", "Lonely", lyrics="so lonely")
+    service.catch_up()
+    keys = service.query_keys("Song", "lyrics", "sky")
+    assert {k[0] for k in keys} == {"The_Beatles", "Etta_James"}
+
+
+def test_eventual_consistency_lag(router, service):
+    put_album(router, "Akon", "Trouble", 2004)
+    assert service.lag() > 0
+    assert service.query_keys("Album", "year", "2004") == []  # not yet
+    service.catch_up()
+    assert service.lag() == 0
+    assert service.query_keys("Album", "year", "2004") == [("Akon", "Trouble")]
+
+
+def test_updates_move_postings(router, service):
+    put_album(router, "Akon", "Trouble", 2004)
+    service.catch_up()
+    router.put("/Music/Album/Akon/Trouble", {"title": "Trouble", "year": 2005})
+    service.catch_up()
+    assert service.query_keys("Album", "year", "2004") == []
+    assert service.query_keys("Album", "year", "2005") == [("Akon", "Trouble")]
+
+
+def test_deletes_remove_postings(router, service):
+    put_album(router, "Akon", "Trouble", 2004)
+    service.catch_up()
+    router.delete("/Music/Album/Akon/Trouble")
+    service.catch_up()
+    assert service.query_keys("Album", "year", "2004") == []
+
+
+def test_transactions_indexed_atomically(router, service):
+    ops = [
+        ("put", "Album", ("Cher", "Believe"), {"title": "Believe", "year": 1998}),
+        ("put", "Song", ("Cher", "Believe", "Believe"),
+         {"title": "Believe", "lyrics": "life after love", "duration": 235}),
+    ]
+    router.post_transaction("Music", "Cher", ops)
+    service.catch_up()
+    assert service.query_keys("Album", "year", "1998") == [("Cher", "Believe")]
+    assert service.query_keys("Song", "lyrics", "life after love") == \
+        [("Cher", "Believe", "Believe")]
+
+
+def test_survives_failover(router, cluster, service):
+    put_album(router, "Akon", "Trouble", 2004)
+    service.catch_up()
+    cluster.pump_replication()
+    partition = cluster.database.partition_for("Akon")
+    cluster.crash_node(cluster.master_node(partition).instance_name)
+    cluster.failover()
+    # index still answers, and document fetch goes to the new master
+    records = service.query_documents("Album", "year", "2004")
+    assert records[0].document["title"] == "Trouble"
+    # new writes after failover keep flowing into the index
+    put_album(router, "Akon", "Stadium", 2011)
+    service.catch_up()
+    assert service.query_keys("Album", "year", "2011") == [("Akon", "Stadium")]

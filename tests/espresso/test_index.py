@@ -1,0 +1,80 @@
+"""Local secondary index: term and free-text postings."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.espresso import LocalSecondaryIndex
+from repro.espresso.index import tokenize
+
+from tests.espresso.conftest import SONG_SCHEMA, ALBUM_SCHEMA
+
+
+def test_tokenize():
+    assert tokenize("Lucy in the Sky, with Diamonds!") == \
+        ["lucy", "in", "the", "sky", "with", "diamonds"]
+
+
+def test_term_index_exact_match():
+    index = LocalSecondaryIndex(ALBUM_SCHEMA)
+    index.add(("Akon", "Trouble"), {"title": "Trouble", "year": 2004})
+    index.add(("Akon", "Stadium"), {"title": "Stadium", "year": 2011})
+    assert index.query("year", "2004") == [("Akon", "Trouble")]
+    assert index.query("year", "1999") == []
+
+
+def test_free_text_all_terms_must_match():
+    index = LocalSecondaryIndex(SONG_SCHEMA)
+    index.add(("Beatles", "SP", "Lucy"),
+              {"title": "Lucy", "lyrics": "Lucy in the sky with diamonds",
+               "duration": 1})
+    index.add(("Beatles", "MMT", "Walrus"),
+              {"title": "Walrus", "lyrics": "I am the walrus", "duration": 1})
+    assert index.query("lyrics", "Lucy in the sky") == [("Beatles", "SP", "Lucy")]
+    assert index.query("lyrics", "the") == [("Beatles", "MMT", "Walrus"),
+                                            ("Beatles", "SP", "Lucy")]
+    assert index.query("lyrics", "lucy walrus") == []
+
+
+def test_resource_scoping():
+    index = LocalSecondaryIndex(SONG_SCHEMA)
+    index.add(("A", "x", "s1"), {"title": "s", "lyrics": "love", "duration": 1})
+    index.add(("B", "y", "s2"), {"title": "s", "lyrics": "love", "duration": 1})
+    assert index.query("lyrics", "love", resource_id="A") == [("A", "x", "s1")]
+
+
+def test_unindexed_field_rejected():
+    index = LocalSecondaryIndex(SONG_SCHEMA)
+    with pytest.raises(ConfigurationError):
+        index.query("duration", "1")
+
+
+def test_reindex_replaces_old_terms():
+    index = LocalSecondaryIndex(ALBUM_SCHEMA)
+    index.add(("A", "x"), {"title": "x", "year": 2000})
+    index.add(("A", "x"), {"title": "x", "year": 2001})
+    assert index.query("year", "2000") == []
+    assert index.query("year", "2001") == [("A", "x")]
+
+
+def test_remove_clears_postings():
+    index = LocalSecondaryIndex(ALBUM_SCHEMA)
+    index.add(("A", "x"), {"title": "x", "year": 2000})
+    index.remove(("A", "x"))
+    assert index.query("year", "2000") == []
+    assert index.is_empty
+
+
+def test_null_fields_not_indexed():
+    index = LocalSecondaryIndex(SONG_SCHEMA)
+    index.add(("A", "x", "s"), {"title": "s", "lyrics": None, "duration": 1})
+    assert index.query("lyrics", "anything") == []
+
+
+def test_case_insensitive_matching():
+    index = LocalSecondaryIndex(ALBUM_SCHEMA)
+    index.add(("A", "x"), {"title": "X", "year": 2000})
+    assert index.query("year", "2000") == [("A", "x")]
+    text_index = LocalSecondaryIndex(SONG_SCHEMA)
+    text_index.add(("A", "x", "s"),
+                   {"title": "s", "lyrics": "LOVE Me Do", "duration": 1})
+    assert text_index.query("lyrics", "love me") == [("A", "x", "s")]

@@ -1,0 +1,127 @@
+"""Router: URI routing, HTTP-ish semantics, index queries, transactions."""
+
+from tests.espresso.conftest import put_album, put_song
+
+
+def test_put_and_get_roundtrip(router):
+    response = put_album(router, "Akon", "Trouble", 2004)
+    assert response.status == 200
+    assert response.etag
+    fetched = router.get("/Music/Album/Akon/Trouble")
+    assert fetched.status == 200
+    assert fetched.body.document == {"title": "Trouble", "year": 2004}
+    assert fetched.etag == response.etag
+
+
+def test_get_missing_is_404(router):
+    assert router.get("/Music/Album/Ghost/Nothing").status == 404
+
+
+def test_unknown_database_rejected(router):
+    assert router.get("/Films/Album/X/Y").status == 400
+    assert router.put("/Films/Album/X/Y", {}).status == 400
+
+
+def test_collection_get(router):
+    put_album(router, "Babyface", "Lovers", 1986)
+    put_album(router, "Babyface", "A_Closer_Look", 1991)
+    put_album(router, "Babyface", "Face2Face", 2001)
+    response = router.get("/Music/Album/Babyface")
+    assert response.status == 200
+    assert [r.key[1] for r in response.body] == \
+        ["A_Closer_Look", "Face2Face", "Lovers"]
+
+
+def test_empty_collection_is_404(router):
+    assert router.get("/Music/Album/Nobody").status == 404
+
+
+def test_requests_route_to_partition_master(router, cluster):
+    put_album(router, "Akon", "Trouble", 2004)
+    partition = cluster.database.partition_for("Akon")
+    master = cluster.master_node(partition)
+    assert master.local.table("Album").contains(("Akon", "Trouble"))
+
+
+def test_conditional_put(router):
+    first = put_album(router, "Akon", "Trouble", 2004)
+    ok = router.put("/Music/Album/Akon/Trouble",
+                    {"title": "Trouble", "year": 2005},
+                    if_match=first.etag)
+    assert ok.status == 200
+    stale = router.put("/Music/Album/Akon/Trouble",
+                       {"title": "Trouble", "year": 2006},
+                       if_match=first.etag)
+    assert stale.status == 412
+    assert router.get("/Music/Album/Akon/Trouble").body.document["year"] == 2005
+
+
+def test_delete(router):
+    put_album(router, "Akon", "Trouble", 2004)
+    assert router.delete("/Music/Album/Akon/Trouble").status == 200
+    assert router.get("/Music/Album/Akon/Trouble").status == 404
+    assert router.delete("/Music/Album/Akon/Trouble").status == 404
+
+
+def test_index_query_via_uri(router):
+    put_song(router, "The_Beatles", "Sgt._Pepper", "Lucy_in_the_Sky",
+             lyrics="Lucy in the sky with diamonds")
+    put_song(router, "The_Beatles", "Magical_Mystery_Tour", "I_am_the_Walrus",
+             lyrics="I am the eggman, I am the walrus, Lucy")
+    put_song(router, "The_Beatles", "Abbey_Road", "Something",
+             lyrics="Something in the way she moves")
+    response = router.get('/Music/Song/The_Beatles?query=lyrics:"Lucy in the sky"')
+    assert response.status == 200
+    assert [r.key[2] for r in response.body] == ["Lucy_in_the_Sky"]
+    # the paper's looser single-term example returns both Lucy songs
+    both = router.get("/Music/Song/The_Beatles?query=lyrics:Lucy")
+    assert {r.key[2] for r in both.body} == {"Lucy_in_the_Sky",
+                                             "I_am_the_Walrus"}
+
+
+def test_index_query_scoped_to_resource(router):
+    put_song(router, "The_Beatles", "SP", "Lucy", lyrics="diamonds forever")
+    put_song(router, "Etta_James", "Gold", "At_Last", lyrics="diamonds sparkle")
+    response = router.get("/Music/Song/The_Beatles?query=lyrics:diamonds")
+    assert [r.key[0] for r in response.body] == ["The_Beatles"]
+
+
+def test_bad_index_query_is_400(router):
+    assert router.get("/Music/Song/The_Beatles?query=nocolon").status == 400
+
+
+def test_transactional_multi_table_post(router, cluster):
+    ops = [
+        ("put", "Album", ("Akon", "Trouble"), {"title": "Trouble", "year": 2004}),
+        ("put", "Song", ("Akon", "Trouble", "Locked_Up"),
+         {"title": "Locked Up", "lyrics": None, "duration": 233}),
+        ("put", "Song", ("Akon", "Trouble", "Lonely"),
+         {"title": "Lonely", "lyrics": None, "duration": 237}),
+    ]
+    response = router.post_transaction("Music", "Akon", ops)
+    assert response.status == 200
+    assert router.get("/Music/Album/Akon/Trouble").status == 200
+    assert len(router.get("/Music/Song/Akon").body) == 2
+
+
+def test_transaction_abort_is_409_and_atomic(router):
+    ops = [
+        ("put", "Album", ("Akon", "Trouble"), {"title": "T", "year": 2004}),
+        ("delete", "Song", ("Akon", "Ghost", "Nope"), None),
+    ]
+    assert router.post_transaction("Music", "Akon", ops).status == 409
+    assert router.get("/Music/Album/Akon/Trouble").status == 404
+
+
+def test_routing_survives_failover(router, cluster):
+    put_album(router, "Akon", "Trouble", 2004)
+    cluster.pump_replication()
+    partition = cluster.database.partition_for("Akon")
+    master = cluster.master_node(partition)
+    cluster.crash_node(master.instance_name)
+    cluster.failover()
+    response = router.get("/Music/Album/Akon/Trouble")
+    assert response.status == 200
+    assert response.body.document["year"] == 2004
+    # writes work against the new master too
+    assert put_album(router, "Akon", "Stadium", 2011).status == 200

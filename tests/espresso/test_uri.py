@@ -1,0 +1,71 @@
+"""URI parsing for the hierarchical document model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.espresso import parse_uri
+from repro.espresso.uri import parse_index_query
+
+
+def test_singleton_resource():
+    uri = parse_uri("/Music/Artist/Rolling_Stones")
+    assert uri.database == "Music"
+    assert uri.table == "Artist"
+    assert uri.resource_id == "Rolling_Stones"
+    assert uri.key == ("Rolling_Stones",)
+    assert uri.is_collection
+
+
+def test_subresources():
+    uri = parse_uri("/Music/Song/Etta_James/Gold/At_Last")
+    assert uri.key == ("Etta_James", "Gold", "At_Last")
+    assert not uri.is_collection
+
+
+def test_collection_uri():
+    uri = parse_uri("/Music/Song/The_Beatles")
+    assert uri.is_collection
+    assert uri.resource_id == "The_Beatles"
+
+
+def test_query_parameter():
+    uri = parse_uri('/Music/Song/The_Beatles?query=lyrics:"Lucy in the sky"')
+    assert uri.query == 'lyrics:"Lucy in the sky"'
+
+
+def test_full_url_accepted():
+    uri = parse_uri("http://host:1234/Music/Artist/Cher")
+    assert uri.database == "Music"
+    assert uri.resource_id == "Cher"
+
+
+def test_percent_decoding():
+    uri = parse_uri("/Music/Artist/Guns%20N%20Roses")
+    assert uri.resource_id == "Guns N Roses"
+
+
+def test_wildcard_table_is_transactional():
+    assert parse_uri("/Music/*/Akon").is_transactional
+
+
+def test_too_short_rejected():
+    with pytest.raises(ConfigurationError):
+        parse_uri("/Music")
+    with pytest.raises(ConfigurationError):
+        parse_uri("relative/path")
+
+
+def test_key_requires_resource():
+    uri = parse_uri("/Music/Artist")
+    with pytest.raises(ConfigurationError):
+        uri.key
+
+
+def test_parse_index_query():
+    assert parse_index_query("year:2004") == ("year", "2004")
+    assert parse_index_query('lyrics:"Lucy in the sky"') == ("lyrics",
+                                                             "Lucy in the sky")
+    with pytest.raises(ConfigurationError):
+        parse_index_query("no-colon")
+    with pytest.raises(ConfigurationError):
+        parse_index_query("field:")

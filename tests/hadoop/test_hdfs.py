@@ -1,0 +1,85 @@
+"""MiniHDFS write-once namespace semantics."""
+
+import pytest
+
+from repro.hadoop import FileAlreadyExistsError, FileNotFoundInHDFSError, MiniHDFS
+
+
+@pytest.fixture
+def hdfs():
+    return MiniHDFS()
+
+
+def test_create_and_read(hdfs):
+    hdfs.create("/data/x", b"hello")
+    assert hdfs.read("/data/x") == b"hello"
+    assert hdfs.size("/data/x") == 5
+
+
+def test_files_are_write_once(hdfs):
+    hdfs.create("/x", b"a")
+    with pytest.raises(FileAlreadyExistsError):
+        hdfs.create("/x", b"b")
+
+
+def test_missing_file_raises(hdfs):
+    with pytest.raises(FileNotFoundInHDFSError):
+        hdfs.read("/nope")
+    with pytest.raises(FileNotFoundInHDFSError):
+        hdfs.size("/nope")
+
+
+def test_relative_paths_rejected(hdfs):
+    with pytest.raises(ValueError):
+        hdfs.create("relative", b"")
+
+
+def test_path_normalization(hdfs):
+    hdfs.create("/a//b/", b"x")
+    assert hdfs.read("/a/b") == b"x"
+
+
+def test_listdir_shows_files_and_subdirs(hdfs):
+    hdfs.create("/out/part-00000", b"")
+    hdfs.create("/out/part-00001", b"")
+    hdfs.create("/out/sub/inner", b"")
+    assert hdfs.listdir("/out") == ["part-00000", "part-00001", "sub"]
+
+
+def test_listdir_missing_directory(hdfs):
+    with pytest.raises(FileNotFoundInHDFSError):
+        hdfs.listdir("/ghost")
+
+
+def test_glob_files_recursive(hdfs):
+    hdfs.create("/j/a", b"")
+    hdfs.create("/j/sub/b", b"")
+    hdfs.create("/other", b"")
+    assert hdfs.glob_files("/j") == ["/j/a", "/j/sub/b"]
+
+
+def test_read_chunks_reassembles(hdfs):
+    payload = bytes(range(256)) * 40
+    hdfs.create("/big", payload)
+    chunks = list(hdfs.read_chunks("/big", chunk_size=1000))
+    assert b"".join(chunks) == payload
+    assert all(len(c) <= 1000 for c in chunks)
+    with pytest.raises(ValueError):
+        list(hdfs.read_chunks("/big", chunk_size=0))
+
+
+def test_delete_file_and_subtree(hdfs):
+    hdfs.create("/d/x", b"")
+    hdfs.create("/d/y", b"")
+    assert hdfs.delete("/d/x") == 1
+    assert hdfs.delete("/d", recursive=True) == 1
+    with pytest.raises(FileNotFoundInHDFSError):
+        hdfs.delete("/d/x")
+
+
+def test_io_accounting(hdfs):
+    hdfs.create("/x", b"12345")
+    hdfs.read("/x")
+    assert hdfs.bytes_written == 5
+    assert hdfs.bytes_read == 5
+    assert hdfs.total_bytes() == 5

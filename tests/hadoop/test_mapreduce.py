@@ -1,0 +1,107 @@
+"""MapReduce runner: partitioning, sort order, determinism."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hadoop import MapReduceJob, MiniHDFS, run_job
+
+
+def word_count_job(num_reducers=2):
+    def mapper(line):
+        for word in line.split():
+            yield word.encode(), b"1"
+
+    def reducer(key, values):
+        yield key + b"\t" + str(len(values)).encode() + b"\n"
+
+    return MapReduceJob("wordcount", mapper, reducer, num_reducers)
+
+
+def test_word_count_end_to_end():
+    hdfs = MiniHDFS()
+    counters = run_job(word_count_job(), ["a b a", "b c"], hdfs, "/out")
+    assert counters.map_input_records == 2
+    assert counters.map_output_records == 5
+    assert counters.reduce_input_groups == 3
+    merged = b"".join(hdfs.read(p) for p in hdfs.glob_files("/out"))
+    rows = dict(line.split(b"\t") for line in merged.splitlines())
+    assert rows == {b"a": b"2", b"b": b"2", b"c": b"1"}
+
+
+def test_one_part_file_per_reducer():
+    hdfs = MiniHDFS()
+    run_job(word_count_job(num_reducers=4), ["x"], hdfs, "/out")
+    assert hdfs.listdir("/out") == [f"part-{i:05d}" for i in range(4)]
+
+
+def test_reducer_sees_keys_in_sorted_order():
+    hdfs = MiniHDFS()
+    seen = []
+
+    def mapper(record):
+        yield record, b""
+
+    def reducer(key, values):
+        seen.append(key)
+        return []
+
+    job = MapReduceJob("sortcheck", mapper, reducer, num_reducers=1)
+    run_job(job, [b"zebra", b"apple", b"mango"], hdfs, "/out")
+    assert seen == sorted(seen)
+
+
+def test_partitioner_routes_keys():
+    hdfs = MiniHDFS()
+
+    def mapper(record):
+        yield record, b"v"
+
+    def reducer(key, values):
+        yield key + b"\n"
+
+    def by_first_byte(key, n):
+        return key[0] % n
+
+    job = MapReduceJob("route", mapper, reducer, num_reducers=2,
+                       partitioner=by_first_byte)
+    run_job(job, [b"\x00even", b"\x01odd", b"\x02even2"], hdfs, "/out")
+    assert hdfs.read("/out/part-00000") == b"\x00even\n\x02even2\n"
+    assert hdfs.read("/out/part-00001") == b"\x01odd\n"
+
+
+def test_bad_partitioner_detected():
+    hdfs = MiniHDFS()
+    job = MapReduceJob("bad", lambda r: [(b"k", b"v")],
+                       lambda k, v: [], num_reducers=2,
+                       partitioner=lambda key, n: 5)
+    with pytest.raises(ConfigurationError):
+        run_job(job, [1], hdfs, "/out")
+
+
+def test_mapper_type_errors_detected():
+    hdfs = MiniHDFS()
+    job = MapReduceJob("bad", lambda r: [("str", b"v")], lambda k, v: [])
+    with pytest.raises(TypeError):
+        run_job(job, [1], hdfs, "/out")
+
+
+def test_reducer_type_errors_detected():
+    hdfs = MiniHDFS()
+    job = MapReduceJob("bad", lambda r: [(b"k", b"v")], lambda k, v: ["str"])
+    with pytest.raises(TypeError):
+        run_job(job, [1], hdfs, "/out")
+
+
+def test_zero_reducers_rejected():
+    with pytest.raises(ConfigurationError):
+        MapReduceJob("bad", lambda r: [], lambda k, v: [], num_reducers=0)
+
+
+def test_deterministic_output():
+    def run_once():
+        hdfs = MiniHDFS()
+        run_job(word_count_job(3), ["the quick brown fox", "the lazy dog"],
+                hdfs, "/out")
+        return [hdfs.read(p) for p in hdfs.glob_files("/out")]
+
+    assert run_once() == run_once()

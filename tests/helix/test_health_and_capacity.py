@@ -1,0 +1,134 @@
+"""Health monitoring SLAs and capacity-aware placement (§IV.B)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.helix import MASTER_SLAVE, compute_ideal_state
+from repro.helix.health import AlertCode, HealthMonitor, HealthSLA, Severity
+from repro.helix.idealstate import compute_weighted_ideal_state
+
+from tests.helix.test_controller import build_cluster
+
+
+class TestHealthMonitor:
+    def test_healthy_cluster_has_no_alerts(self):
+        _, controller, _ = build_cluster()
+        controller.converge()
+        monitor = HealthMonitor(controller)
+        assert monitor.evaluate() == []
+        assert monitor.is_healthy()
+
+    def test_sla_validation(self):
+        with pytest.raises(ConfigurationError):
+            HealthSLA(min_live_instance_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            HealthSLA(max_master_imbalance=-1)
+
+    def test_under_replication_detected(self):
+        _, controller, participants = build_cluster(partitions=4, replicas=2)
+        controller.converge()
+        victim = next(iter(participants))
+        participants[victim].disconnect()
+        controller.converge()  # failover happened, but replicas are short
+        monitor = HealthMonitor(controller,
+                                HealthSLA(min_live_instance_fraction=0.1))
+        alerts = monitor.evaluate()
+        codes = {a.code for a in alerts}
+        assert AlertCode.UNDER_REPLICATED in codes
+        assert AlertCode.NO_MASTER not in codes  # failover covered masters
+
+    def test_no_master_detected_before_failover(self):
+        _, controller, participants = build_cluster(partitions=4, replicas=2)
+        controller.converge()
+        victim = controller.ideal_state("Album").ideal_master(0)
+        participants[victim].disconnect()
+        # no converge: the controller has not reacted yet
+        monitor = HealthMonitor(controller,
+                                HealthSLA(min_live_instance_fraction=0.1))
+        alerts = monitor.evaluate()
+        assert any(a.code is AlertCode.NO_MASTER
+                   and a.severity is Severity.CRITICAL for a in alerts)
+        # after the controller reacts, the alert clears
+        controller.converge()
+        assert not any(a.code is AlertCode.NO_MASTER
+                       for a in monitor.evaluate())
+
+    def test_instances_down_sla(self):
+        _, controller, participants = build_cluster()
+        controller.converge()
+        for participant in list(participants.values())[:2]:
+            participant.disconnect()
+        controller.converge()
+        monitor = HealthMonitor(controller,
+                                HealthSLA(min_live_instance_fraction=0.67))
+        alerts = monitor.critical_alerts()
+        assert any(a.code is AlertCode.INSTANCES_DOWN for a in alerts)
+
+    def test_alert_history_accumulates(self):
+        _, controller, participants = build_cluster()
+        controller.converge()
+        monitor = HealthMonitor(controller)
+        monitor.evaluate()
+        next(iter(participants.values())).disconnect()
+        monitor.evaluate()
+        assert monitor.evaluations == 2
+        assert monitor.alert_history  # the failure sweep recorded alerts
+
+    def test_alert_string_rendering(self):
+        _, controller, participants = build_cluster()
+        controller.converge()
+        next(iter(participants.values())).disconnect()
+        monitor = HealthMonitor(controller,
+                                HealthSLA(min_live_instance_fraction=0.1))
+        alerts = monitor.evaluate()
+        rendered = str(alerts[0])
+        assert alerts[0].code.value in rendered
+
+
+class TestCapacityAwarePlacement:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compute_weighted_ideal_state("r", {}, 4, 1, MASTER_SLAVE)
+        with pytest.raises(ConfigurationError):
+            compute_weighted_ideal_state("r", {"a": 0}, 4, 1, MASTER_SLAVE)
+        with pytest.raises(ConfigurationError):
+            compute_weighted_ideal_state("r", {"a": 1}, 4, 2, MASTER_SLAVE)
+
+    def test_masters_proportional_to_capacity(self):
+        ideal = compute_weighted_ideal_state(
+            "r", {"big": 2.0, "small-1": 1.0, "small-2": 1.0},
+            num_partitions=12, replicas=2, state_model=MASTER_SLAVE)
+        counts = ideal.master_counts()
+        assert counts["big"] == 6
+        assert counts["small-1"] == 3
+        assert counts["small-2"] == 3
+
+    def test_equal_capacity_matches_unweighted_balance(self):
+        weighted = compute_weighted_ideal_state(
+            "r", {"a": 1.0, "b": 1.0, "c": 1.0}, 9, 2, MASTER_SLAVE)
+        unweighted = compute_ideal_state("r", ["a", "b", "c"], 9, 2,
+                                         MASTER_SLAVE)
+        assert sorted(weighted.master_counts().values()) == \
+            sorted(unweighted.master_counts().values())
+
+    def test_preference_lists_are_distinct(self):
+        ideal = compute_weighted_ideal_state(
+            "r", {"a": 3.0, "b": 1.0, "c": 1.0}, 10, 3, MASTER_SLAVE)
+        for partition in range(10):
+            plist = ideal.preference_list(partition)
+            assert len(set(plist)) == len(plist) == 3
+
+    def test_largest_remainder_rounds_sensibly(self):
+        ideal = compute_weighted_ideal_state(
+            "r", {"a": 1.0, "b": 1.0, "c": 1.0}, 10, 1, MASTER_SLAVE)
+        counts = sorted(ideal.master_counts().values())
+        assert counts == [3, 3, 4]
+
+    def test_masters_interleaved_not_clumped(self):
+        ideal = compute_weighted_ideal_state(
+            "r", {"big": 3.0, "small": 1.0}, 8, 1, MASTER_SLAVE)
+        masters = [ideal.ideal_master(p) for p in range(8)]
+        # the small node's masterships are spread out, not all at the end
+        small_positions = [i for i, m in enumerate(masters) if m == "small"]
+        assert small_positions
+        assert small_positions[0] < 6

@@ -1,0 +1,53 @@
+"""State model definitions and transition-path computation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.helix import MASTER_SLAVE, ONLINE_OFFLINE, StateModelDef
+
+
+def test_master_slave_legal_edges():
+    assert MASTER_SLAVE.is_legal("OFFLINE", "SLAVE")
+    assert MASTER_SLAVE.is_legal("SLAVE", "MASTER")
+    assert not MASTER_SLAVE.is_legal("OFFLINE", "MASTER")
+    assert not MASTER_SLAVE.is_legal("MASTER", "OFFLINE")
+
+
+def test_next_step_direct():
+    assert MASTER_SLAVE.next_step("OFFLINE", "SLAVE") == "SLAVE"
+    assert MASTER_SLAVE.next_step("SLAVE", "MASTER") == "MASTER"
+
+
+def test_next_step_multi_hop():
+    # OFFLINE -> MASTER requires passing through SLAVE
+    assert MASTER_SLAVE.next_step("OFFLINE", "MASTER") == "SLAVE"
+    # MASTER -> OFFLINE requires demotion first
+    assert MASTER_SLAVE.next_step("MASTER", "OFFLINE") == "SLAVE"
+    # MASTER -> DROPPED: three hops, first is SLAVE
+    assert MASTER_SLAVE.next_step("MASTER", "DROPPED") == "SLAVE"
+
+
+def test_next_step_same_state_is_none():
+    assert MASTER_SLAVE.next_step("SLAVE", "SLAVE") is None
+
+
+def test_next_step_unreachable_is_none():
+    assert MASTER_SLAVE.next_step("DROPPED", "MASTER") is None
+
+
+def test_state_counts_resolution():
+    assert MASTER_SLAVE.max_per_partition("MASTER", replica_count=3) == 1
+    assert MASTER_SLAVE.max_per_partition("SLAVE", replica_count=3) == 3
+    assert MASTER_SLAVE.max_per_partition("OFFLINE", replica_count=3) > 100
+
+
+def test_online_offline_model():
+    assert ONLINE_OFFLINE.next_step("OFFLINE", "ONLINE") == "ONLINE"
+    assert ONLINE_OFFLINE.initial_state == "OFFLINE"
+
+
+def test_invalid_model_rejected():
+    with pytest.raises(ConfigurationError):
+        StateModelDef("Bad", "MISSING", ("A",), ())
+    with pytest.raises(ConfigurationError):
+        StateModelDef("Bad", "A", ("A",), (("A", "B"),))

@@ -1,0 +1,120 @@
+"""Chaos test: random operations under random failures.
+
+The invariant under test is the paper's core availability/consistency
+story for R+W>N quorums: every write the cluster *acknowledged* remains
+readable (its value or a causally newer one) once the cluster heals and
+repair mechanisms run.  Unacknowledged writes may or may not survive —
+that is allowed — but acknowledged ones must.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import (
+    InsufficientOperationalNodesError,
+    KeyNotFoundError,
+    ObsoleteVersionError,
+)
+from repro.voldemort import RoutedStore, StoreDefinition, Versioned, VoldemortCluster
+from repro.voldemort.slop import SlopPusherService
+
+
+@pytest.mark.parametrize("seed", [1, 7, 21, 99])
+def test_acknowledged_writes_survive_chaos(seed):
+    rng = random.Random(seed)
+    cluster = VoldemortCluster(num_nodes=5, partitions_per_node=4, seed=seed)
+    cluster.define_store(StoreDefinition(
+        "chaos", replication_factor=3, required_reads=2, required_writes=2))
+    routed = RoutedStore(cluster, "chaos")
+    pusher = SlopPusherService(cluster, interval=1.0)
+
+    keys = [b"key-%02d" % i for i in range(20)]
+    acknowledged: dict[bytes, bytes] = {}
+    crashed: set[int] = set()
+
+    for step in range(400):
+        action = rng.random()
+        if action < 0.05 and len(crashed) < 2:
+            victim = rng.choice([n for n in cluster.ring.nodes
+                                 if n not in crashed])
+            crashed.add(victim)
+            cluster.network.failures.crash(cluster.node_name(victim))
+        elif action < 0.10 and crashed:
+            healed = rng.choice(sorted(crashed))
+            crashed.discard(healed)
+            cluster.network.failures.recover(cluster.node_name(healed))
+            routed.detector.mark_up(healed)
+        elif action < 0.55:
+            key = rng.choice(keys)
+            value = b"v-%d" % step
+            try:
+                current = routed.get(key)[0]
+                clock = current[0].clock.incremented(0)
+            except (KeyNotFoundError, InsufficientOperationalNodesError):
+                clock = None
+            try:
+                if clock is None:
+                    routed.put(key, Versioned.initial(value, 0))
+                else:
+                    routed.put(key, Versioned(value, clock))
+                acknowledged[key] = value
+            except (InsufficientOperationalNodesError, ObsoleteVersionError):
+                pass  # unacknowledged; no promise made
+        else:
+            key = rng.choice(keys)
+            try:
+                routed.get(key)
+            except (KeyNotFoundError, InsufficientOperationalNodesError):
+                pass
+
+    # heal everything and drain the repair machinery
+    for node_id in sorted(crashed):
+        cluster.network.failures.recover(cluster.node_name(node_id))
+        routed.detector.mark_up(node_id)
+    for _ in range(3):
+        pusher.push_once()
+
+    for key, value in acknowledged.items():
+        frontier, _ = routed.get(key)
+        values = {v.value for v in frontier}
+        assert value in values, (
+            f"acknowledged write {value!r} for {key!r} lost; "
+            f"surviving versions: {values}")
+
+
+@pytest.mark.parametrize("seed", [3, 13])
+def test_quorum_never_reads_deleted_data_back(seed):
+    """After an acknowledged delete (tombstone quorum), the key stays
+    gone — a common anti-entropy bug class."""
+    rng = random.Random(seed)
+    cluster = VoldemortCluster(num_nodes=4, partitions_per_node=4, seed=seed)
+    cluster.define_store(StoreDefinition("chaos", 3, 2, 2))
+    routed = RoutedStore(cluster, "chaos")
+    keys = [b"k-%d" % i for i in range(10)]
+    deleted: set[bytes] = set()
+    for step in range(200):
+        key = rng.choice(keys)
+        try:
+            frontier = routed.get(key)[0]
+        except (KeyNotFoundError, InsufficientOperationalNodesError):
+            frontier = []
+        clock = frontier[0].clock if frontier else None
+        if rng.random() < 0.3 and clock is not None:
+            try:
+                routed.delete(key, Versioned(None, clock.incremented(0)))
+                deleted.add(key)
+            except (InsufficientOperationalNodesError, ObsoleteVersionError):
+                pass
+        else:
+            try:
+                if clock is None:
+                    routed.put(key, Versioned.initial(b"x", 0))
+                else:
+                    routed.put(key, Versioned(b"x", clock.incremented(0)))
+                deleted.discard(key)
+            except (InsufficientOperationalNodesError, ObsoleteVersionError):
+                pass
+    for key in deleted:
+        with pytest.raises(KeyNotFoundError):
+            routed.get(key)

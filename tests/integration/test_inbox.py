@@ -1,0 +1,135 @@
+"""The paper's mailbox example on Espresso.
+
+§III.B's transaction-boundary example: "a single user's action can
+trigger atomic updates to multiple rows across stores/tables, e.g. an
+insert into a member's mailbox and update on the member's mailbox
+unread count."  §IV.D notes "test deployments for users' inbox content
+are underway" — so we run the inbox workload against Espresso,
+verifying atomicity, downstream window atomicity, and failover safety.
+"""
+
+import pytest
+
+from repro.common.serialization import Field, RecordSchema
+from repro.espresso import DatabaseSchema, EspressoCluster, EspressoTableSchema, Router
+
+MAILBOX_DB = DatabaseSchema(
+    name="Mailbox", num_partitions=8, replication_factor=2,
+    tables=(
+        EspressoTableSchema("Message", ("member", "message_id")),
+        EspressoTableSchema("Counts", ("member",)),
+    ))
+MESSAGE = RecordSchema("Message", [
+    Field("sender", "string"),
+    Field("subject", "string", free_text=True),
+    Field("read", "boolean"),
+])
+COUNTS = RecordSchema("Counts", [Field("unread", "long"),
+                                 Field("total", "long")])
+
+
+@pytest.fixture
+def cluster():
+    built = EspressoCluster(MAILBOX_DB, num_nodes=3)
+    built.post_document_schema("Message", MESSAGE)
+    built.post_document_schema("Counts", COUNTS)
+    built.start()
+    return built
+
+
+@pytest.fixture
+def router(cluster):
+    return Router(cluster)
+
+
+def deliver(router, member, message_id, sender, subject, unread, total):
+    """One user-visible action = one transaction over two tables."""
+    return router.post_transaction("Mailbox", member, [
+        ("put", "Message", (member, message_id),
+         {"sender": sender, "subject": subject, "read": False}),
+        ("put", "Counts", (member,), {"unread": unread, "total": total}),
+    ])
+
+
+def test_delivery_updates_both_tables_atomically(router):
+    assert deliver(router, "bob", "m-001", "alice", "hello",
+                   unread=1, total=1).status == 200
+    message = router.get("/Mailbox/Message/bob/m-001").body
+    counts = router.get("/Mailbox/Counts/bob").body
+    assert message.document["sender"] == "alice"
+    assert counts.document == {"unread": 1, "total": 1}
+
+
+def test_failed_transaction_leaves_counts_untouched(router):
+    deliver(router, "bob", "m-001", "alice", "hello", 1, 1)
+    response = router.post_transaction("Mailbox", "bob", [
+        ("put", "Message", ("bob", "m-002"),
+         {"sender": "carol", "subject": "hi", "read": False}),
+        ("delete", "Counts", ("ghost",), None),  # cross-resource: abort
+    ])
+    assert response.status == 409
+    assert router.get("/Mailbox/Message/bob/m-002").status == 404
+    assert router.get("/Mailbox/Counts/bob").body.document["unread"] == 1
+
+
+def test_inbox_collection_and_search(router):
+    deliver(router, "bob", "m-001", "alice", "quarterly report", 1, 1)
+    deliver(router, "bob", "m-002", "carol", "lunch tomorrow", 2, 2)
+    deliver(router, "bob", "m-003", "alice", "report feedback", 3, 3)
+    inbox = router.get("/Mailbox/Message/bob").body
+    assert [r.key[1] for r in inbox] == ["m-001", "m-002", "m-003"]
+    hits = router.get("/Mailbox/Message/bob?query=subject:report").body
+    assert {r.key[1] for r in hits} == {"m-001", "m-003"}
+
+
+def test_downstream_sees_delivery_as_one_window(cluster, router):
+    from repro.databus.client import DatabusClient, DatabusConsumer
+    from repro.espresso.storage import partition_buffer_name
+
+    deliver(router, "bob", "m-001", "alice", "hello", 1, 1)
+    partition = MAILBOX_DB.partition_for("bob")
+    windows = []
+
+    class Collector(DatabusConsumer):
+        def __init__(self):
+            self.current = []
+
+        def on_data_event(self, event):
+            self.current.append(event.source)
+
+        def on_end_window(self, scn):
+            windows.append(tuple(self.current))
+            self.current.clear()
+
+    DatabusClient(Collector(), cluster.relay,
+                  buffer_name=partition_buffer_name("Mailbox", partition)
+                  ).run_to_head()
+    assert windows == [("Message", "Counts")]
+
+
+def test_unread_count_consistent_through_failover(cluster, router):
+    for i in range(5):
+        deliver(router, "bob", f"m-{i:03d}", "alice", f"msg {i}",
+                unread=i + 1, total=i + 1)
+    cluster.pump_replication()
+    partition = MAILBOX_DB.partition_for("bob")
+    cluster.crash_node(cluster.master_node(partition).instance_name)
+    cluster.failover()
+    counts = router.get("/Mailbox/Counts/bob").body
+    inbox = router.get("/Mailbox/Message/bob").body
+    # the invariant the transaction protects: counts match the mailbox
+    assert counts.document["total"] == len(inbox) == 5
+    assert counts.document["unread"] == 5
+
+
+def test_read_marks_update_unread_count(router):
+    deliver(router, "bob", "m-001", "alice", "hello", 1, 1)
+    # reading the message: two-table transaction the other way
+    response = router.post_transaction("Mailbox", "bob", [
+        ("put", "Message", ("bob", "m-001"),
+         {"sender": "alice", "subject": "hello", "read": True}),
+        ("put", "Counts", ("bob",), {"unread": 0, "total": 1}),
+    ])
+    assert response.status == 200
+    assert router.get("/Mailbox/Message/bob/m-001").body.document["read"]
+    assert router.get("/Mailbox/Counts/bob").body.document["unread"] == 0

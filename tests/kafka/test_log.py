@@ -1,0 +1,198 @@
+"""Partition logs: segments, flush visibility, retention, recovery."""
+
+import os
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigurationError, OffsetOutOfRangeError
+from repro.kafka.log import MessageIdIndexedLog, PartitionLog
+from repro.kafka.message import Message, MessageSet, iter_messages
+
+
+def make_log(tmp_path, **kwargs):
+    kwargs.setdefault("clock", SimClock())
+    return PartitionLog(str(tmp_path / "p0"), **kwargs)
+
+
+def payloads_in(log, offset=0, max_bytes=1 << 20):
+    data = log.read(offset, max_bytes)
+    return [d.message.payload for d in iter_messages(data, offset)]
+
+
+def test_append_assigns_byte_offsets(tmp_path):
+    log = make_log(tmp_path)
+    first = log.append(MessageSet([Message(b"aaa")]))
+    second = log.append(MessageSet([Message(b"bbbb")]))
+    assert first == 0
+    assert second == Message(b"aaa").wire_size
+    log.close()
+
+
+def test_read_returns_appended_messages(tmp_path):
+    log = make_log(tmp_path)
+    log.append(MessageSet([Message(b"one"), Message(b"two")]))
+    assert payloads_in(log) == [b"one", b"two"]
+    log.close()
+
+
+def test_flush_gates_visibility(tmp_path):
+    log = make_log(tmp_path, flush_interval_messages=10)
+    log.append(MessageSet([Message(b"pending")]))
+    assert log.read(0) == b""  # not flushed yet
+    assert log.high_watermark == 0
+    log.flush()
+    assert payloads_in(log) == [b"pending"]
+    log.close()
+
+
+def test_flush_by_message_count(tmp_path):
+    log = make_log(tmp_path, flush_interval_messages=3)
+    for i in range(2):
+        log.append(MessageSet([Message(b"x")]))
+    assert log.high_watermark == 0
+    log.append(MessageSet([Message(b"x")]))
+    assert log.high_watermark == log.log_end_offset
+    log.close()
+
+
+def test_flush_by_elapsed_time(tmp_path):
+    clock = SimClock()
+    log = make_log(tmp_path, clock=clock, flush_interval_messages=1000,
+                   flush_interval_seconds=5.0)
+    log.append(MessageSet([Message(b"early")]))
+    assert log.high_watermark == 0
+    clock.advance(6.0)
+    log.append(MessageSet([Message(b"later")]))
+    assert log.high_watermark == log.log_end_offset
+    log.close()
+
+
+def test_segments_roll_at_size(tmp_path):
+    log = make_log(tmp_path, segment_bytes=200)
+    for i in range(20):
+        log.append(MessageSet([Message(bytes(30))]))
+    assert len(log.segment_base_offsets()) > 1
+    bases = log.segment_base_offsets()
+    assert bases == sorted(bases)
+    log.close()
+
+
+def test_read_across_segments(tmp_path):
+    log = make_log(tmp_path, segment_bytes=100)
+    sent = []
+    for i in range(30):
+        payload = f"m{i:02d}".encode()
+        sent.append(payload)
+        log.append(MessageSet([Message(payload)]))
+    # read the whole log by following next_offsets
+    got = []
+    offset = 0
+    while offset < log.high_watermark:
+        chunk = log.read(offset, max_bytes=64)
+        decoded = list(iter_messages(chunk, offset))
+        if not decoded:
+            break
+        got.extend(d.message.payload for d in decoded)
+        offset = decoded[-1].next_offset
+    assert got == sent
+    log.close()
+
+
+def test_offset_out_of_range(tmp_path):
+    log = make_log(tmp_path)
+    log.append(MessageSet([Message(b"x")]))
+    with pytest.raises(OffsetOutOfRangeError):
+        log.read(9999)
+    with pytest.raises(ConfigurationError):
+        log.read(0, max_bytes=0)
+    log.close()
+
+
+def test_fetch_at_watermark_is_empty(tmp_path):
+    log = make_log(tmp_path)
+    log.append(MessageSet([Message(b"x")]))
+    assert log.read(log.high_watermark) == b""
+    log.close()
+
+
+def test_retention_deletes_old_segments(tmp_path):
+    clock = SimClock()
+    log = make_log(tmp_path, clock=clock, segment_bytes=100)
+    for i in range(10):
+        log.append(MessageSet([Message(bytes(40))]))
+    clock.advance(100.0)
+    old_oldest = log.oldest_offset
+    deleted = log.delete_old_segments(retention_seconds=50.0)
+    assert deleted > 0
+    assert log.oldest_offset > old_oldest
+    with pytest.raises(OffsetOutOfRangeError):
+        log.read(0)
+    # newest data still readable
+    assert log.read(log.oldest_offset) != b""
+    log.close()
+
+
+def test_retention_spares_recent_and_active(tmp_path):
+    clock = SimClock()
+    log = make_log(tmp_path, clock=clock, segment_bytes=100)
+    log.append(MessageSet([Message(bytes(40))]))
+    assert log.delete_old_segments(retention_seconds=50.0) == 0
+    log.close()
+
+
+def test_recovery_after_reopen(tmp_path):
+    clock = SimClock()
+    path = tmp_path / "p0"
+    log = PartitionLog(str(path), clock=clock, segment_bytes=150)
+    sent = []
+    for i in range(12):
+        payload = f"m{i}".encode()
+        sent.append(payload)
+        log.append(MessageSet([Message(payload)]))
+    end = log.high_watermark
+    log.close()
+    reopened = PartitionLog(str(path), clock=clock, segment_bytes=150)
+    assert reopened.high_watermark == end
+    got = []
+    offset = 0
+    while offset < reopened.high_watermark:
+        decoded = list(iter_messages(reopened.read(offset), offset))
+        got.extend(d.message.payload for d in decoded)
+        offset = decoded[-1].next_offset
+    assert got == sent
+    # appends continue at the right offset
+    assert reopened.append(MessageSet([Message(b"new")])) == end
+    reopened.close()
+
+
+def test_no_auxiliary_index_files(tmp_path):
+    """The design point: offsets are addresses, no id index on disk."""
+    log = make_log(tmp_path)
+    for i in range(50):
+        log.append(MessageSet([Message(b"x" * 20)]))
+    files = os.listdir(log.directory)
+    assert all(f.endswith(".kafka") for f in files)
+    log.close()
+
+
+def test_message_id_index_ablation(tmp_path):
+    indexed = MessageIdIndexedLog(str(tmp_path / "indexed"), clock=SimClock())
+    ids = []
+    for i in range(100):
+        ids.extend(indexed.append(MessageSet([Message(f"m{i}".encode())])))
+    assert ids == list(range(100))
+    assert indexed.index_entries() == 100  # O(messages) memory
+    data = indexed.read_by_id(42)
+    first = next(iter_messages(data, 0))
+    assert first.message.payload == b"m42"
+    with pytest.raises(OffsetOutOfRangeError):
+        indexed.read_by_id(9999)
+    indexed.close()
+
+
+def test_empty_message_set_rejected(tmp_path):
+    log = make_log(tmp_path)
+    with pytest.raises(ConfigurationError):
+        log.append(MessageSet([]))
+    log.close()

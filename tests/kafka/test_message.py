@@ -1,0 +1,94 @@
+"""Message framing, sets, compression, offset arithmetic."""
+
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ChecksumError
+from repro.kafka.message import (
+    ATTR_GZIP,
+    FRAME_OVERHEAD,
+    Message,
+    MessageSet,
+    iter_messages,
+)
+
+
+def test_encode_decode_single():
+    message = Message(b"test msg str")
+    decoded = list(iter_messages(message.encode()))
+    assert len(decoded) == 1
+    assert decoded[0].message.payload == b"test msg str"
+    assert decoded[0].next_offset == message.wire_size
+
+
+def test_next_offset_is_cumulative_length():
+    """'To compute the id of the next message, we have to add the
+    length of the current message to its id.'"""
+    messages = [Message(b"a"), Message(b"bb"), Message(b"ccc")]
+    data = MessageSet(messages).encode()
+    decoded = list(iter_messages(data, base_offset=100))
+    expected = 100
+    for original, got in zip(messages, decoded):
+        expected += original.wire_size
+        assert got.next_offset == expected
+
+
+def test_partial_tail_ignored():
+    data = MessageSet([Message(b"whole")]).encode()
+    truncated = data + Message(b"partial").encode()[:-3]
+    decoded = list(iter_messages(truncated))
+    assert [d.message.payload for d in decoded] == [b"whole"]
+
+
+def test_crc_corruption_detected():
+    data = bytearray(Message(b"payload-bytes").encode())
+    data[-1] ^= 0xFF
+    with pytest.raises(ChecksumError):
+        list(iter_messages(bytes(data)))
+
+
+def test_compressed_set_roundtrip():
+    originals = [Message(f"event-{i}".encode()) for i in range(50)]
+    compressed = MessageSet.compressed(originals)
+    assert len(compressed) == 1
+    assert compressed.messages[0].attributes == ATTR_GZIP
+    decoded = list(iter_messages(compressed.encode()))
+    assert [d.message.payload for d in decoded] == \
+        [m.payload for m in originals]
+
+
+def test_compressed_messages_share_wrapper_next_offset():
+    originals = [Message(b"a"), Message(b"b")]
+    compressed = MessageSet.compressed(originals)
+    wrapper_size = compressed.wire_size
+    decoded = list(iter_messages(compressed.encode(), base_offset=10))
+    assert all(d.next_offset == 10 + wrapper_size for d in decoded)
+
+
+def test_compression_shrinks_redundant_data():
+    originals = [Message(b"page_view member=123 page=feed " * 4)
+                 for _ in range(100)]
+    plain = MessageSet(originals)
+    compressed = MessageSet.compressed(originals)
+    assert compressed.wire_size < plain.wire_size / 2
+
+
+def test_wire_size_accounts_overhead():
+    assert Message(b"xyz").wire_size == FRAME_OVERHEAD + 3
+    assert len(Message(b"xyz").encode()) == Message(b"xyz").wire_size
+
+
+@given(st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=30))
+def test_roundtrip_property(payloads):
+    data = MessageSet([Message(p) for p in payloads]).encode()
+    decoded = [d.message.payload for d in iter_messages(data)]
+    assert decoded == payloads
+
+
+@given(st.lists(st.binary(min_size=1, max_size=100), min_size=1, max_size=20))
+def test_compression_roundtrip_property(payloads):
+    compressed = MessageSet.compressed([Message(p) for p in payloads])
+    decoded = [d.message.payload for d in iter_messages(compressed.encode())]
+    assert decoded == payloads

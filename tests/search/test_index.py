@@ -1,0 +1,90 @@
+"""Ranked inverted index: TF-IDF, boosts, feature layer."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.search import RankedInvertedIndex
+
+
+@pytest.fixture
+def index():
+    built = RankedInvertedIndex({"name": 3.0, "headline": 1.0})
+    built.add(1, {"name": "Jay Kreps", "headline": "Kafka infrastructure"})
+    built.add(2, {"name": "Ada Lovelace", "headline": "Kafka enthusiast"})
+    built.add(3, {"name": "Kafka Tamura", "headline": "Novel character"})
+    return built
+
+
+def test_boost_validation():
+    with pytest.raises(ConfigurationError):
+        RankedInvertedIndex({})
+    with pytest.raises(ConfigurationError):
+        RankedInvertedIndex({"name": 0})
+
+
+def test_all_matching_documents_returned(index):
+    hits = index.search("kafka")
+    assert {h.doc_id for h in hits} == {1, 2, 3}
+
+
+def test_name_field_outranks_headline(index):
+    hits = index.search("kafka")
+    assert hits[0].doc_id == 3  # name hit with boost 3.0
+
+
+def test_multi_term_accumulates(index):
+    hits = index.search("kafka infrastructure")
+    assert hits[0].doc_id == 1  # matches both terms
+
+
+def test_no_match_returns_empty(index):
+    assert index.search("espresso") == []
+    assert index.search("") == []
+    assert index.search("!!!") == []
+
+
+def test_rare_terms_weigh_more_than_common():
+    index = RankedInvertedIndex({"text": 1.0})
+    for i in range(10):
+        index.add(i, {"text": "engineer common"})
+    index.add(99, {"text": "engineer distributed"})
+    hits = index.search("distributed engineer")
+    assert hits[0].doc_id == 99  # the rare term dominates
+
+
+def test_update_replaces_document(index):
+    index.add(1, {"name": "Jay Kreps", "headline": "Samza now"})
+    assert all(h.doc_id != 1 for h in index.search("infrastructure"))
+    assert any(h.doc_id == 1 for h in index.search("samza"))
+
+
+def test_remove_document(index):
+    index.remove(3)
+    assert {h.doc_id for h in index.search("kafka")} == {1, 2}
+    assert len(index) == 2
+    index.remove(3)  # idempotent
+
+
+def test_limit(index):
+    assert len(index.search("kafka", limit=2)) == 2
+
+
+def test_feature_scorer_reranks(index):
+    # text-wise doc 3 wins "kafka"; a feature can override
+    hits = index.search("kafka",
+                        feature_scorer=lambda doc: 5.0 if doc == 2 else 0.0,
+                        feature_weight=1.0)
+    assert hits[0].doc_id == 2
+    assert hits[0].feature_score == 5.0
+    # with weight 0 the feature is ignored
+    hits = index.search("kafka",
+                        feature_scorer=lambda doc: 5.0 if doc == 2 else 0.0,
+                        feature_weight=0.0)
+    assert hits[0].doc_id == 3
+
+
+def test_empty_fields_not_indexed():
+    index = RankedInvertedIndex({"name": 1.0, "headline": 1.0})
+    index.add(1, {"name": "Solo", "headline": ""})
+    assert len(index) == 1
+    assert index.search("solo")[0].doc_id == 1

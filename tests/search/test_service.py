@@ -1,0 +1,105 @@
+"""People search fed by Databus, ranked with social features."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.databus import Relay, capture_from_binlog
+from repro.search import MEMBER_TABLE, PeopleSearchService
+from repro.socialgraph import PartitionedSocialGraph
+from repro.sqlstore import SqlDatabase
+
+
+@pytest.fixture
+def setup():
+    db = SqlDatabase("profiles", clock=SimClock())
+    db.create_table(MEMBER_TABLE)
+    relay = Relay()
+    capture = capture_from_binlog(db, relay)
+    graph = PartitionedSocialGraph(8)
+    service = PeopleSearchService(relay, graph=graph)
+    return db, capture, graph, service
+
+
+def upsert_member(db, member_id, name, headline, industry="software"):
+    txn = db.begin()
+    txn.upsert("member_profile", {"member_id": member_id, "name": name,
+                                  "headline": headline, "industry": industry})
+    txn.commit()
+
+
+def test_index_follows_the_change_stream(setup):
+    db, capture, _, service = setup
+    upsert_member(db, 1, "Jun Rao", "Kafka engineer")
+    upsert_member(db, 2, "Lin Qiao", "Espresso engineer")
+    capture.poll()
+    service.catch_up()
+    assert service.documents_indexed == 2
+    assert {h.doc_id for h in service.search("engineer")} == {1, 2}
+    assert [h.doc_id for h in service.search("kafka")] == [1]
+
+
+def test_profile_edits_reindex(setup):
+    db, capture, _, service = setup
+    upsert_member(db, 1, "Jun Rao", "Kafka engineer")
+    capture.poll()
+    service.catch_up()
+    upsert_member(db, 1, "Jun Rao", "Databricks co-founder")
+    capture.poll()
+    service.catch_up()
+    assert service.search("kafka") == []
+    assert [h.doc_id for h in service.search("databricks")] == [1]
+
+
+def test_deleted_profiles_drop_out(setup):
+    db, capture, _, service = setup
+    upsert_member(db, 1, "Jun Rao", "Kafka engineer")
+    capture.poll()
+    service.catch_up()
+    txn = db.begin()
+    txn.delete("member_profile", (1,))
+    txn.commit()
+    capture.poll()
+    service.catch_up()
+    assert service.search("kafka") == []
+
+
+def test_social_feature_boosts_in_network_results(setup):
+    db, capture, graph, service = setup
+    upsert_member(db, 10, "Alex Kafka", "engineer")
+    upsert_member(db, 20, "Sam Kafka", "engineer")
+    capture.poll()
+    service.catch_up()
+    viewer = 1
+    graph.connect(viewer, 20)  # Sam is a 1st-degree connection
+    without_viewer = service.search("kafka engineer")
+    assert without_viewer[0].doc_id == 10  # alphabetic tie-break
+    with_viewer = service.search("kafka engineer", viewer=viewer)
+    assert with_viewer[0].doc_id == 20
+    assert with_viewer[0].feature_score == 1.0
+
+
+def test_second_degree_boost_smaller_than_first(setup):
+    db, capture, graph, service = setup
+    upsert_member(db, 10, "A Kafka", "engineer")
+    upsert_member(db, 20, "B Kafka", "engineer")
+    capture.poll()
+    service.catch_up()
+    graph.connect(1, 10)           # 1st degree
+    graph.connect(1, 5)
+    graph.connect(5, 20)           # 2nd degree
+    hits = service.search("kafka", viewer=1)
+    by_id = {h.doc_id: h for h in hits}
+    assert by_id[10].feature_score > by_id[20].feature_score > 0
+
+
+def test_checkpoint_resume(setup):
+    db, capture, graph, service = setup
+    upsert_member(db, 1, "Jun Rao", "Kafka engineer")
+    capture.poll()
+    service.catch_up()
+    restarted = PeopleSearchService(service.relay, graph=graph,
+                                    checkpoint=service.client.checkpoint)
+    upsert_member(db, 2, "Lin Qiao", "Espresso engineer")
+    capture.poll()
+    restarted.catch_up()
+    assert restarted.documents_indexed == 1  # only the new change

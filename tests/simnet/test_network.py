@@ -1,0 +1,112 @@
+"""Network simulation and failure injection."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    NodeUnavailableError,
+    RequestTimeoutError,
+    TransientNetworkError,
+)
+from repro.simnet import SimNetwork, fixed_latency, lognormal_latency, uniform_latency
+
+
+def test_invoke_returns_result_and_latency():
+    net = SimNetwork(latency_model=fixed_latency(0.001))
+    result, latency = net.invoke("a", "b", lambda x: x + 1, 41)
+    assert result == 42
+    assert latency == pytest.approx(0.002)  # round trip
+    assert net.hops_delivered == 1
+
+
+def test_crashed_node_unreachable():
+    net = SimNetwork()
+    net.failures.crash("b")
+    with pytest.raises(NodeUnavailableError):
+        net.invoke("a", "b", lambda: None)
+    net.failures.recover("b")
+    net.invoke("a", "b", lambda: None)
+
+
+def test_transient_errors_by_rate():
+    net = SimNetwork(seed=1)
+    net.failures.transient_error_rate = 1.0
+    with pytest.raises(TransientNetworkError):
+        net.invoke("a", "b", lambda: None)
+    net.failures.transient_error_rate = 0.0
+    net.invoke("a", "b", lambda: None)
+
+
+def test_timeout_when_latency_exceeds_deadline():
+    net = SimNetwork(latency_model=fixed_latency(1.0))
+    with pytest.raises(RequestTimeoutError):
+        net.invoke("a", "b", lambda: None, timeout=0.1)
+
+
+def test_partition_blocks_cross_group_traffic():
+    net = SimNetwork()
+    net.failures.partition({"a", "b"}, {"c"})
+    net.invoke("a", "b", lambda: None)
+    with pytest.raises(NodeUnavailableError):
+        net.invoke("a", "c", lambda: None)
+    net.failures.heal_partition()
+    net.invoke("a", "c", lambda: None)
+
+
+def test_nodes_outside_partition_groups_reach_each_other():
+    net = SimNetwork()
+    net.failures.partition({"a"}, {"b"})
+    net.invoke("x", "y", lambda: None)
+
+
+def test_async_send_delivers_after_delay():
+    clock = SimClock()
+    net = SimNetwork(clock=clock, latency_model=fixed_latency(0.25))
+    delivered = []
+    assert net.send("a", "b", lambda: delivered.append(clock.now()))
+    assert delivered == []
+    clock.advance(0.25)
+    assert delivered == [0.25]
+
+
+def test_async_send_dropped_when_unreachable():
+    clock = SimClock()
+    net = SimNetwork(clock=clock)
+    net.failures.crash("b")
+    assert not net.send("a", "b", lambda: None)
+    assert net.hops_failed == 1
+
+
+def test_async_send_dropped_if_destination_crashes_in_flight():
+    clock = SimClock()
+    net = SimNetwork(clock=clock, latency_model=fixed_latency(1.0))
+    delivered = []
+    net.send("a", "b", lambda: delivered.append(True))
+    net.failures.crash("b")
+    clock.advance(2.0)
+    assert delivered == []
+
+
+def test_deterministic_with_same_seed():
+    samples_a = [lognormal_latency(0.001)(SimNetwork(seed=9).rng) for _ in range(1)]
+    samples_b = [lognormal_latency(0.001)(SimNetwork(seed=9).rng) for _ in range(1)]
+    assert samples_a == samples_b
+
+
+def test_uniform_latency_validated():
+    with pytest.raises(ValueError):
+        uniform_latency(0.5, 0.1)
+
+
+def test_uniform_latency_in_range():
+    net = SimNetwork(latency_model=uniform_latency(0.001, 0.002), seed=3)
+    for _ in range(100):
+        _, latency = net.invoke("a", "b", lambda: None)
+        assert 0.002 <= latency <= 0.004
+
+
+def test_async_send_requires_sim_clock():
+    from repro.common.clock import WallClock
+    net = SimNetwork(clock=WallClock())
+    with pytest.raises(TypeError):
+        net.send("a", "b", lambda: None)

@@ -1,0 +1,106 @@
+"""Property-based tests: sqlstore is a faithful replicated state machine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.sqlstore import Column, SqlDatabase, TableSchema
+
+SCHEMA = TableSchema("kv", (Column("k", int), Column("v", int)),
+                     primary_key=("k",))
+
+
+def fresh_db(name="db"):
+    db = SqlDatabase(name, clock=SimClock())
+    db.create_table(SCHEMA)
+    return db
+
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["upsert", "delete"]),
+              st.integers(0, 8), st.integers(0, 100)),
+    max_size=60)
+
+
+def apply_ops(db, ops):
+    """Apply ops, skipping statements invalid at their point in time."""
+    model: dict[int, int] = {}
+    for op, key, value in ops:
+        txn = db.begin()
+        try:
+            if op == "upsert":
+                txn.upsert("kv", {"k": key, "v": value})
+                txn.commit()
+                model[key] = value
+            else:
+                if key in model:
+                    txn.delete("kv", (key,))
+                    txn.commit()
+                    del model[key]
+                else:
+                    txn.rollback()
+        except Exception:
+            txn.rollback()
+            raise
+    return model
+
+
+@settings(max_examples=80, deadline=None)
+@given(operations)
+def test_table_state_matches_model(ops):
+    db = fresh_db()
+    model = apply_ops(db, ops)
+    table_state = {row["k"]: row["v"] for row in db.table("kv").scan()}
+    assert table_state == model
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_binlog_replay_rebuilds_identical_state(ops):
+    """The replication property Databus/Espresso rely on: replaying
+    the binlog in SCN order reproduces the primary's exact state."""
+    primary = fresh_db("primary")
+    apply_ops(primary, ops)
+    replica = fresh_db("replica")
+    for txn in primary.binlog.read_from(0):
+        replica.apply_replicated(txn)
+    assert replica.table("kv").snapshot() == primary.table("kv").snapshot()
+    assert replica.last_committed_scn == primary.last_committed_scn
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations, st.integers(0, 30))
+def test_snapshot_plus_catchup_equals_full_replay(ops, split):
+    """The bootstrap property (Figure III.3 / Espresso expansion):
+    snapshot at SCN S + replay of (S, head] == full replay."""
+    primary = fresh_db("primary")
+    apply_ops(primary, ops)
+    head = primary.last_committed_scn
+    split_scn = min(split, head)
+
+    # replica A: full replay
+    full = fresh_db("full")
+    for txn in primary.binlog.read_from(0):
+        full.apply_replicated(txn)
+
+    # replica B: rebuild state at split_scn, then restore + catch up
+    at_split = fresh_db("at-split")
+    for txn in primary.binlog.read_from(0):
+        if txn.scn > split_scn:
+            break
+        at_split.apply_replicated(txn)
+    bootstrapped = fresh_db("bootstrapped")
+    bootstrapped.restore({"kv": at_split.table("kv").snapshot()}, split_scn)
+    for txn in primary.binlog.read_from(split_scn):
+        bootstrapped.apply_replicated(txn)
+
+    assert bootstrapped.table("kv").snapshot() == full.table("kv").snapshot()
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations)
+def test_scns_dense_and_binlog_length_matches(ops):
+    db = fresh_db()
+    apply_ops(db, ops)
+    scns = [txn.scn for txn in db.binlog.read_from(0)]
+    assert scns == list(range(1, len(scns) + 1))
+    assert db.last_committed_scn == len(scns)

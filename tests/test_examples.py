@@ -1,0 +1,38 @@
+"""Every example script runs to completion — the walkthroughs in
+``examples/`` are part of the public deliverable, so they are tested."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "company_follow.py",
+    "people_you_may_know.py",
+    "espresso_music_db.py",
+    "activity_events.py",
+    "databus_replication.py",
+    "social_graph.py",
+    "site_pipeline.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_cleanly(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run([sys.executable, path], capture_output=True,
+                            text=True, timeout=120)
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_example_list_is_complete():
+    on_disk = sorted(f for f in os.listdir(EXAMPLES_DIR)
+                     if f.endswith(".py"))
+    assert on_disk == sorted(EXAMPLES), (
+        "examples/ and the test list drifted apart")

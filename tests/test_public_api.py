@@ -1,0 +1,75 @@
+"""Package-surface smoke tests: every public module imports and every
+``__all__`` name resolves.  Guards the library against broken exports —
+the first thing a downstream adopter would hit."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro.common",
+    "repro.simnet",
+    "repro.zookeeper",
+    "repro.helix",
+    "repro.hadoop",
+    "repro.sqlstore",
+    "repro.voldemort",
+    "repro.voldemort.engines",
+    "repro.databus",
+    "repro.espresso",
+    "repro.kafka",
+    "repro.workloads",
+    "repro.socialgraph",
+    "repro.search",
+    "repro.recommendations",
+]
+
+MODULES = [
+    "repro.voldemort.chord",
+    "repro.voldemort.admin",
+    "repro.voldemort.slop",
+    "repro.voldemort.server_routing",
+    "repro.voldemort.readonly_pipeline",
+    "repro.voldemort.transforms",
+    "repro.databus.bootstrap",
+    "repro.databus.capture",
+    "repro.databus.transform",
+    "repro.databus.tenancy",
+    "repro.espresso.global_index",
+    "repro.espresso.router",
+    "repro.kafka.replication",
+    "repro.kafka.mirror",
+    "repro.kafka.audit",
+    "repro.helix.health",
+    "repro.hadoop.scheduler",
+]
+
+
+def test_version():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports_and_all_resolves(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} declares no __all__"
+    for exported in module.__all__:
+        assert hasattr(module, exported), f"{name}.{exported} missing"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+def test_no_circular_import_from_cold_start():
+    """Import the deepest cross-system module first; circular imports
+    would explode here."""
+    import subprocess
+    import sys
+    code = "import repro.espresso.global_index; print('ok')"
+    result = subprocess.run([sys.executable, "-c", code],
+                            capture_output=True, text=True)
+    assert result.stdout.strip() == "ok", result.stderr

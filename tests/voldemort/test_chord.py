@@ -1,0 +1,64 @@
+"""Chord baseline vs full-topology routing (EXP-V4 substrate)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.voldemort.chord import ChordRing, FullTopologyRouter, chord_hash
+
+
+def names(n):
+    return [f"node-{i:03d}" for i in range(n)]
+
+
+def test_empty_ring_rejected():
+    with pytest.raises(ConfigurationError):
+        ChordRing([])
+    with pytest.raises(ConfigurationError):
+        FullTopologyRouter([])
+
+
+def test_single_node_owns_everything():
+    ring = ChordRing(["only"])
+    owner, hops = ring.lookup(b"any-key")
+    assert owner == "only"
+    assert hops == 0
+
+
+def test_chord_and_full_topology_agree_on_owner():
+    ring = ChordRing(names(32))
+    router = FullTopologyRouter(names(32))
+    for i in range(200):
+        key = f"key-{i}".encode()
+        chord_owner, _ = ring.lookup(key)
+        full_owner, _ = router.lookup(key)
+        assert chord_owner == full_owner
+
+
+def test_full_topology_is_always_one_hop():
+    router = FullTopologyRouter(names(64))
+    assert all(router.lookup(f"k{i}".encode())[1] == 1 for i in range(100))
+
+
+def test_chord_hops_scale_logarithmically():
+    def mean_hops(n):
+        ring = ChordRing(names(n))
+        start = names(n)[0]
+        total = sum(ring.lookup(f"key-{i}".encode(), start_name=start)[1]
+                    for i in range(300))
+        return total / 300
+
+    small, large = mean_hops(8), mean_hops(128)
+    assert large > small  # more nodes, more hops
+    assert large <= 2 * math.log2(128)  # classic Chord bound
+
+
+def test_lookup_from_unknown_node_rejected():
+    ring = ChordRing(names(4))
+    with pytest.raises(ConfigurationError):
+        ring.lookup(b"k", start_name="ghost")
+
+
+def test_chord_hash_deterministic():
+    assert chord_hash(b"x") == chord_hash(b"x")

@@ -1,0 +1,160 @@
+"""The client API: transforms, optimistic updates, serializers."""
+
+import json
+
+import pytest
+
+from repro.voldemort import RoutedStore, StoreDefinition, VoldemortCluster
+from repro.voldemort.client import StoreClient, json_client, last_writer_wins
+from repro.voldemort.versioned import Versioned
+
+
+@pytest.fixture
+def cluster():
+    built = VoldemortCluster(num_nodes=3, partitions_per_node=4)
+    built.define_store(StoreDefinition("kv", 3, 2, 2))
+    return built
+
+
+@pytest.fixture
+def client(cluster):
+    return StoreClient(RoutedStore(cluster, "kv"))
+
+
+def test_get_absent_returns_empty(client):
+    assert client.get(b"ghost") == []
+    assert client.get_value(b"ghost", default="none") == "none"
+
+
+def test_put_then_get(client):
+    client.put(b"k", b"hello")
+    versions = client.get(b"k")
+    assert len(versions) == 1
+    assert versions[0].value == b"hello"
+    assert client.get_value(b"k") == b"hello"
+
+
+def test_put_autoincrements_version(client):
+    clock1 = client.put(b"k", b"v1")
+    clock2 = client.put(b"k", b"v2")
+    assert clock2.dominates(clock1)
+    assert client.get_value(b"k") == b"v2"
+
+
+def test_stale_clock_rejected(client):
+    from repro.common.errors import ObsoleteVersionError
+    clock1 = client.put(b"k", b"v1")
+    client.put(b"k", b"v2")
+    with pytest.raises(ObsoleteVersionError):
+        client.put(b"k", b"v3", version=clock1)
+
+
+def test_delete(client):
+    client.put(b"k", b"v")
+    assert client.delete(b"k")
+    assert client.get(b"k") == []
+    assert not client.delete(b"k")
+
+
+def test_string_values_accepted(client):
+    client.put(b"k", "text")
+    assert client.get_value(b"k") == b"text"
+
+
+def test_default_serializer_rejects_other_types(client):
+    with pytest.raises(TypeError):
+        client.put(b"k", 123)
+
+
+def test_json_client_roundtrip(cluster):
+    client = json_client(RoutedStore(cluster, "kv"))
+    client.put(b"member:1", {"companies": [10, 20]})
+    assert client.get_value(b"member:1") == {"companies": [10, 20]}
+
+
+def test_transformed_put_appends_server_side(cluster):
+    client = json_client(RoutedStore(cluster, "kv"))
+    client.put(b"follows", [])
+    client.put(b"follows", None, transform=("list_append", 42))
+    client.put(b"follows", None, transform=("list_append", 43, 44))
+    assert client.get_value(b"follows") == [42, 43, 44]
+
+
+def test_transformed_get_returns_sublist(cluster):
+    client = json_client(RoutedStore(cluster, "kv"))
+    client.put(b"follows", [1, 2, 3, 4, 5])
+    versions = client.get(b"follows", transform=("list_slice", 1, 3))
+    assert json.loads(versions[0].value) == [2, 3]
+    # underlying value untouched
+    assert client.get_value(b"follows") == [1, 2, 3, 4, 5]
+
+
+def test_transform_list_remove(cluster):
+    client = json_client(RoutedStore(cluster, "kv"))
+    client.put(b"follows", [1, 2, 3, 2])
+    client.put(b"follows", None, transform=("list_remove", 2))
+    assert client.get_value(b"follows") == [1, 3]
+
+
+def test_counter_transform(cluster):
+    client = StoreClient(RoutedStore(cluster, "kv"))
+    client.put(b"count", b"0")
+    client.put(b"count", None, transform=("counter_add", 5))
+    client.put(b"count", None, transform=("counter_add",))
+    assert client.get_value(b"count") == b"6"
+
+
+def test_apply_update_retries_on_conflict(client):
+    client.put(b"counter", b"0")
+    conflicts = {"remaining": 2}
+
+    def increment(c: StoreClient):
+        versions = c.get(b"counter")
+        current = versions[0]
+        value = int(current.value) + 1
+        clock = current.clock
+        if conflicts["remaining"] > 0:
+            # simulate a concurrent writer slipping in
+            conflicts["remaining"] -= 1
+            c.put(b"counter", str(value).encode())
+            # now our original clock is stale
+            from repro.common.errors import ObsoleteVersionError
+            raise ObsoleteVersionError("lost the race")
+        c.put(b"counter", str(value).encode(), version=clock)
+
+    assert client.apply_update(increment, retries=3)
+    assert int(client.get_value(b"counter")) == 3
+
+
+def test_apply_update_gives_up_after_retries(client):
+    from repro.common.errors import ObsoleteVersionError
+
+    def always_conflicts(c):
+        raise ObsoleteVersionError("busy key")
+
+    assert not client.apply_update(always_conflicts, retries=2)
+
+
+def test_get_resolved_merges_siblings(cluster):
+    client = StoreClient(RoutedStore(cluster, "kv"))
+    # create two concurrent versions directly at the engines
+    base = Versioned.initial(b"base", 0)
+    client.put_versioned(b"k", base)
+    left = base.next_version(b"left", 1)
+    right = base.next_version(b"zright", 2)
+    routed = client._routed
+    for node_id in routed.replica_nodes(b"k"):
+        engine = cluster.server_for(node_id).engine("kv")
+        engine.put(b"k", left)
+        engine.put(b"k", right)
+    resolved = client.get_resolved(b"k")
+    assert resolved.value == b"zright"  # lww tie-break by value
+    # the merged clock dominates both siblings
+    assert resolved.clock.descends_from(left.clock)
+    assert resolved.clock.descends_from(right.clock)
+
+
+def test_last_writer_wins_resolver():
+    a = Versioned.initial(b"a", 1)
+    b = a.next_version(b"b", 1)
+    assert last_writer_wins([a, b]) is b

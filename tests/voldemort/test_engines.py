@@ -1,0 +1,194 @@
+"""Storage engines: multi-version contract, durability, compaction."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ChecksumError, KeyNotFoundError, ObsoleteVersionError
+from repro.common.vectorclock import VectorClock
+from repro.voldemort.engines import InMemoryStorageEngine, LogStructuredEngine
+from repro.voldemort.versioned import Versioned
+
+
+@pytest.fixture(params=["memory", "log"])
+def engine(request, tmp_path):
+    if request.param == "memory":
+        built = InMemoryStorageEngine()
+    else:
+        built = LogStructuredEngine(str(tmp_path / "store"))
+    yield built
+    built.close()
+
+
+def v(value: bytes, **entries) -> Versioned:
+    return Versioned(value, VectorClock(entries or {1: 1}))
+
+
+class TestVersionContract:
+    def test_get_missing_key(self, engine):
+        with pytest.raises(KeyNotFoundError):
+            engine.get(b"missing")
+
+    def test_put_get_roundtrip(self, engine):
+        engine.put(b"k", v(b"value"))
+        versions = engine.get(b"k")
+        assert [x.value for x in versions] == [b"value"]
+
+    def test_newer_version_replaces(self, engine):
+        first = Versioned.initial(b"v1", 1)
+        engine.put(b"k", first)
+        engine.put(b"k", first.next_version(b"v2", 1))
+        versions = engine.get(b"k")
+        assert [x.value for x in versions] == [b"v2"]
+
+    def test_obsolete_write_rejected(self, engine):
+        first = Versioned.initial(b"v1", 1)
+        second = first.next_version(b"v2", 1)
+        engine.put(b"k", second)
+        with pytest.raises(ObsoleteVersionError):
+            engine.put(b"k", first)
+        with pytest.raises(ObsoleteVersionError):
+            engine.put(b"k", second)  # equal clock also rejected
+
+    def test_concurrent_versions_coexist(self, engine):
+        base = Versioned.initial(b"v", 1)
+        engine.put(b"k", base)
+        left = base.next_version(b"a", 1)
+        right = base.next_version(b"b", 2)
+        engine.put(b"k", left)
+        engine.put(b"k", right)
+        values = {x.value for x in engine.get(b"k")}
+        assert values == {b"a", b"b"}
+
+    def test_merge_resolves_siblings(self, engine):
+        base = Versioned.initial(b"v", 1)
+        engine.put(b"k", base)
+        left = base.next_version(b"a", 1)
+        right = base.next_version(b"b", 2)
+        engine.put(b"k", left)
+        engine.put(b"k", right)
+        merged = Versioned(b"merged", left.clock.merged(right.clock).incremented(1))
+        engine.put(b"k", merged)
+        assert [x.value for x in engine.get(b"k")] == [b"merged"]
+
+    def test_delete_writes_tombstone(self, engine):
+        first = Versioned.initial(b"v", 1)
+        engine.put(b"k", first)
+        engine.delete(b"k", first.next_version(None, 1))
+        with pytest.raises(KeyNotFoundError):
+            engine.get(b"k")
+        assert b"k" not in list(engine.keys())
+
+    def test_keys_and_entries(self, engine):
+        engine.put(b"a", v(b"1"))
+        engine.put(b"b", v(b"2"))
+        assert sorted(engine.keys()) == [b"a", b"b"]
+        entries = {(k, x.value) for k, x in engine.entries()}
+        assert entries == {(b"a", b"1"), (b"b", b"2")}
+
+
+class TestLogStructuredDurability:
+    def test_recovery_after_reopen(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = LogStructuredEngine(path)
+        first = Versioned.initial(b"v1", 1)
+        engine.put(b"k", first)
+        engine.put(b"k", first.next_version(b"v2", 1))
+        engine.put(b"other", v(b"x"))
+        engine.close()
+
+        reopened = LogStructuredEngine(path)
+        assert [x.value for x in reopened.get(b"k")] == [b"v2"]
+        assert [x.value for x in reopened.get(b"other")] == [b"x"]
+        reopened.close()
+
+    def test_torn_tail_truncated_on_recovery(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = LogStructuredEngine(path)
+        engine.put(b"good", v(b"value"))
+        engine.close()
+        log_file = os.path.join(path, LogStructuredEngine.LOG_NAME)
+        with open(log_file, "ab") as f:
+            f.write(b"\x01\x02\x03garbage-partial-record")
+
+        reopened = LogStructuredEngine(path)
+        assert [x.value for x in reopened.get(b"good")] == [b"value"]
+        with pytest.raises(KeyNotFoundError):
+            reopened.get(b"garbage")
+        reopened.close()
+
+    def test_corrupt_record_detected_on_read(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = LogStructuredEngine(path)
+        engine.put(b"k", v(b"A" * 100))
+        log_file = os.path.join(path, LogStructuredEngine.LOG_NAME)
+        engine._log.flush()
+        # flip a byte in the middle of the value region
+        with open(log_file, "r+b") as f:
+            f.seek(60)
+            f.write(b"\xff")
+        with pytest.raises(ChecksumError):
+            engine.get(b"k")
+        engine.close()
+
+    def test_compaction_reclaims_space(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = LogStructuredEngine(path)
+        current = Versioned.initial(b"0" * 1000, 1)
+        engine.put(b"k", current)
+        for i in range(20):
+            current = current.next_version(str(i).encode() * 100, 1)
+            engine.put(b"k", current)
+        before = engine.log_size_bytes()
+        reclaimed = engine.compact()
+        assert reclaimed > 0
+        assert engine.log_size_bytes() < before
+        assert [x.value for x in engine.get(b"k")] == [current.value]
+        engine.close()
+
+    def test_compaction_drops_tombstones(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = LogStructuredEngine(path)
+        first = Versioned.initial(b"v", 1)
+        engine.put(b"k", first)
+        engine.delete(b"k", first.next_version(None, 1))
+        engine.compact()
+        assert list(engine.keys()) == []
+        engine.close()
+
+    def test_survives_compaction_then_reopen(self, tmp_path):
+        path = str(tmp_path / "store")
+        engine = LogStructuredEngine(path)
+        engine.put(b"a", v(b"1"))
+        engine.put(b"b", v(b"2"))
+        engine.compact()
+        engine.close()
+        reopened = LogStructuredEngine(path)
+        assert sorted(reopened.keys()) == [b"a", b"b"]
+        reopened.close()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.binary(min_size=1, max_size=20),
+                          st.binary(max_size=64)), max_size=30))
+def test_log_engine_matches_memory_engine(tmp_path_factory, pairs):
+    """The on-disk engine and dict engine agree on every history."""
+    directory = tmp_path_factory.mktemp("prop")
+    log_engine = LogStructuredEngine(str(directory / "store"))
+    memory_engine = InMemoryStorageEngine()
+    clocks: dict[bytes, Versioned] = {}
+    try:
+        for key, value in pairs:
+            if key in clocks:
+                versioned = clocks[key].next_version(value, 1)
+            else:
+                versioned = Versioned.initial(value, 1)
+            clocks[key] = versioned
+            log_engine.put(key, versioned)
+            memory_engine.put(key, versioned)
+        for key in clocks:
+            assert ([x.value for x in log_engine.get(key)]
+                    == [x.value for x in memory_engine.get(key)])
+    finally:
+        log_engine.close()

@@ -1,0 +1,96 @@
+"""Success-ratio failure detection and async recovery probing."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigurationError
+from repro.voldemort.failure_detector import FailureDetector
+
+
+def test_nodes_start_available():
+    detector = FailureDetector(SimClock())
+    assert detector.is_available(0)
+    assert detector.success_ratio(0) == 1.0
+
+
+def test_threshold_validation():
+    with pytest.raises(ConfigurationError):
+        FailureDetector(SimClock(), threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        FailureDetector(SimClock(), minimum_samples=0)
+
+
+def test_marks_down_below_threshold():
+    detector = FailureDetector(SimClock(), threshold=0.8, minimum_samples=5)
+    for _ in range(4):
+        detector.record_success(1)
+    detector.record_failure(1)
+    assert detector.is_available(1)  # 4/5 = 0.8, not below
+    detector.record_failure(1)
+    assert not detector.is_available(1)  # 4/6 < 0.8
+    assert detector.nodes_marked_down == 1
+
+
+def test_requires_minimum_samples():
+    detector = FailureDetector(SimClock(), threshold=0.8, minimum_samples=10)
+    for _ in range(5):
+        detector.record_failure(1)
+    assert detector.is_available(1)
+
+
+def test_async_probe_recovers_node():
+    clock = SimClock()
+    alive = {"up": False}
+    detector = FailureDetector(clock, threshold=0.9, minimum_samples=2,
+                               ping_interval=1.0,
+                               ping=lambda node: alive["up"])
+    detector.record_failure(1)
+    detector.record_failure(1)
+    assert not detector.is_available(1)
+    clock.advance(3.0)  # probes fail while node stays dead
+    assert not detector.is_available(1)
+    alive["up"] = True
+    clock.advance(1.0)
+    assert detector.is_available(1)
+    assert detector.nodes_recovered == 1
+
+
+def test_probe_exception_counts_as_down():
+    clock = SimClock()
+
+    def ping(node):
+        raise RuntimeError("network down")
+
+    detector = FailureDetector(clock, threshold=0.9, minimum_samples=1,
+                               ping_interval=1.0, ping=ping)
+    detector.record_failure(1)
+    clock.advance(5.0)
+    assert not detector.is_available(1)
+
+
+def test_mark_up_clears_window():
+    detector = FailureDetector(SimClock(), threshold=0.9, minimum_samples=1)
+    detector.record_failure(1)
+    assert not detector.is_available(1)
+    detector.mark_up(1)
+    assert detector.is_available(1)
+    assert detector.success_ratio(1) == 1.0
+
+
+def test_window_slides():
+    detector = FailureDetector(SimClock(), threshold=0.5,
+                               minimum_samples=4, window=4)
+    for _ in range(4):
+        detector.record_failure(1)
+    assert not detector.is_available(1)
+    detector.mark_up(1)
+    # old failures fell out of the window after recovery
+    for _ in range(4):
+        detector.record_success(1)
+    assert detector.success_ratio(1) == 1.0
+
+
+def test_available_nodes_filter():
+    detector = FailureDetector(SimClock(), threshold=0.9, minimum_samples=1)
+    detector.record_failure(2)
+    assert detector.available_nodes([1, 2, 3]) == [1, 3]

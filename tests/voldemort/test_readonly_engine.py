@@ -1,0 +1,142 @@
+"""Read-only engine: index format, binary search, swap/rollback."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError, KeyNotFoundError
+from repro.voldemort.engines import ReadOnlyStorageEngine, build_store_files
+from repro.voldemort.engines.readonly import INDEX_ENTRY, write_version_dir
+
+
+def make_engine(tmp_path, pairs, version=1):
+    index, data = build_store_files(pairs)
+    store_dir = str(tmp_path / "store")
+    write_version_dir(store_dir, version, index, data)
+    return ReadOnlyStorageEngine(store_dir)
+
+
+def test_build_files_sorted_by_md5():
+    pairs = [(f"key-{i}".encode(), b"v") for i in range(50)]
+    index, data = build_store_files(pairs)
+    assert len(index) == 50 * INDEX_ENTRY.size
+    digests = [index[i * 24:i * 24 + 16] for i in range(50)]
+    assert digests == sorted(digests)
+
+
+def test_duplicate_keys_rejected_at_build():
+    with pytest.raises(ConfigurationError):
+        build_store_files([(b"k", b"1"), (b"k", b"2")])
+
+
+def test_get_all_keys(tmp_path):
+    pairs = [(f"member-{i}".encode(), f"value-{i}".encode()) for i in range(200)]
+    engine = make_engine(tmp_path, pairs)
+    for key, value in pairs:
+        assert engine.get(key)[0].value == value
+    engine.close()
+
+
+def test_missing_key(tmp_path):
+    engine = make_engine(tmp_path, [(b"present", b"v")])
+    with pytest.raises(KeyNotFoundError):
+        engine.get(b"absent")
+    engine.close()
+
+
+def test_empty_store(tmp_path):
+    engine = make_engine(tmp_path, [])
+    assert engine.entry_count == 0
+    with pytest.raises(KeyNotFoundError):
+        engine.get(b"anything")
+    engine.close()
+
+
+def test_put_rejected(tmp_path):
+    engine = make_engine(tmp_path, [(b"k", b"v")])
+    from repro.voldemort.versioned import Versioned
+    with pytest.raises(ConfigurationError):
+        engine.put(b"k", Versioned.initial(b"x", 1))
+    engine.close()
+
+
+def test_swap_to_new_version(tmp_path):
+    engine = make_engine(tmp_path, [(b"k", b"old")], version=1)
+    index, data = build_store_files([(b"k", b"new")])
+    write_version_dir(engine.store_dir, 2, index, data)
+    engine.swap(2)
+    assert engine.get(b"k")[0].value == b"new"
+    assert engine.current_version == 2
+    engine.close()
+
+
+def test_rollback_restores_previous(tmp_path):
+    engine = make_engine(tmp_path, [(b"k", b"v1")], version=1)
+    index, data = build_store_files([(b"k", b"v2")])
+    write_version_dir(engine.store_dir, 2, index, data)
+    engine.swap(2)
+    restored = engine.rollback()
+    assert restored == 1
+    assert engine.get(b"k")[0].value == b"v1"
+    engine.close()
+
+
+def test_rollback_without_older_version_fails(tmp_path):
+    engine = make_engine(tmp_path, [(b"k", b"v")])
+    with pytest.raises(ConfigurationError):
+        engine.rollback()
+    engine.close()
+
+
+def test_opens_latest_version_on_start(tmp_path):
+    store_dir = str(tmp_path / "store")
+    for version, value in ((1, b"a"), (3, b"c"), (2, b"b")):
+        index, data = build_store_files([(b"k", value)])
+        write_version_dir(store_dir, version, index, data)
+    engine = ReadOnlyStorageEngine(store_dir)
+    assert engine.current_version == 3
+    assert engine.get(b"k")[0].value == b"c"
+    engine.close()
+
+
+def test_incomplete_version_rejected(tmp_path):
+    store_dir = str(tmp_path / "store")
+    os.makedirs(os.path.join(store_dir, "version-1"))
+    with pytest.raises(ConfigurationError):
+        ReadOnlyStorageEngine(store_dir).swap(1)
+
+
+def test_delete_version(tmp_path):
+    engine = make_engine(tmp_path, [(b"k", b"v1")], version=1)
+    index, data = build_store_files([(b"k", b"v2")])
+    write_version_dir(engine.store_dir, 2, index, data)
+    engine.swap(2)
+    engine.delete_version(1)
+    assert engine.versions_on_disk() == [2]
+    with pytest.raises(ConfigurationError):
+        engine.delete_version(2)
+    engine.close()
+
+
+def test_keys_iteration(tmp_path):
+    pairs = [(f"k{i}".encode(), b"v") for i in range(10)]
+    engine = make_engine(tmp_path, pairs)
+    assert sorted(engine.keys()) == sorted(k for k, _ in pairs)
+    engine.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(st.binary(min_size=1, max_size=32),
+                       st.binary(max_size=128), min_size=1, max_size=50))
+def test_readonly_roundtrip_property(tmp_path_factory, mapping):
+    directory = tmp_path_factory.mktemp("ro")
+    index, data = build_store_files(mapping.items())
+    store_dir = str(directory / "store")
+    write_version_dir(store_dir, 1, index, data)
+    engine = ReadOnlyStorageEngine(store_dir)
+    try:
+        for key, value in mapping.items():
+            assert engine.get(key)[0].value == value
+    finally:
+        engine.close()

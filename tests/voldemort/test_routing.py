@@ -1,0 +1,226 @@
+"""Quorum routing, read repair, hinted handoff, zone-aware placement."""
+
+import pytest
+
+from repro.common.errors import (
+    InsufficientOperationalNodesError,
+    KeyNotFoundError,
+    ObsoleteVersionError,
+)
+from repro.voldemort import RoutedStore, StoreDefinition, Versioned, VoldemortCluster
+
+
+def make_cluster(nodes=4, n=3, r=2, w=2, zones=1, required_zones=0, **kwargs):
+    cluster = VoldemortCluster(num_nodes=nodes, partitions_per_node=4,
+                               num_zones=zones, **kwargs)
+    cluster.define_store(StoreDefinition(
+        "test", replication_factor=n, required_reads=r, required_writes=w,
+        required_zones=required_zones))
+    return cluster
+
+
+def crash(cluster, node_id):
+    cluster.network.failures.crash(cluster.node_name(node_id))
+
+
+def recover(cluster, node_id):
+    cluster.network.failures.recover(cluster.node_name(node_id))
+
+
+def test_store_definition_validation():
+    with pytest.raises(Exception):
+        StoreDefinition("s", replication_factor=2, required_reads=3)
+    with pytest.raises(Exception):
+        StoreDefinition("s", replication_factor=2, required_writes=0)
+    assert StoreDefinition("s", 3, 2, 2).strongly_consistent
+    assert not StoreDefinition("s", 3, 1, 1).strongly_consistent
+
+
+def test_put_get_roundtrip():
+    cluster = make_cluster()
+    routed = RoutedStore(cluster, "test")
+    versioned = Versioned.initial(b"value", 0)
+    routed.put(b"key", versioned)
+    frontier, latency = routed.get(b"key")
+    assert [v.value for v in frontier] == [b"value"]
+    assert latency > 0
+
+
+def test_get_missing_raises_keynotfound():
+    cluster = make_cluster()
+    routed = RoutedStore(cluster, "test")
+    with pytest.raises(KeyNotFoundError):
+        routed.get(b"ghost")
+
+
+def test_replicas_distinct_and_stable():
+    cluster = make_cluster()
+    routed = RoutedStore(cluster, "test")
+    replicas = routed.replica_nodes(b"key")
+    assert len(set(replicas)) == 3
+    assert routed.replica_nodes(b"key") == replicas
+
+
+def test_write_replicates_to_all_n():
+    cluster = make_cluster()
+    routed = RoutedStore(cluster, "test")
+    versioned = Versioned.initial(b"v", 0)
+    routed.put(b"key", versioned)
+    stored = 0
+    for server in cluster.servers.values():
+        try:
+            server.engine("test").get(b"key")
+            stored += 1
+        except KeyNotFoundError:
+            pass
+    assert stored == 3
+
+
+def test_survives_one_node_down_with_quorum():
+    cluster = make_cluster(nodes=4, n=3, r=2, w=2)
+    routed = RoutedStore(cluster, "test")
+    replicas = routed.replica_nodes(b"key")
+    crash(cluster, replicas[0])
+    routed.put(b"key", Versioned.initial(b"v", 0))
+    frontier, _ = routed.get(b"key")
+    assert frontier[0].value == b"v"
+
+
+def test_insufficient_writes_raises():
+    cluster = make_cluster(nodes=3, n=3, r=2, w=3)
+    routed = RoutedStore(cluster, "test", enable_hinted_handoff=False)
+    replicas = routed.replica_nodes(b"key")
+    crash(cluster, replicas[1])
+    with pytest.raises(InsufficientOperationalNodesError) as excinfo:
+        routed.put(b"key", Versioned.initial(b"v", 0))
+    assert excinfo.value.required == 3
+    assert excinfo.value.achieved == 2
+
+
+def test_insufficient_reads_raises():
+    cluster = make_cluster(nodes=3, n=3, r=3, w=1)
+    routed = RoutedStore(cluster, "test")
+    routed.put(b"key", Versioned.initial(b"v", 0))
+    replicas = routed.replica_nodes(b"key")
+    crash(cluster, replicas[0])
+    crash(cluster, replicas[1])
+    with pytest.raises(InsufficientOperationalNodesError):
+        routed.get(b"key")
+
+
+def test_obsolete_version_conflict_surfaces():
+    cluster = make_cluster()
+    routed = RoutedStore(cluster, "test")
+    first = Versioned.initial(b"v1", 0)
+    routed.put(b"key", first)
+    routed.put(b"key", first.next_version(b"v2", 0))
+    with pytest.raises(ObsoleteVersionError):
+        routed.put(b"key", first.next_version(b"stale", 0))
+
+
+def test_read_repair_fixes_stale_replica():
+    cluster = make_cluster(nodes=3, n=3, r=3, w=3)
+    routed = RoutedStore(cluster, "test")
+    first = Versioned.initial(b"v1", 0)
+    routed.put(b"key", first)
+    # one replica misses the second write
+    replicas = routed.replica_nodes(b"key")
+    crash(cluster, replicas[2])
+    second = first.next_version(b"v2", 0)
+    relaxed = RoutedStore(cluster, "test", enable_hinted_handoff=False)
+    relaxed.definition = StoreDefinition("test", 3, 2, 2)
+    relaxed.put(b"key", second)
+    recover(cluster, replicas[2])
+    # stale replica still has v1
+    stale = cluster.server_for(replicas[2]).engine("test").get(b"key")
+    assert stale[0].value == b"v1"
+    # a quorum read touching all three nodes repairs it
+    relaxed.definition = StoreDefinition("test", 3, 3, 2)
+    frontier, _ = relaxed.get(b"key")
+    assert frontier[0].value == b"v2"
+    repaired = cluster.server_for(replicas[2]).engine("test").get(b"key")
+    assert [v.value for v in repaired] == [b"v2"]
+    assert relaxed.metrics.counters["read_repairs"].value >= 1
+
+
+def test_read_repair_can_be_disabled():
+    cluster = make_cluster(nodes=3, n=3, r=3, w=2)
+    routed = RoutedStore(cluster, "test", enable_read_repair=False,
+                         enable_hinted_handoff=False)
+    first = Versioned.initial(b"v1", 0)
+    routed.put(b"key", first)
+    replicas = routed.replica_nodes(b"key")
+    crash(cluster, replicas[2])
+    routed.put(b"key", first.next_version(b"v2", 0))
+    recover(cluster, replicas[2])
+    routed.get(b"key")
+    stale = cluster.server_for(replicas[2]).engine("test").get(b"key")
+    assert stale[0].value == b"v1"  # never repaired
+
+
+def test_hinted_handoff_stores_and_replays():
+    cluster = make_cluster(nodes=4, n=3, r=2, w=2)
+    routed = RoutedStore(cluster, "test")
+    replicas = routed.replica_nodes(b"key")
+    dead = replicas[2]
+    crash(cluster, dead)
+    routed.put(b"key", Versioned.initial(b"v", 0))
+    assert routed.metrics.counters["hints_stored"].value == 1
+    # find the node holding the hint
+    holders = [s for s in cluster.servers.values() if s.hints_for(dead)]
+    assert len(holders) == 1
+    recover(cluster, dead)
+    delivered = holders[0].deliver_hints(dead)
+    assert delivered == 1
+    assert not holders[0].hints_for(dead)
+    value = cluster.server_for(dead).engine("test").get(b"key")
+    assert value[0].value == b"v"
+
+
+def test_hint_delivery_retries_until_destination_up():
+    cluster = make_cluster(nodes=4, n=3, r=2, w=2)
+    routed = RoutedStore(cluster, "test")
+    replicas = routed.replica_nodes(b"key")
+    dead = replicas[2]
+    crash(cluster, dead)
+    routed.put(b"key", Versioned.initial(b"v", 0))
+    holder = next(s for s in cluster.servers.values() if s.hints_for(dead))
+    assert holder.deliver_hints(dead) == 0  # still down
+    assert holder.hints_for(dead)
+    recover(cluster, dead)
+    assert holder.deliver_hints(dead) == 1
+
+
+def test_failure_detector_avoids_down_nodes():
+    cluster = make_cluster(nodes=4, n=3, r=1, w=1)
+    routed = RoutedStore(cluster, "test")
+    routed.put(b"key", Versioned.initial(b"v", 0))
+    replicas = routed.replica_nodes(b"key")
+    crash(cluster, replicas[0])
+    # repeated failures mark the node down in the detector
+    for _ in range(10):
+        routed.get(b"key")
+    assert not routed.detector.is_available(replicas[0])
+    # subsequent reads skip it entirely
+    before = cluster.server_for(replicas[1]).requests_served
+    routed.get(b"key")
+    assert cluster.server_for(replicas[1]).requests_served > before
+
+
+def test_zone_aware_routing_spans_zones():
+    cluster = make_cluster(nodes=6, n=3, r=2, w=2, zones=2, required_zones=2)
+    routed = RoutedStore(cluster, "test")
+    for key in (b"a", b"b", b"c", b"d"):
+        replicas = routed.replica_nodes(key)
+        zones = {cluster.ring.nodes[n].zone_id for n in replicas}
+        assert len(zones) >= 2
+
+
+def test_delete_tombstones_key():
+    cluster = make_cluster()
+    routed = RoutedStore(cluster, "test")
+    first = Versioned.initial(b"v", 0)
+    routed.put(b"key", first)
+    routed.delete(b"key", first.next_version(None, 0))
+    with pytest.raises(KeyNotFoundError):
+        routed.get(b"key")

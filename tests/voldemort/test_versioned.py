@@ -1,0 +1,29 @@
+"""Versioned value semantics."""
+
+from repro.common.vectorclock import VectorClock
+from repro.voldemort import Versioned
+
+
+def test_initial_version_attributed_to_node():
+    versioned = Versioned.initial(b"v", node_id=3)
+    assert versioned.clock.counter_of(3) == 1
+    assert not versioned.is_tombstone
+
+
+def test_next_version_dominates():
+    first = Versioned.initial(b"v1", 1)
+    second = first.next_version(b"v2", 1)
+    assert second.dominates(first)
+    assert not first.dominates(second)
+
+
+def test_concurrent_versions():
+    base = Versioned.initial(b"v", 1)
+    left = base.next_version(b"a", 1)
+    right = base.next_version(b"b", 2)
+    assert left.concurrent_with(right)
+
+
+def test_tombstone():
+    versioned = Versioned(None, VectorClock({1: 1}))
+    assert versioned.is_tombstone

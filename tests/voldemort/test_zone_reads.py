@@ -1,0 +1,70 @@
+"""Multi-datacenter read locality: zone-proximity replica ordering."""
+
+import pytest
+
+from repro.voldemort import RoutedStore, StoreDefinition, Versioned, VoldemortCluster
+
+
+@pytest.fixture
+def cluster():
+    # 6 nodes across 2 zones, zone-aware store spanning both
+    built = VoldemortCluster(num_nodes=6, partitions_per_node=4, num_zones=2)
+    built.define_store(StoreDefinition(
+        "s", replication_factor=4, required_reads=1, required_writes=2,
+        required_zones=2))
+    return built
+
+
+def zone_of(cluster, node_id):
+    return cluster.ring.nodes[node_id].zone_id
+
+
+def test_local_zone_replica_preferred(cluster):
+    for zone in (0, 1):
+        routed = RoutedStore(cluster, "s", client_zone=zone)
+        key = b"key-%d" % zone
+        routed.put(key, Versioned.initial(b"v-%d" % zone, 0))
+        ordered = routed._ordered_by_availability(routed.replica_nodes(key))
+        # with 4 replicas over 2 zones, the first read target is local
+        assert zone_of(cluster, ordered[0]) == zone
+
+
+def test_reads_hit_local_zone_servers(cluster):
+    routed = RoutedStore(cluster, "s", client_zone=0)
+    keys = [b"k-%d" % i for i in range(20)]
+    for key in keys:
+        routed.put(key, Versioned.initial(b"v", 0))
+    served_before = {n: s.requests_served for n, s in cluster.servers.items()}
+    for key in keys:
+        routed.get(key)
+    remote_reads = sum(
+        cluster.servers[n].requests_served - served_before[n]
+        for n in cluster.servers if zone_of(cluster, n) == 1)
+    local_reads = sum(
+        cluster.servers[n].requests_served - served_before[n]
+        for n in cluster.servers if zone_of(cluster, n) == 0)
+    assert remote_reads == 0  # R=1 and a local replica always exists
+    assert local_reads == len(keys)
+
+
+def test_failover_to_remote_zone(cluster):
+    routed = RoutedStore(cluster, "s", client_zone=0)
+    routed.put(b"key", Versioned.initial(b"v", 0))
+    # crash every zone-0 node
+    for node_id, node in cluster.ring.nodes.items():
+        if node.zone_id == 0:
+            cluster.network.failures.crash(cluster.node_name(node_id))
+    # mark them down so ordering demotes them, then read from zone 1
+    for _ in range(10):
+        try:
+            routed.get(b"key")
+        except Exception:
+            pass
+    frontier, _ = routed.get(b"key")
+    assert frontier[0].value == b"v"
+
+
+def test_no_zone_preference_without_client_zone(cluster):
+    routed = RoutedStore(cluster, "s")
+    replicas = routed.replica_nodes(b"key")
+    assert routed._ordered_by_availability(replicas) == replicas

@@ -1,0 +1,115 @@
+"""Workload generator distributions and determinism."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads import (
+    ActivityEventGenerator,
+    KeyValueWorkload,
+    RequestMix,
+    ZipfGenerator,
+    zipf_sizes,
+)
+
+
+def test_zipf_rejects_bad_params():
+    with pytest.raises(ConfigurationError):
+        ZipfGenerator(0)
+    with pytest.raises(ConfigurationError):
+        ZipfGenerator(10, theta=-1)
+
+
+def test_zipf_samples_in_range():
+    gen = ZipfGenerator(100, seed=1)
+    for _ in range(1000):
+        assert 0 <= gen.next() < 100
+
+
+def test_zipf_is_skewed():
+    gen = ZipfGenerator(1000, theta=0.99, seed=2)
+    samples = [gen.next() for _ in range(20_000)]
+    top_ten = sum(1 for s in samples if s < 10)
+    assert top_ten / len(samples) > 0.2  # head dominates
+
+
+def test_zipf_theta_zero_is_uniform_ish():
+    gen = ZipfGenerator(10, theta=0.0, seed=3)
+    samples = [gen.next() for _ in range(20_000)]
+    counts = [samples.count(i) for i in range(10)]
+    assert max(counts) < 2 * min(counts)
+
+
+def test_zipf_deterministic_by_seed():
+    a = [ZipfGenerator(50, seed=7).next() for _ in range(1)]
+    b = [ZipfGenerator(50, seed=7).next() for _ in range(1)]
+    assert a == b
+
+
+def test_zipf_sizes_bounded():
+    sizes = zipf_sizes(500, min_bytes=64, max_bytes=4096, seed=1)
+    assert all(64 <= s <= 4096 for s in sizes)
+    assert len(sizes) == 500
+
+
+def test_zipf_sizes_skewed_small():
+    sizes = zipf_sizes(2000, min_bytes=64, max_bytes=65536, seed=2)
+    small = sum(1 for s in sizes if s < 1024)
+    assert small / len(sizes) > 0.5
+
+
+def test_request_mix_validation():
+    with pytest.raises(ConfigurationError):
+        RequestMix(read_fraction=1.5)
+
+
+def test_request_mix_ratio():
+    mix = RequestMix(read_fraction=0.6)
+    rng = random.Random(4)
+    reads = sum(1 for _ in range(10_000) if mix.is_read(rng))
+    assert 0.55 < reads / 10_000 < 0.65
+
+
+def test_workload_operations_shape():
+    workload = KeyValueWorkload(num_keys=100, value_bytes=256, seed=5)
+    ops = list(workload.operations(500))
+    assert len(ops) == 500
+    for op in ops:
+        assert op.kind in ("get", "put")
+        assert op.key.startswith(b"member:")
+        if op.kind == "put":
+            assert len(op.value) == 256
+
+
+def test_workload_preload_covers_all_keys():
+    workload = KeyValueWorkload(num_keys=50, seed=6)
+    keys = {op.key for op in workload.preload()}
+    assert len(keys) == 50
+
+
+def test_workload_zipfian_value_sizes():
+    workload = KeyValueWorkload(num_keys=200, value_bytes=8192,
+                                value_size_zipfian=True, seed=7)
+    sizes = {len(op.value) for op in workload.preload()}
+    assert len(sizes) > 5  # varied sizes
+
+
+def test_activity_events_have_required_fields():
+    gen = ActivityEventGenerator(num_members=1000, seed=8, server_name="fe-9")
+    events = list(gen.events(200, timestamp=123.0))
+    assert len(events) == 200
+    for event in events:
+        assert event["server"] == "fe-9"
+        assert event["timestamp"] == 123.0
+        assert event["event_type"] in ("login", "page_view", "click", "like",
+                                       "share", "comment", "search_query")
+        if event["event_type"] == "search_query":
+            assert "query" in event
+
+
+def test_activity_event_sequence_monotonic():
+    gen = ActivityEventGenerator(seed=9)
+    seqs = [gen.next_event()["seq"] for _ in range(50)]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 50

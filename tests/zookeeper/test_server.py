@@ -1,0 +1,164 @@
+"""Zookeeper-style coordination semantics."""
+
+import pytest
+
+from repro.zookeeper import (
+    CreateMode,
+    EventType,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    ZooKeeperServer,
+)
+from repro.zookeeper.server import BadVersionError, SessionExpiredError
+
+
+@pytest.fixture
+def zk():
+    return ZooKeeperServer()
+
+
+def test_create_and_get(zk):
+    session = zk.connect()
+    session.create("/brokers", b"cluster-1")
+    data, version = session.get("/brokers")
+    assert data == b"cluster-1"
+    assert version == 0
+
+
+def test_create_requires_parent(zk):
+    session = zk.connect()
+    with pytest.raises(NoNodeError):
+        session.create("/a/b/c")
+
+
+def test_ensure_path_builds_ancestors(zk):
+    session = zk.connect()
+    session.ensure_path("/consumers/group1/ids")
+    assert session.exists("/consumers/group1/ids")
+    session.ensure_path("/consumers/group1/ids")  # idempotent
+
+
+def test_duplicate_create_rejected(zk):
+    session = zk.connect()
+    session.create("/x")
+    with pytest.raises(NodeExistsError):
+        session.create("/x")
+
+
+def test_set_bumps_version_and_cas(zk):
+    session = zk.connect()
+    session.create("/offset", b"0")
+    assert session.set("/offset", b"1") == 1
+    assert session.set("/offset", b"2", expected_version=1) == 2
+    with pytest.raises(BadVersionError):
+        session.set("/offset", b"9", expected_version=0)
+
+
+def test_delete_refuses_non_empty(zk):
+    session = zk.connect()
+    session.ensure_path("/a/b")
+    with pytest.raises(NotEmptyError):
+        session.delete("/a")
+    session.delete("/a", recursive=True)
+    assert not session.exists("/a")
+
+
+def test_sequential_nodes_get_monotonic_suffixes(zk):
+    session = zk.connect()
+    session.create("/queue")
+    p1 = session.create("/queue/item-", mode=CreateMode.PERSISTENT_SEQUENTIAL)
+    p2 = session.create("/queue/item-", mode=CreateMode.PERSISTENT_SEQUENTIAL)
+    assert p1 < p2
+    assert session.get_children("/queue") == [p1.rsplit("/", 1)[1],
+                                              p2.rsplit("/", 1)[1]]
+
+
+def test_ephemerals_die_with_session(zk):
+    owner = zk.connect()
+    observer = zk.connect()
+    owner.create("/consumers", b"")
+    owner.create("/consumers/c1", mode=CreateMode.EPHEMERAL)
+    assert observer.exists("/consumers/c1")
+    owner.close()
+    assert not observer.exists("/consumers/c1")
+    with pytest.raises(SessionExpiredError):
+        owner.get("/consumers")
+
+
+def test_data_watch_fires_once(zk):
+    session = zk.connect()
+    session.create("/topic", b"a")
+    events = []
+    session.get("/topic", watch=events.append)
+    session.set("/topic", b"b")
+    session.set("/topic", b"c")  # no watch registered any more
+    assert len(events) == 1
+    assert events[0].type is EventType.DATA_CHANGED
+
+
+def test_child_watch_fires_on_membership_change(zk):
+    session = zk.connect()
+    session.create("/group")
+    events = []
+    session.get_children("/group", watch=events.append)
+    session.create("/group/member1")
+    assert [e.type for e in events] == [EventType.CHILDREN_CHANGED]
+    # re-register and observe a delete
+    session.get_children("/group", watch=events.append)
+    session.delete("/group/member1")
+    assert len(events) == 2
+
+
+def test_exists_watch_fires_on_creation(zk):
+    session = zk.connect()
+    events = []
+    assert not session.exists("/later", watch=events.append)
+    session.create("/later")
+    assert [e.type for e in events] == [EventType.CREATED]
+
+
+def test_exists_watch_on_live_node_fires_on_delete(zk):
+    session = zk.connect()
+    session.create("/live")
+    events = []
+    assert session.exists("/live", watch=events.append)
+    session.delete("/live")
+    assert [e.type for e in events] == [EventType.DELETED]
+
+
+def test_session_expiry_fires_watches_for_ephemerals(zk):
+    owner = zk.connect()
+    observer = zk.connect()
+    owner.create("/members", b"")
+    owner.create("/members/m1", mode=CreateMode.EPHEMERAL)
+    events = []
+    observer.get_children("/members", watch=events.append)
+    zk.expire_session(owner.session_id)
+    assert len(events) == 1
+
+
+def test_ephemeral_sequential_combo(zk):
+    session = zk.connect()
+    session.create("/election")
+    path = session.create("/election/n-", mode=CreateMode.EPHEMERAL_SEQUENTIAL)
+    assert path.startswith("/election/n-")
+    session.close()
+    other = zk.connect()
+    assert other.get_children("/election") == []
+
+
+def test_invalid_paths_rejected(zk):
+    session = zk.connect()
+    for bad in ("no-slash", "/trailing/", ""):
+        with pytest.raises(ValueError):
+            session.create(bad)
+
+
+def test_delete_with_bad_version_rejected(zk):
+    session = zk.connect()
+    session.create("/v", b"x")
+    session.set("/v", b"y")
+    with pytest.raises(BadVersionError):
+        session.delete("/v", expected_version=0)
+    session.delete("/v", expected_version=1)
