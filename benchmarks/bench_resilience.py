@@ -1,0 +1,151 @@
+"""EXP-R1: goodput and recovery time under the unified resilience layer.
+
+The paper's systems are built for "frequent transient and short-term
+failures" (Voldemort §II.A): the claim worth measuring is not peak
+throughput on a healthy cluster but how much of it survives a lossy
+network.  We sweep injected transient-error rates {0%, 1%, 5%} over the
+quorum read/write path, with and without the shared
+:class:`RetryPolicy`, and measure
+
+* **goodput** — the fraction of issued operations that complete; with
+  retries enabled a transient hop failure costs a backoff, not a failed
+  request, so goodput should stay near 1.0 at every swept rate;
+* **recovery time** — the simulated seconds between a crashed replica
+  healing and its circuit breaker closing again (the window during
+  which the resilience layer routes around a node that is already
+  back).
+
+A JSON summary lands in ``benchmarks/out/BENCH_resilience.json`` so the
+sweep is comparable across runs.
+"""
+
+import json
+import pathlib
+
+from benchmarks.conftest import report
+from repro.common.resilience import RetryPolicy
+from repro.simnet import SimNetwork, fixed_latency
+from repro.voldemort import RoutedStore, StoreDefinition, Versioned, VoldemortCluster
+
+ERROR_RATES = (0.0, 0.01, 0.05)
+POLICY = RetryPolicy(max_attempts=4, base_delay=0.005, jitter=0.5)
+OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_resilience.json"
+
+
+def build_store(retry: bool, seed: int = 0,
+                breaker_config: dict | None = None) -> RoutedStore:
+    network = SimNetwork(seed=seed, latency_model=fixed_latency(0.0008))
+    cluster = VoldemortCluster(num_nodes=5, partitions_per_node=4,
+                               network=network, seed=seed)
+    cluster.define_store(StoreDefinition(
+        "resilience", replication_factor=3, required_reads=2,
+        required_writes=2))
+    return RoutedStore(cluster, "resilience",
+                       retry_policy=POLICY if retry else None,
+                       breaker_config=breaker_config)
+
+
+def run_mix(routed: RoutedStore, error_rate: float, ops: int = 300) -> dict:
+    """60/40 get/put mix under an injected transient-error rate."""
+    keys = [b"key-%03d" % i for i in range(50)]
+    for key in keys:
+        try:
+            routed.put(key, Versioned.initial(b"seed", 0))
+        except Exception:
+            pass  # already seeded (benchmark rounds reuse the store)
+    routed.cluster.network.failures.transient_error_rate = error_rate
+    succeeded = 0
+    for i in range(ops):
+        key = keys[i % len(keys)]
+        try:
+            if i % 5 < 3:
+                routed.get(key)
+            else:
+                current = routed.get(key)[0][0]
+                routed.put(key, Versioned(b"v-%d" % i,
+                                          current.clock.incremented(0)))
+            succeeded += 1
+        except Exception:
+            pass
+    routed.cluster.network.failures.transient_error_rate = 0.0
+    return {
+        "goodput": succeeded / ops,
+        "retries": routed.metrics.counter("get.retries").value
+        + routed.metrics.counter("put.retries").value,
+    }
+
+
+def measure_recovery_time(seed: int = 3) -> float:
+    """Simulated seconds from a replica healing to its breaker closing."""
+    # a small-sample breaker so it trips before the failure detector
+    # takes the crashed node out of rotation entirely
+    routed = build_store(retry=True, seed=seed,
+                         breaker_config={"minimum_samples": 2})
+    cluster = routed.cluster
+    key = b"recovery-key"
+    routed.put(key, Versioned.initial(b"v0", 0))
+    victim = routed.replica_nodes(key)[-1]
+    cluster.network.failures.crash(cluster.node_name(victim))
+    # trip the victim's breaker with writes that keep failing on it
+    for i in range(12):
+        current = routed.get(key)[0][0]
+        routed.put(key, Versioned(b"w-%d" % i, current.clock.incremented(0)))
+        if routed.breaker_for(victim).state == "open":
+            break
+    cluster.network.failures.recover(cluster.node_name(victim))
+    healed_at = cluster.clock.now()
+    i = 0
+    while routed.breaker_for(victim).state != "closed":
+        cluster.clock.advance(0.05)
+        current = routed.get(key)[0][0]
+        routed.put(key, Versioned(b"r-%d" % i, current.clock.incremented(0)))
+        i += 1
+        assert i < 200, "breaker never closed after heal"
+    return cluster.clock.now() - healed_at
+
+
+def test_goodput_under_transient_errors(benchmark):
+    sweep: dict[str, dict] = {}
+    for rate in ERROR_RATES:
+        with_retry = run_mix(build_store(retry=True, seed=1), rate)
+        without = run_mix(build_store(retry=False, seed=1), rate)
+        sweep[f"{rate:.0%}"] = {
+            "goodput_with_retry": round(with_retry["goodput"], 4),
+            "goodput_without_retry": round(without["goodput"], 4),
+            "retries": with_retry["retries"],
+        }
+
+    # wall-clock cost of the retry-enabled path at the worst swept rate
+    benchmark(run_mix, build_store(retry=True, seed=2), ERROR_RATES[-1])
+
+    recovery_time = measure_recovery_time()
+    summary = {
+        "benchmark": "EXP-R1 resilience sweep",
+        "error_rates": sweep,
+        "recovery_time_s": round(recovery_time, 4),
+        "policy": {
+            "max_attempts": POLICY.max_attempts,
+            "base_delay": POLICY.base_delay,
+            "jitter": POLICY.jitter,
+        },
+    }
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+
+    report(benchmark, "EXP-R1 goodput under transient errors", {
+        f"goodput @ {rate} ({label})": sweep[rate][f"goodput_{label}"]
+        for rate in sweep
+        for label in ("with_retry", "without_retry")
+    } | {
+        "breaker recovery time": f"{recovery_time * 1000:.0f} ms (simulated)",
+        "summary": str(OUT_PATH),
+    }, "systems designed around frequent transient and short-term failures")
+
+    # retries must not lose goodput anywhere, and must win where it counts
+    for rate in sweep:
+        assert sweep[rate]["goodput_with_retry"] >= \
+            sweep[rate]["goodput_without_retry"]
+    assert sweep["5%"]["goodput_with_retry"] >= 0.95
+    assert sweep["5%"]["goodput_without_retry"] < \
+        sweep["5%"]["goodput_with_retry"]
+    assert recovery_time < 5.0

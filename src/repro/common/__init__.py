@@ -2,6 +2,12 @@
 
 from repro.common.clock import Clock, SimClock, WallClock
 from repro.common.metrics import Counter, LatencyHistogram, Meter, MetricsRegistry
+from repro.common.resilience import (
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    call_with_retries,
+)
 from repro.common.ring import HashRing, Node, Zone, build_balanced_ring, hash_key
 from repro.common.serialization import (
     Field,
@@ -22,6 +28,10 @@ __all__ = [
     "LatencyHistogram",
     "Meter",
     "MetricsRegistry",
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "call_with_retries",
     "HashRing",
     "Node",
     "Zone",

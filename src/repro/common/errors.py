@@ -66,6 +66,16 @@ class RequestTimeoutError(NodeUnavailableError):
     """The request exceeded its deadline."""
 
 
+class DeadlineExceededError(RequestTimeoutError):
+    """A request's end-to-end deadline budget was exhausted before the
+    operation (including retries) could complete."""
+
+
+class CircuitOpenError(NodeUnavailableError):
+    """A circuit breaker rejected the call without attempting it; the
+    target has been failing and its recovery timeout has not elapsed."""
+
+
 class OffsetOutOfRangeError(ReproError):
     """A Kafka fetch addressed an offset outside the partition log."""
 

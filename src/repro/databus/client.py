@@ -12,17 +12,36 @@ Responsibilities implemented here:
   position it falls back to the bootstrap server (consolidated delta
   when the client has state, consistent snapshot when it does not) and
   then returns to the relay;
+* failure switchover — relay polls run under the shared resilience
+  layer (:mod:`repro.common.resilience`): transient relay failures are
+  retried with backoff, repeated failure opens a circuit breaker, and
+  while the relay is unreachable the client serves windows from the
+  bootstrap server instead, resuming from its checkpoint with no
+  missed SCNs once the relay recovers;
 * retry logic — a consumer callback that raises is retried up to a
   bound, after which the window is aborted and re-delivered on the
   next poll;
 * server-side filters are pushed down to both relay and bootstrap.
+
+To exercise the failure paths deterministically the client can route
+its relay/bootstrap calls through a :class:`~repro.simnet.SimNetwork`,
+whose :class:`FailureInjector` provides crashes, partitions, and
+transient error rates.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
-from repro.common.errors import ConfigurationError, SCNGoneError
+from repro.common.clock import Clock, SimClock
+from repro.common.errors import (
+    ConfigurationError,
+    NodeUnavailableError,
+    SCNGoneError,
+)
+from repro.common.metrics import MetricsRegistry
+from repro.common.resilience import CircuitBreaker, RetryPolicy, call_with_retries
 from repro.databus.bootstrap import BootstrapServer
 from repro.databus.events import DatabusEvent, EventFilter
 from repro.databus.relay import DEFAULT_BUFFER, Relay
@@ -59,6 +78,8 @@ class ClientStats:
     delta_bootstraps: int = 0
     consumer_retries: int = 0
     windows_aborted: int = 0
+    relay_failovers: int = 0    # polls served by bootstrap because the
+    relay_reconnects: int = 0   # relay was down, and returns to it
 
 
 class DatabusClient:
@@ -68,7 +89,14 @@ class DatabusClient:
                  bootstrap: BootstrapServer | None = None,
                  buffer_name: str = DEFAULT_BUFFER,
                  event_filter: EventFilter | None = None,
-                 checkpoint: int = 0, max_retries: int = 3):
+                 checkpoint: int = 0, max_retries: int = 3,
+                 retry_policy: RetryPolicy | None = None,
+                 clock: Clock | None = None,
+                 network=None, client_name: str = "databus-client",
+                 relay_name: str | None = None,
+                 bootstrap_name: str | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 retry_seed: int = 0):
         if max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
         self.consumer = consumer
@@ -80,6 +108,44 @@ class DatabusClient:
         self.has_state = checkpoint > 0
         self.max_retries = max_retries
         self.stats = ClientStats()
+        # resilience wiring: poll retries, relay breaker, metrics.  With
+        # a network attached, relay/bootstrap calls go through it and are
+        # subject to its failure injection.
+        self.network = network
+        self.client_name = client_name
+        self.relay_name = relay_name or relay.name
+        self.bootstrap_name = bootstrap_name or (
+            bootstrap.name if bootstrap is not None else None)
+        if clock is not None:
+            self.clock = clock
+        elif network is not None:
+            self.clock = network.clock
+        else:
+            self.clock = SimClock()
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_seed)
+        self.metrics = MetricsRegistry()
+        self.relay_breaker = breaker or CircuitBreaker(
+            self.clock, name="relay", metrics=self.metrics)
+
+    # -- transport ---------------------------------------------------------
+
+    def _call(self, server_name: str, fn, *args):
+        """Direct call, or a simulated network hop when one is wired."""
+        if self.network is None:
+            return fn(*args)
+        result, _ = self.network.invoke(self.client_name, server_name,
+                                        fn, *args)
+        return result
+
+    def _stream_from_relay(self, max_events: int) -> list[DatabusEvent]:
+        return call_with_retries(
+            lambda: self._call(self.relay_name, self.relay.stream_from,
+                               self.checkpoint, self.buffer_name,
+                               self.event_filter, max_events),
+            clock=self.clock, policy=self.retry_policy, rng=self._retry_rng,
+            retry_on=(NodeUnavailableError,), breaker=self.relay_breaker,
+            metrics=self.metrics, name="relay.poll")
 
     # -- the poll loop -----------------------------------------------------
 
@@ -87,15 +153,30 @@ class DatabusClient:
         """Pull available events and deliver them; returns events delivered.
 
         Transparently bootstraps when the relay no longer retains the
-        checkpoint position.
+        checkpoint position, and switches over to the bootstrap server
+        while the relay itself is unreachable (retries exhausted or the
+        relay breaker open).  The checkpoint only ever advances at
+        window boundaries, so a poll interrupted by a failure at any
+        point re-delivers from the same position — at-least-once, no
+        gaps.
         """
         try:
-            events = self.relay.stream_from(self.checkpoint, self.buffer_name,
-                                            self.event_filter, max_events)
+            events = self._stream_from_relay(max_events)
+            if self.relay_breaker.state == "closed" and \
+                    self.stats.relay_failovers > self.stats.relay_reconnects:
+                self.stats.relay_reconnects += 1
+                self.metrics.counter("relay.reconnects").increment()
         except SCNGoneError:
             self._bootstrap()
-            events = self.relay.stream_from(self.checkpoint, self.buffer_name,
-                                            self.event_filter, max_events)
+            events = self._stream_from_relay(max_events)
+        except NodeUnavailableError:
+            # the relay is down (or its breaker is open): serve this
+            # poll from the bootstrap server so consumers keep moving
+            if self.bootstrap is None:
+                raise
+            self.stats.relay_failovers += 1
+            self.metrics.counter("relay.failovers").increment()
+            return self._poll_bootstrap()
         return self._deliver_windows(events)
 
     def _deliver_windows(self, events: list[DatabusEvent]) -> int:
@@ -145,10 +226,23 @@ class DatabusClient:
         else:
             self._bootstrap_with_snapshot()
 
+    def _poll_bootstrap(self) -> int:
+        """Serve one poll's worth of windows from the bootstrap server
+        (the relay is unreachable).  Delta playback resumes exactly from
+        the checkpoint, so no SCN is skipped."""
+        self.stats.bootstraps += 1
+        before = self.stats.events_delivered
+        if self.has_state:
+            self._bootstrap_with_delta()
+        else:
+            self._bootstrap_with_snapshot()
+        return self.stats.events_delivered - before
+
     def _bootstrap_with_delta(self) -> None:
         """Consolidated delta: fast playback for lagging consumers."""
         self.stats.delta_bootstraps += 1
-        events, high_watermark = self.bootstrap.consolidated_delta(
+        events, high_watermark = self._call(
+            self.bootstrap_name, self.bootstrap.consolidated_delta,
             self.checkpoint, self.event_filter)
         for event in events:
             self._deliver_single(event)
@@ -158,7 +252,8 @@ class DatabusClient:
         """Consistent snapshot: initialization for stateless consumers."""
         self.stats.snapshot_bootstraps += 1
         resume_scn = self.checkpoint
-        for kind, item in self.bootstrap.consistent_snapshot(self.event_filter):
+        for kind, item in self._call(self.bootstrap_name,
+                                     self._snapshot_as_list):
             if kind == "row":
                 self.consumer.on_snapshot_row(item)
                 self.stats.events_delivered += 1
@@ -169,12 +264,17 @@ class DatabusClient:
         self.checkpoint = max(self.checkpoint, resume_scn)
         self.has_state = True
 
+    def _snapshot_as_list(self) -> list:
+        # materialized so the whole snapshot counts as one simulated call
+        return list(self.bootstrap.consistent_snapshot(self.event_filter))
+
     def _deliver_single(self, event: DatabusEvent) -> None:
         self.consumer.on_start_window(event.scn)
         self.consumer.on_data_event(event)
         self.consumer.on_end_window(event.scn)
         self.stats.windows_delivered += 1
         self.stats.events_delivered += 1
+        self.checkpoint = max(self.checkpoint, event.scn)
 
     # -- bookkeeping wrapper over _deliver_windows ------------------------------
 

@@ -16,7 +16,11 @@ This is Figure IV.1 in executable form.  The cluster:
 from __future__ import annotations
 
 from repro.common.clock import Clock, SimClock
-from repro.common.errors import ConfigurationError, SCNGoneError
+from repro.common.errors import (
+    ConfigurationError,
+    NotMasterError,
+    SCNGoneError,
+)
 from repro.databus.relay import Relay
 from repro.espresso.schema import DatabaseSchema, DocumentSchemaRegistry
 from repro.espresso.storage import EspressoStorageNode
@@ -132,8 +136,12 @@ class EspressoCluster:
         partition = self.database.partition_for(resource_id)
         node = self.master_node(partition)
         if node is None:
-            raise ConfigurationError(
-                f"partition {partition} has no master (converge first?)")
+            # retryable: the controller may be mid-failover; converging
+            # (cluster.failover()) promotes a slave and the next lookup
+            # succeeds
+            raise NotMasterError(
+                f"partition {partition} has no master (converge first?)",
+                partition_id=partition)
         return node
 
     def pump_replication(self, rounds: int = 1) -> int:

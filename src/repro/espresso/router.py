@@ -13,10 +13,20 @@ request to the selected storage node."
 The interface is HTTP-shaped (GET/PUT/POST/DELETE on URIs) returning
 plain Python results; a thin status-code layer maps library exceptions
 onto the responses an HTTP gateway would emit.
+
+Routing runs under the shared resilience layer
+(:mod:`repro.common.resilience`): a request that lands on a partition
+with no master — or on a node that lost mastership — is retried under
+the configured :class:`RetryPolicy`.  With ``auto_failover`` enabled
+the router nudges the Helix controller (``cluster.failover()``) between
+attempts, so a retry after a master crash lands on the freshly promoted
+slave; this is the §IV.B failover sequence seen from the client side.
+Only when retries are exhausted does the client see a 503.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.common.errors import (
@@ -25,6 +35,8 @@ from repro.common.errors import (
     NotMasterError,
     TransactionAbortedError,
 )
+from repro.common.metrics import MetricsRegistry
+from repro.common.resilience import RetryPolicy, call_with_retries
 from repro.espresso.cluster import EspressoCluster
 from repro.espresso.uri import EspressoUri, parse_index_query, parse_uri
 
@@ -41,8 +53,14 @@ class Response:
 class Router:
     """Stateless request router over one cluster."""
 
-    def __init__(self, cluster: EspressoCluster):
+    def __init__(self, cluster: EspressoCluster,
+                 retry_policy: RetryPolicy | None = None,
+                 auto_failover: bool = False, retry_seed: int = 0):
         self.cluster = cluster
+        self.retry_policy = retry_policy
+        self.auto_failover = auto_failover
+        self._retry_rng = random.Random(retry_seed)
+        self.metrics = MetricsRegistry()
         self.requests_routed = 0
 
     def _target(self, uri: EspressoUri):
@@ -53,12 +71,29 @@ class Router:
         self.requests_routed += 1
         return self.cluster.node_for_resource(uri.resource_id)
 
+    def _execute(self, name: str, fn):
+        """Run one routed operation, retrying NotMasterError.
+
+        Between attempts the router (optionally) asks the controller to
+        converge, promoting a slave for any masterless partition.
+        """
+        def on_retry(_retry_number, _exc):
+            if self.auto_failover:
+                self.metrics.counter("router.failovers").increment()
+                self.cluster.failover()
+
+        return call_with_retries(
+            fn, clock=self.cluster.clock, policy=self.retry_policy,
+            rng=self._retry_rng, retry_on=(NotMasterError,),
+            metrics=self.metrics, name=name, on_retry=on_retry)
+
     # -- verbs ------------------------------------------------------------------
 
     def get(self, uri: str) -> Response:
         """Point read, collection read, or secondary-index query."""
         parsed = parse_uri(uri)
-        try:
+
+        def attempt():
             node = self._target(parsed)
             if parsed.query is not None:
                 fieldname, value = parse_index_query(parsed.query)
@@ -73,8 +108,13 @@ class Router:
                 return Response(200, records)
             record = node.get_document(parsed.table, parsed.key)
             return Response(200, record, etag=record.etag)
+
+        try:
+            return self._execute("get", attempt)
         except KeyNotFoundError as exc:
             return Response(404, str(exc))
+        except NotMasterError as exc:
+            return Response(503, str(exc))
         except ConfigurationError as exc:
             return Response(400, str(exc))
 
@@ -82,11 +122,15 @@ class Router:
             if_match: str | None = None) -> Response:
         """Create or replace one document (conditional on ``if_match``)."""
         parsed = parse_uri(uri)
-        try:
+
+        def attempt():
             node = self._target(parsed)
             etag = node.put_document(parsed.table, parsed.key, document,
                                      expected_etag=if_match)
             return Response(200, None, etag=etag)
+
+        try:
+            return self._execute("put", attempt)
         except NotMasterError as exc:
             return Response(503, str(exc))
         except TransactionAbortedError as exc:
@@ -96,10 +140,14 @@ class Router:
 
     def delete(self, uri: str) -> Response:
         parsed = parse_uri(uri)
-        try:
+
+        def attempt():
             node = self._target(parsed)
             node.delete_document(parsed.table, parsed.key)
             return Response(200)
+
+        try:
+            return self._execute("delete", attempt)
         except KeyNotFoundError as exc:
             return Response(404, str(exc))
         except NotMasterError as exc:
@@ -115,11 +163,15 @@ class Router:
         updates' (§IV.A)."""
         if database != self.cluster.database.name:
             return Response(400, f"unknown database {database!r}")
-        try:
+
+        def attempt():
             node = self.cluster.node_for_resource(resource_id)
             self.requests_routed += 1
             scn = node.transact(resource_id, operations)
             return Response(200, {"scn": scn})
+
+        try:
+            return self._execute("post", attempt)
         except NotMasterError as exc:
             return Response(503, str(exc))
         except (TransactionAbortedError, ConfigurationError) as exc:

@@ -23,15 +23,20 @@ offsets avoid.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.common.errors import (
     ConfigurationError,
+    NodeUnavailableError,
     OffsetOutOfRangeError,
     RebalanceInProgressError,
 )
+from repro.common.metrics import MetricsRegistry
+from repro.common.resilience import RetryPolicy, call_with_retries
 from repro.kafka.broker import KafkaCluster
 from repro.kafka.message import MessageAndOffset, iter_messages
+from repro.kafka.replication import ReplicatedTopic
 from repro.zookeeper import CreateMode, NodeExistsError, NoNodeError
 
 
@@ -46,19 +51,50 @@ class FetchedMessage:
 
 
 class SimpleConsumer:
-    """Offset-explicit consumption from one cluster (no group logic)."""
+    """Offset-explicit consumption from one cluster (no group logic).
 
-    def __init__(self, cluster: KafkaCluster, fetch_max_bytes: int = 300 * 1024):
+    Topics attached via :meth:`attach_replicated` are fetched through
+    their replication layer: a fetch that lands on a dead leader is
+    retried under the configured :class:`RetryPolicy`, triggering a
+    leader re-election between attempts so the consumer follows the
+    partition to its new leader.
+    """
+
+    def __init__(self, cluster: KafkaCluster, fetch_max_bytes: int = 300 * 1024,
+                 retry_policy: RetryPolicy | None = None,
+                 retry_seed: int = 0):
         self.cluster = cluster
         self.fetch_max_bytes = fetch_max_bytes
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_seed)
+        self.metrics = MetricsRegistry()
+        self._replicated: dict[str, ReplicatedTopic] = {}
         self.fetch_requests = 0
         self.bytes_fetched = 0
+
+    def attach_replicated(self, replicated: ReplicatedTopic) -> None:
+        """Route this topic's fetches through its replication layer."""
+        self._replicated[replicated.topic] = replicated
+
+    def _fetch_raw(self, topic: str, partition: int, offset: int) -> bytes:
+        replicated = self._replicated.get(topic)
+        if replicated is None:
+            broker = self.cluster.broker_for(topic, partition)
+            return broker.fetch(topic, partition, offset, self.fetch_max_bytes)
+
+        def on_retry(_retry_number, _exc):
+            replicated.handle_failures()
+
+        return call_with_retries(
+            lambda: replicated.fetch(partition, offset, self.fetch_max_bytes),
+            clock=self.cluster.clock, policy=self.retry_policy,
+            rng=self._retry_rng, retry_on=(NodeUnavailableError,),
+            metrics=self.metrics, name="fetch", on_retry=on_retry)
 
     def fetch(self, topic: str, partition: int,
               offset: int) -> list[MessageAndOffset]:
         """One pull request: decoded messages from ``offset`` onward."""
-        broker = self.cluster.broker_for(topic, partition)
-        data = broker.fetch(topic, partition, offset, self.fetch_max_bytes)
+        data = self._fetch_raw(topic, partition, offset)
         self.fetch_requests += 1
         self.bytes_fetched += len(data)
         return list(iter_messages(data, base_offset=offset))

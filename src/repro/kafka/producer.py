@@ -5,6 +5,14 @@ partition or a partition semantically determined by a partitioning key
 and a partitioning function."  Batching ("the producer can send a set
 of messages in a single publish request") and optional compression of
 each batch (§V.B) are the two levers the throughput benchmarks sweep.
+
+Publishing runs under the shared resilience layer
+(:mod:`repro.common.resilience`): a transient broker failure is retried
+with backoff, and for replicated topics each retry first runs
+``handle_failures()`` so the re-send lands on the newly elected leader.
+A batch that still cannot be published is re-queued, so no message is
+silently dropped — ``messages_acked`` counts exactly the messages the
+cluster accepted.
 """
 
 from __future__ import annotations
@@ -12,9 +20,12 @@ from __future__ import annotations
 import hashlib
 import random
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, NodeUnavailableError
+from repro.common.metrics import MetricsRegistry
+from repro.common.resilience import RetryPolicy, call_with_retries
 from repro.kafka.broker import KafkaCluster
 from repro.kafka.message import Message, MessageSet
+from repro.kafka.replication import ReplicatedTopic
 
 
 class Producer:
@@ -22,7 +33,8 @@ class Producer:
 
     def __init__(self, cluster: KafkaCluster, batch_size: int = 50,
                  compress: bool = False, compression_level: int = 6,
-                 seed: int = 0):
+                 seed: int = 0, retry_policy: RetryPolicy | None = None,
+                 retry_seed: int = 0):
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
         self.cluster = cluster
@@ -30,18 +42,36 @@ class Producer:
         self.compress = compress
         self.compression_level = compression_level
         self._rng = random.Random(seed)
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_seed)
+        self.metrics = MetricsRegistry()
+        # topic -> ReplicatedTopic for topics under leader/follower
+        # replication; their produce path goes through the leader and
+        # survives leader crashes via re-election between retries
+        self._replicated: dict[str, ReplicatedTopic] = {}
         # (topic, partition) -> pending messages
         self._batches: dict[tuple[str, int], list[Message]] = {}
         self.messages_sent = 0
+        self.messages_acked = 0
         self.bytes_on_wire = 0
         self.publish_requests = 0
 
+    def attach_replicated(self, replicated: ReplicatedTopic) -> None:
+        """Route this topic's publishes through its replication layer."""
+        self._replicated[replicated.topic] = replicated
+
+    def _partition_count(self, topic: str) -> int:
+        replicated = self._replicated.get(topic)
+        if replicated is not None:
+            return len(replicated.partitions)
+        return len(self.cluster.topic_layout(topic))
+
     def _choose_partition(self, topic: str, key: bytes | None) -> int:
-        layout = self.cluster.topic_layout(topic)
+        count = self._partition_count(topic)
         if key is None:
-            return self._rng.choice(layout).partition
+            return self._rng.randrange(count)
         digest = hashlib.md5(key).digest()
-        return int.from_bytes(digest[:4], "big") % len(layout)
+        return int.from_bytes(digest[:4], "big") % count
 
     def send(self, topic: str, payload: bytes,
              key: bytes | None = None) -> None:
@@ -61,6 +91,15 @@ class Producer:
             Message(p) for p in payloads)
         self._publish(topic, partition)
 
+    def _produce_once(self, topic: str, partition: int,
+                      message_set: MessageSet) -> None:
+        replicated = self._replicated.get(topic)
+        if replicated is not None:
+            replicated.produce(partition, message_set)
+        else:
+            self.cluster.broker_for(topic, partition).produce(
+                topic, partition, message_set)
+
     def _publish(self, topic: str, partition: int) -> None:
         batch = self._batches.pop((topic, partition), [])
         if not batch:
@@ -69,9 +108,28 @@ class Producer:
             message_set = MessageSet.compressed(batch, self.compression_level)
         else:
             message_set = MessageSet(batch)
-        broker = self.cluster.broker_for(topic, partition)
-        broker.produce(topic, partition, message_set)
+
+        replicated = self._replicated.get(topic)
+
+        def on_retry(_retry_number, _exc):
+            # repair before re-sending: elect a new leader from the ISR
+            # so the retry targets a live broker
+            if replicated is not None:
+                replicated.handle_failures()
+
+        try:
+            call_with_retries(
+                lambda: self._produce_once(topic, partition, message_set),
+                clock=self.cluster.clock, policy=self.retry_policy,
+                rng=self._retry_rng, retry_on=(NodeUnavailableError,),
+                metrics=self.metrics, name="produce", on_retry=on_retry)
+        except NodeUnavailableError:
+            # not acked: put the batch back so a later flush (after the
+            # cluster heals) can deliver it — nothing silently dropped
+            self._batches.setdefault((topic, partition), [])[:0] = batch
+            raise
         self.messages_sent += len(batch)
+        self.messages_acked += len(batch)
         self.bytes_on_wire += message_set.wire_size
         self.publish_requests += 1
 
@@ -79,3 +137,8 @@ class Producer:
         """Publish every pending batch."""
         for topic, partition in list(self._batches):
             self._publish(topic, partition)
+
+    @property
+    def pending(self) -> int:
+        """Messages queued but not yet acknowledged by the cluster."""
+        return sum(len(b) for b in self._batches.values())

@@ -160,6 +160,10 @@ class ReplicatedPartition:
     def fetch(self, offset: int, max_bytes: int = 300 * 1024) -> bytes:
         """Consumer fetch from the leader, bounded by the committed
         offset — uncommitted tails are invisible."""
+        if not self._alive(self.leader_id):
+            raise NodeUnavailableError(
+                f"leader {self.leader_id} of {self.topic}-{self.partition} "
+                "is down; run handle_failures()")
         if offset > self.committed_offset:
             raise OffsetOutOfRangeError(
                 f"offset {offset} beyond committed {self.committed_offset}")

@@ -168,12 +168,12 @@ class SimNetwork:
             self.hops_failed += 1
             return False
         delay = self.latency_model(self.rng)
-        dst_name = dst
 
         def deliver():
-            # re-check reachability at delivery time: the destination may
-            # have crashed while the message was in flight
-            if self.failures.reachable(dst_name, dst_name):
+            # re-check the real (src, dst) pair at delivery time: either
+            # endpoint may have crashed, or a partition may have formed,
+            # while the message was in flight
+            if self.failures.reachable(src, dst):
                 self.hops_delivered += 1
                 callback()
             else:

@@ -14,7 +14,7 @@ answers, at which point it is marked up again.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.clock import Clock, SimClock
@@ -23,7 +23,7 @@ from repro.common.errors import ConfigurationError
 
 @dataclass
 class _NodeHealth:
-    outcomes: deque = field(default_factory=lambda: deque(maxlen=64))
+    outcomes: deque
     available: bool = True
     marked_down_at: float = 0.0
 
@@ -42,8 +42,13 @@ class FailureDetector:
                  ping: Callable[[int], bool] | None = None):
         if not 0.0 < threshold <= 1.0:
             raise ConfigurationError("threshold must be in (0, 1]")
-        if minimum_samples < 1:
-            raise ConfigurationError("minimum_samples must be >= 1")
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if not 1 <= minimum_samples <= window:
+            raise ConfigurationError(
+                "require 1 <= minimum_samples <= window: a node could "
+                "otherwise never accumulate enough outcomes to be marked "
+                "down")
         self.clock = clock
         self.threshold = threshold
         self.minimum_samples = minimum_samples
@@ -53,12 +58,15 @@ class FailureDetector:
         self._health: dict[int, _NodeHealth] = {}
         self.nodes_marked_down = 0
         self.nodes_recovered = 0
+        # recovery hook: fired when a down node comes back (explicit
+        # mark_up or a successful async probe).  The routing layer uses
+        # it to reset the node's circuit breaker so both availability
+        # views agree.
+        self.on_mark_up: Callable[[int], None] | None = None
 
     def _node(self, node_id: int) -> _NodeHealth:
         if node_id not in self._health:
-            health = _NodeHealth()
-            health.outcomes = deque(maxlen=self.window)
-            self._health[node_id] = health
+            self._health[node_id] = _NodeHealth(deque(maxlen=self.window))
         return self._health[node_id]
 
     def is_available(self, node_id: int) -> bool:
@@ -109,6 +117,12 @@ class FailureDetector:
             health.available = True
             health.outcomes.clear()
             self.nodes_recovered += 1
+        # the hook fires even when the detector never marked the node
+        # down: an explicit mark_up is an external recovery signal, and
+        # listeners (circuit breakers) may hold failure history the
+        # detector does not
+        if self.on_mark_up is not None:
+            self.on_mark_up(node_id)
 
     def available_nodes(self, candidates: list[int]) -> list[int]:
         return [n for n in candidates if self.is_available(n)]

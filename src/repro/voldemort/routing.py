@@ -21,13 +21,17 @@ how a parallel quorum behaves.
 
 from __future__ import annotations
 
+import random
+
 from repro.common.errors import (
+    DeadlineExceededError,
     InsufficientOperationalNodesError,
     KeyNotFoundError,
     NodeUnavailableError,
     ObsoleteVersionError,
 )
 from repro.common.metrics import MetricsRegistry
+from repro.common.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.common.vectorclock import Occurred
 from repro.voldemort.cluster import StoreDefinition, VoldemortCluster
 from repro.voldemort.failure_detector import FailureDetector
@@ -44,7 +48,10 @@ class RoutedStore:
                  failure_detector: FailureDetector | None = None,
                  enable_read_repair: bool = True,
                  enable_hinted_handoff: bool = True,
-                 client_zone: int | None = None):
+                 client_zone: int | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker_config: dict | None = None,
+                 retry_seed: int = 0):
         self.cluster = cluster
         self.store = store
         self.definition: StoreDefinition = cluster.store_definition(store)
@@ -53,6 +60,19 @@ class RoutedStore:
             cluster.clock, ping=self._ping_node)
         self.enable_read_repair = enable_read_repair
         self.enable_hinted_handoff = enable_hinted_handoff
+        # unified resilience layer: quorum rounds retry per policy, and a
+        # per-node breaker stops hammering replicas that keep failing.
+        # The breaker needs more samples than the failure detector's
+        # minimum (5) so the detector always sees enough real outcomes
+        # to mark a node down before calls to it are short-circuited.
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_seed)
+        self._breaker_config = {"window": 16, "minimum_samples": 8,
+                                "reset_timeout": 1.0}
+        self._breaker_config.update(breaker_config or {})
+        self._breakers: dict[int, CircuitBreaker] = {}
+        if self.detector.on_mark_up is None:
+            self.detector.on_mark_up = self._reset_breaker
         # multi-datacenter read locality: with a client zone declared,
         # reads prefer replicas in nearby zones (the zone "proximity
         # list" of §II.B)
@@ -99,36 +119,85 @@ class RoutedStore:
         except NodeUnavailableError:
             return False
 
+    def breaker_for(self, node_id: int) -> CircuitBreaker:
+        """The per-node circuit breaker (created on first use)."""
+        if node_id not in self._breakers:
+            self._breakers[node_id] = CircuitBreaker(
+                self.cluster.clock, name=f"node-{node_id}",
+                metrics=self.metrics, **self._breaker_config)
+        return self._breakers[node_id]
+
+    def _reset_breaker(self, node_id: int) -> None:
+        """Detector says the node recovered; forget breaker history."""
+        breaker = self._breakers.get(node_id)
+        if breaker is not None:
+            breaker.reset()
+
+    def _hop_timeout(self, deadline: Deadline | None) -> float | None:
+        """Per-hop timeout clamped by the remaining request budget."""
+        if deadline is None:
+            return None
+        return deadline.clamp(self.cluster.network.default_timeout)
+
+    def _sleep_before_retry(self, retry_number: int, operation: str,
+                            deadline: Deadline | None) -> None:
+        delay = self.retry_policy.backoff(retry_number, self._retry_rng)
+        if deadline is not None:
+            delay = min(delay, deadline.remaining())
+        self.metrics.counter(f"{operation}.retries").increment()
+        self.cluster.clock.sleep(delay)
+
     # -- reads ---------------------------------------------------------------------
 
-    def get(self, key: bytes, transform: tuple | None = None
+    def get(self, key: bytes, transform: tuple | None = None,
+            deadline: Deadline | None = None
             ) -> tuple[list[Versioned], float]:
         """Quorum read; returns (version frontier, simulated latency).
 
         Raises :class:`KeyNotFoundError` when a quorum of replicas agree
         the key is absent, and
         :class:`InsufficientOperationalNodesError` when fewer than R
-        replicas respond at all.
+        replicas respond at all.  With a :class:`RetryPolicy` configured,
+        short quorum rounds are retried with backoff against the
+        replicas that have not answered yet, bounded by ``deadline``.
         """
         replicas = self.replica_nodes(key)
         required = self.definition.required_reads
         responses: dict[int, list[Versioned]] = {}
         latencies: list[float] = []
         missing_nodes: list[int] = []
-        for node_id in self._ordered_by_availability(replicas):
+        max_rounds = self.retry_policy.max_attempts if self.retry_policy else 1
+        round_number = 1
+        while True:
+            for node_id in self._ordered_by_availability(replicas):
+                if len(responses) + len(missing_nodes) >= required:
+                    break
+                if node_id in responses or node_id in missing_nodes:
+                    continue
+                result = self._call_get(node_id, key, transform, deadline)
+                if result is None:
+                    continue
+                latency, versions = result
+                latencies.append(latency)
+                if versions is None:
+                    missing_nodes.append(node_id)
+                else:
+                    responses[node_id] = versions
             if len(responses) + len(missing_nodes) >= required:
                 break
-            result = self._call_get(node_id, key, transform)
-            if result is None:
-                continue
-            latency, versions = result
-            latencies.append(latency)
-            if versions is None:
-                missing_nodes.append(node_id)
-            else:
-                responses[node_id] = versions
+            if round_number >= max_rounds:
+                break
+            if deadline is not None and deadline.expired:
+                break
+            self._sleep_before_retry(round_number, "get", deadline)
+            round_number += 1
         answered = len(responses) + len(missing_nodes)
         if answered < required:
+            if deadline is not None and deadline.expired:
+                self.metrics.counter("get.deadline_exceeded").increment()
+                raise DeadlineExceededError(
+                    f"read of {key!r} exhausted its deadline with "
+                    f"{answered} of {required} responses")
             self.metrics.counter("get.unavailable").increment()
             raise InsufficientOperationalNodesError(
                 f"only {answered} of {required} required reads succeeded",
@@ -142,22 +211,37 @@ class RoutedStore:
             self._read_repair(key, frontier, responses, missing_nodes)
         return frontier, operation_latency
 
-    def _call_get(self, node_id: int, key: bytes, transform: tuple | None
+    def _call_get(self, node_id: int, key: bytes, transform: tuple | None,
+                  deadline: Deadline | None = None
                   ) -> tuple[float, list[Versioned] | None] | None:
-        """One replica read.  Returns None on node failure, (latency,
-        None) when the node answered 'no such key'."""
+        """One replica read.  Returns None on node failure (or when the
+        node's breaker rejects the call), (latency, None) when the node
+        answered 'no such key'."""
+        breaker = self.breaker_for(node_id)
+        # breaker gating is active only with a retry policy: the retry
+        # loop's backoff sleeps are what advance the clock toward the
+        # breaker's half-open probe, so without one an open breaker
+        # could never recover
+        if self.retry_policy is not None and not breaker.allow():
+            return None
+        timeout = self._hop_timeout(deadline)
+        if timeout is not None and timeout <= 0:
+            return None
         server = self.cluster.server_for(node_id)
         try:
             versions, latency = self.cluster.network.invoke(
                 self.client_name, self.cluster.node_name(node_id),
-                server.get, self.store, key, transform)
+                server.get, self.store, key, transform, timeout=timeout)
             self.detector.record_success(node_id)
+            breaker.record_success()
             return latency, versions
         except KeyNotFoundError:
             self.detector.record_success(node_id)
+            breaker.record_success()
             return 0.0005, None
         except NodeUnavailableError:
             self.detector.record_failure(node_id)
+            breaker.record_failure()
             self.metrics.counter("get.node_failures").increment()
             return None
 
@@ -249,57 +333,61 @@ class RoutedStore:
     # -- writes ---------------------------------------------------------------------
 
     def put(self, key: bytes, versioned: Versioned,
-            transform: tuple | None = None) -> float:
+            transform: tuple | None = None,
+            deadline: Deadline | None = None) -> float:
         """Quorum write; returns simulated latency.
 
         Needs W replica acks.  Unreachable replicas trigger hinted
         handoff (when enabled): the write is parked on a live non-
         replica node and counts toward neither W nor failure.
         """
-        return self._write(key, versioned, transform, is_delete=False)
+        return self._write(key, versioned, transform, is_delete=False,
+                           deadline=deadline)
 
-    def delete(self, key: bytes, versioned: Versioned) -> float:
+    def delete(self, key: bytes, versioned: Versioned,
+               deadline: Deadline | None = None) -> float:
         """Tombstone write with the same quorum rules."""
-        return self._write(key, versioned, None, is_delete=True)
+        return self._write(key, versioned, None, is_delete=True,
+                           deadline=deadline)
 
     def _write(self, key: bytes, versioned: Versioned,
-               transform: tuple | None, is_delete: bool) -> float:
+               transform: tuple | None, is_delete: bool,
+               deadline: Deadline | None = None) -> float:
         replicas = self.replica_nodes(key)
         required = self.definition.required_writes
         successes = 0
         first_error: Exception | None = None
         latencies: list[float] = []
-        failed_nodes: list[int] = []
-        for node_id in replicas:
-            if not self.detector.is_available(node_id):
-                failed_nodes.append(node_id)
-                continue
-            server = self.cluster.server_for(node_id)
-            try:
-                if is_delete:
-                    _, latency = self.cluster.network.invoke(
-                        self.client_name, self.cluster.node_name(node_id),
-                        server.delete, self.store, key, versioned)
-                else:
-                    _, latency = self.cluster.network.invoke(
-                        self.client_name, self.cluster.node_name(node_id),
-                        server.put, self.store, key, versioned, transform)
-                successes += 1
-                latencies.append(latency)
-                self.detector.record_success(node_id)
-            except ObsoleteVersionError as exc:
-                # optimistic-locking conflict: surface to the caller
-                self.detector.record_success(node_id)
-                first_error = exc
-            except NodeUnavailableError:
-                self.detector.record_failure(node_id)
-                failed_nodes.append(node_id)
-        if first_error is not None:
-            self.metrics.counter("put.conflicts").increment()
-            raise first_error
-        if failed_nodes and self.enable_hinted_handoff and not is_delete:
-            self._hand_off(key, versioned, replicas, failed_nodes)
+        pending = list(replicas)
+        max_rounds = self.retry_policy.max_attempts if self.retry_policy else 1
+        round_number = 1
+        while True:
+            failed_nodes = self._write_round(key, versioned, transform,
+                                             is_delete, pending, deadline,
+                                             latencies)
+            successes = len(latencies)
+            first_error = first_error or failed_nodes.pop("conflict", None)
+            failed = failed_nodes["failed"]
+            if first_error is not None:
+                self.metrics.counter("put.conflicts").increment()
+                raise first_error
+            if successes >= required and not failed:
+                break
+            if not failed or round_number >= max_rounds:
+                break
+            if deadline is not None and deadline.expired:
+                break
+            self._sleep_before_retry(round_number, "put", deadline)
+            round_number += 1
+            pending = failed
+        if failed and self.enable_hinted_handoff and not is_delete:
+            self._hand_off(key, versioned, replicas, failed)
         if successes < required:
+            if deadline is not None and deadline.expired:
+                self.metrics.counter("put.deadline_exceeded").increment()
+                raise DeadlineExceededError(
+                    f"write of {key!r} exhausted its deadline with "
+                    f"{successes} of {required} acks")
             self.metrics.counter("put.unavailable").increment()
             raise InsufficientOperationalNodesError(
                 f"only {successes} of {required} required writes succeeded",
@@ -307,6 +395,50 @@ class RoutedStore:
         operation_latency = sorted(latencies)[required - 1]
         self.metrics.histogram("put").record(operation_latency)
         return operation_latency
+
+    def _write_round(self, key: bytes, versioned: Versioned,
+                     transform: tuple | None, is_delete: bool,
+                     pending: list[int], deadline: Deadline | None,
+                     latencies: list[float]) -> dict:
+        """One fan-out pass over ``pending`` replicas.  Appends each
+        ack's latency; returns the nodes that failed (and any
+        optimistic-locking conflict) for the retry loop to act on."""
+        out: dict = {"failed": []}
+        for node_id in pending:
+            breaker = self.breaker_for(node_id)
+            if not self.detector.is_available(node_id) or (
+                    self.retry_policy is not None and not breaker.allow()):
+                out["failed"].append(node_id)
+                continue
+            timeout = self._hop_timeout(deadline)
+            if timeout is not None and timeout <= 0:
+                out["failed"].append(node_id)
+                continue
+            server = self.cluster.server_for(node_id)
+            try:
+                if is_delete:
+                    _, latency = self.cluster.network.invoke(
+                        self.client_name, self.cluster.node_name(node_id),
+                        server.delete, self.store, key, versioned,
+                        timeout=timeout)
+                else:
+                    _, latency = self.cluster.network.invoke(
+                        self.client_name, self.cluster.node_name(node_id),
+                        server.put, self.store, key, versioned, transform,
+                        timeout=timeout)
+                latencies.append(latency)
+                self.detector.record_success(node_id)
+                breaker.record_success()
+            except ObsoleteVersionError as exc:
+                # optimistic-locking conflict: surface to the caller
+                self.detector.record_success(node_id)
+                breaker.record_success()
+                out["conflict"] = exc
+            except NodeUnavailableError:
+                self.detector.record_failure(node_id)
+                breaker.record_failure()
+                out["failed"].append(node_id)
+        return out
 
     def _hand_off(self, key: bytes, versioned: Versioned,
                   replicas: list[int], failed_nodes: list[int]) -> None:

@@ -8,15 +8,22 @@ the quorum on its behalf — one extra network hop in exchange for thin
 clients that need no topology metadata.
 
 Both flavours reuse the exact same :class:`RoutedStore` module, which
-is the pluggability point the paper highlights.
+is the pluggability point the paper highlights.  The thin client also
+reuses the shared resilience layer: when its coordinator hop fails it
+rotates to the next live node and retries under the configured policy.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 
-from repro.common.errors import NodeUnavailableError
+from repro.common.errors import (
+    InsufficientOperationalNodesError,
+    NodeUnavailableError,
+)
 from repro.common.metrics import MetricsRegistry
+from repro.common.resilience import Deadline, RetryPolicy, call_with_retries
 from repro.voldemort.cluster import VoldemortCluster
 from repro.voldemort.routing import RoutedStore
 from repro.voldemort.versioned import Versioned
@@ -27,14 +34,20 @@ class ServerSideRoutedStore:
 
     The coordinator is chosen round-robin over live nodes (a load
     balancer stand-in); it runs the shared routing module server-side,
-    so its quorum traffic is node-to-node.
+    so its quorum traffic is node-to-node.  A failed forward retries on
+    the next coordinator in rotation, so a crashed coordinator costs
+    one backoff, not a failed request.
     """
 
     def __init__(self, cluster: VoldemortCluster, store: str,
-                 client_name: str = "thin-client"):
+                 client_name: str = "thin-client",
+                 retry_policy: RetryPolicy | None = None,
+                 retry_seed: int = 0):
         self.cluster = cluster
         self.store = store
         self.client_name = client_name
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_seed)
         self.metrics = MetricsRegistry()
         # each node runs its own instance of the routing module
         self._coordinators: dict[int, RoutedStore] = {
@@ -52,33 +65,65 @@ class ServerSideRoutedStore:
                 return node_id
         raise NodeUnavailableError("no reachable coordinator")
 
-    def get(self, key: bytes) -> tuple[list[Versioned], float]:
+    def _forward(self, name: str, attempt_once,
+                 deadline: Deadline | None = None):
+        """Run one forwarded operation under the shared retry engine.
+
+        Each attempt picks a fresh coordinator, so retries naturally
+        fail over to another node.  Coordinator-side quorum shortfalls
+        are retried too — a different coordinator may sit on the right
+        side of a partition.
+        """
+        return call_with_retries(
+            attempt_once, clock=self.cluster.clock,
+            policy=self.retry_policy, rng=self._retry_rng,
+            retry_on=(NodeUnavailableError, InsufficientOperationalNodesError),
+            deadline=deadline, metrics=self.metrics, name=name)
+
+    def _hop_timeout(self, deadline: Deadline | None) -> float | None:
+        if deadline is None:
+            return None
+        return deadline.clamp(self.cluster.network.default_timeout)
+
+    def get(self, key: bytes,
+            deadline: Deadline | None = None) -> tuple[list[Versioned], float]:
         """Forwarded quorum read; latency includes the client hop."""
-        node_id = self._pick_coordinator()
-        coordinator = self._coordinators[node_id]
-        (frontier, internal_latency), hop_latency = self.cluster.network.invoke(
-            self.client_name, self.cluster.node_name(node_id),
-            coordinator.get, key)
-        total = hop_latency + internal_latency
+        def attempt():
+            node_id = self._pick_coordinator()
+            coordinator = self._coordinators[node_id]
+            (frontier, internal_latency), hop_latency = \
+                self.cluster.network.invoke(
+                    self.client_name, self.cluster.node_name(node_id),
+                    coordinator.get, key, timeout=self._hop_timeout(deadline))
+            return frontier, hop_latency + internal_latency
+        frontier, total = self._forward("get", attempt, deadline)
         self.metrics.histogram("get").record(total)
         return frontier, total
 
-    def put(self, key: bytes, versioned: Versioned) -> float:
-        node_id = self._pick_coordinator()
-        coordinator = self._coordinators[node_id]
-        internal_latency, hop_latency = self.cluster.network.invoke(
-            self.client_name, self.cluster.node_name(node_id),
-            coordinator.put, key, versioned)
-        total = hop_latency + internal_latency
+    def put(self, key: bytes, versioned: Versioned,
+            deadline: Deadline | None = None) -> float:
+        def attempt():
+            node_id = self._pick_coordinator()
+            coordinator = self._coordinators[node_id]
+            internal_latency, hop_latency = self.cluster.network.invoke(
+                self.client_name, self.cluster.node_name(node_id),
+                coordinator.put, key, versioned,
+                timeout=self._hop_timeout(deadline))
+            return hop_latency + internal_latency
+        total = self._forward("put", attempt, deadline)
         self.metrics.histogram("put").record(total)
         return total
 
-    def delete(self, key: bytes, versioned: Versioned) -> float:
-        node_id = self._pick_coordinator()
-        coordinator = self._coordinators[node_id]
-        internal_latency, hop_latency = self.cluster.network.invoke(
-            self.client_name, self.cluster.node_name(node_id),
-            coordinator.delete, key, versioned)
-        total = hop_latency + internal_latency
+    def delete(self, key: bytes, versioned: Versioned,
+               deadline: Deadline | None = None) -> float:
+        def attempt():
+            node_id = self._pick_coordinator()
+            coordinator = self._coordinators[node_id]
+            internal_latency, hop_latency = self.cluster.network.invoke(
+                self.client_name, self.cluster.node_name(node_id),
+                coordinator.delete, key, versioned,
+                timeout=self._hop_timeout(deadline))
+            return hop_latency + internal_latency
+        total = self._forward("delete", attempt, deadline)
         self.metrics.histogram("delete").record(total)
         return total

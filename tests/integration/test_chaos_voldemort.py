@@ -19,6 +19,8 @@ from repro.common.errors import (
 from repro.voldemort import RoutedStore, StoreDefinition, Versioned, VoldemortCluster
 from repro.voldemort.slop import SlopPusherService
 
+pytestmark = pytest.mark.chaos
+
 
 @pytest.mark.parametrize("seed", [1, 7, 21, 99])
 def test_acknowledged_writes_survive_chaos(seed):

@@ -110,3 +110,79 @@ def test_async_send_requires_sim_clock():
     net = SimNetwork(clock=WallClock())
     with pytest.raises(TypeError):
         net.send("a", "b", lambda: None)
+
+
+def test_async_send_dropped_if_source_crashes_in_flight():
+    # the delivery-time re-check uses the real (src, dst) pair, so a
+    # source crash while the message is in flight also drops it
+    clock = SimClock()
+    net = SimNetwork(clock=clock, latency_model=fixed_latency(1.0))
+    delivered = []
+    net.send("a", "b", lambda: delivered.append(True))
+    net.failures.crash("a")
+    clock.advance(2.0)
+    assert delivered == []
+    assert net.hops_failed == 1
+
+
+def test_async_send_dropped_if_partition_forms_in_flight():
+    clock = SimClock()
+    net = SimNetwork(clock=clock, latency_model=fixed_latency(1.0))
+    delivered = []
+    net.send("a", "b", lambda: delivered.append(True))
+    net.failures.partition({"a"}, {"b"})
+    clock.advance(2.0)
+    assert delivered == []
+
+
+def test_async_send_survives_partition_of_other_nodes():
+    clock = SimClock()
+    net = SimNetwork(clock=clock, latency_model=fixed_latency(1.0))
+    delivered = []
+    net.send("a", "b", lambda: delivered.append(True))
+    net.failures.partition({"a", "b"}, {"c"})  # same side: still flows
+    clock.advance(2.0)
+    assert delivered == [True]
+
+
+def test_partition_node_in_multiple_groups_reaches_both():
+    # a node listed in two groups straddles the partition and can talk
+    # to members of either side (a bridge node)
+    net = SimNetwork()
+    net.failures.partition({"a", "bridge"}, {"b", "bridge"})
+    net.invoke("a", "bridge", lambda: None)
+    net.invoke("bridge", "b", lambda: None)
+    with pytest.raises(NodeUnavailableError):
+        net.invoke("a", "b", lambda: None)
+
+
+def test_partition_with_empty_group_is_harmless():
+    net = SimNetwork()
+    net.failures.partition({"a", "b"}, set())
+    net.invoke("a", "b", lambda: None)
+    # a node in no group still reaches other ungrouped nodes
+    net.invoke("x", "y", lambda: None)
+    # but grouped <-> ungrouped is severed
+    with pytest.raises(NodeUnavailableError):
+        net.invoke("a", "x", lambda: None)
+
+
+def test_heal_then_repartition_applies_latest_groups():
+    net = SimNetwork()
+    net.failures.partition({"a"}, {"b", "c"})
+    with pytest.raises(NodeUnavailableError):
+        net.invoke("a", "b", lambda: None)
+    net.failures.heal_partition()
+    net.invoke("a", "b", lambda: None)
+    # repartition along a different cut: old groups must not linger
+    net.failures.partition({"a", "b"}, {"c"})
+    net.invoke("a", "b", lambda: None)
+    with pytest.raises(NodeUnavailableError):
+        net.invoke("b", "c", lambda: None)
+
+
+def test_repartition_replaces_previous_groups():
+    net = SimNetwork()
+    net.failures.partition({"a"}, {"b"})
+    net.failures.partition({"a", "b"})  # direct repartition, no heal
+    net.invoke("a", "b", lambda: None)

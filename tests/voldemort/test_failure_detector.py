@@ -94,3 +94,36 @@ def test_available_nodes_filter():
     detector = FailureDetector(SimClock(), threshold=0.9, minimum_samples=1)
     detector.record_failure(2)
     assert detector.available_nodes([1, 2, 3]) == [1, 3]
+
+
+def test_window_size_configurable():
+    detector = FailureDetector(SimClock(), threshold=0.9,
+                               minimum_samples=2, window=2)
+    detector.record_failure(1)
+    detector.record_failure(1)
+    assert not detector.is_available(1)
+    # a window of 2 holds exactly 2 outcomes
+    assert len(detector._node(1).outcomes) == 2
+    detector.record_success(1)
+    assert len(detector._node(1).outcomes) == 2
+
+
+def test_window_validation():
+    with pytest.raises(ConfigurationError):
+        FailureDetector(SimClock(), window=0)
+    with pytest.raises(ConfigurationError):
+        # minimum_samples beyond the window could never be reached
+        FailureDetector(SimClock(), minimum_samples=10, window=5)
+
+
+def test_mark_up_hook_fires_for_external_recovery():
+    detector = FailureDetector(SimClock(), threshold=0.9, minimum_samples=1)
+    recovered = []
+    detector.on_mark_up = recovered.append
+    detector.record_failure(1)
+    assert not detector.is_available(1)
+    detector.mark_up(1)
+    # fires even for nodes the detector never marked down: an explicit
+    # mark_up is an external recovery signal for listeners (breakers)
+    detector.mark_up(2)
+    assert recovered == [1, 2]
