@@ -1,0 +1,36 @@
+"""repro-lint: AST-based determinism & resilience static analysis.
+
+The reproduction's chaos tests and benchmarks are trustworthy only
+while every component honours the determinism contract (injected
+clocks, seeded RNGs, ordered iteration on fan-out paths) and the
+resilience contract (transport failures handled through
+:mod:`repro.common.resilience`, deadlines forwarded hop to hop).
+This package checks both contracts statically; see
+:mod:`repro.analysis.core` for the framework and
+:mod:`repro.analysis.rules` for the rules.
+"""
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.core import (
+    Analyzer,
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    all_rules,
+    register,
+    rule_names,
+)
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "register",
+    "rule_names",
+]

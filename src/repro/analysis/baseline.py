@@ -1,0 +1,84 @@
+"""Committed-baseline support for repro-lint.
+
+A baseline grandfathers existing findings so the CI gate only fails
+on *new* violations: adopt the linter first, burn the debt down
+afterwards.  The file maps finding fingerprints (rule + path + source
+line text, see :meth:`Finding.fingerprint`) to occurrence counts —
+counts, because two identical ``time.sleep(1)`` lines in one file
+produce identical fingerprints, and fixing one of them should shrink
+the allowance.
+
+The format is deliberately diff-friendly JSON: sorted keys, one
+human-readable locator string per entry so reviewers can see what a
+baseline edit grandfathers.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed count, plus locator strings for humans."""
+
+    allowances: Counter = field(default_factory=Counter)
+    locators: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fp = finding.fingerprint()
+            baseline.allowances[fp] += 1
+            baseline.locators.setdefault(
+                fp, f"{finding.path}: [{finding.rule}] {finding.snippet}")
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        baseline = cls()
+        for fp, entry in data.get("findings", {}).items():
+            baseline.allowances[fp] = int(entry["count"])
+            baseline.locators[fp] = entry.get("where", "")
+        return baseline
+
+    def save(self, path: Path | str) -> None:
+        data = {
+            "comment": "repro-lint grandfathered findings; regenerate with "
+                       "`python -m repro.analysis --write-baseline`",
+            "findings": {
+                fp: {"count": count, "where": self.locators.get(fp, "")}
+                for fp, count in sorted(self.allowances.items())
+                if count > 0
+            },
+        }
+        Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                              encoding="utf-8")
+
+    def split(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, grandfathered).
+
+        Findings are matched against the per-fingerprint allowance in
+        report order; occurrences beyond the allowed count are new.
+        """
+        remaining = Counter(self.allowances)
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if remaining[fp] > 0:
+                remaining[fp] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        return new, grandfathered

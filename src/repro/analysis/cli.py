@@ -1,0 +1,99 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit status is the CI contract: 0 when every finding is baselined or
+suppressed, 1 when new findings (or parse errors) exist, 2 for usage
+errors.  Typical invocations::
+
+    python -m repro.analysis src/repro            # human report
+    python -m repro.analysis src/repro --json     # machine report
+    repro-lint src/repro --baseline               # gate against lint-baseline.json
+    repro-lint src/repro --write-baseline         # grandfather current findings
+    repro-lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.core import Analyzer, all_rules, rule_names
+from repro.analysis.reporters import render_json, render_rule_list, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & resilience lint for the "
+                    "LinkedIn-paper reproduction")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to scan "
+                             "(default: src/repro)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    parser.add_argument("--baseline", nargs="?", const=DEFAULT_BASELINE_NAME,
+                        default=None, metavar="PATH",
+                        help="grandfather findings recorded in PATH "
+                             f"(default: {DEFAULT_BASELINE_NAME})")
+    parser.add_argument("--write-baseline", nargs="?",
+                        const=DEFAULT_BASELINE_NAME, default=None,
+                        metavar="PATH",
+                        help="record current findings as the new baseline "
+                             "and exit 0")
+    parser.add_argument("--disable", action="append", default=[],
+                        metavar="RULE", help="skip a rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe the registered rules and exit")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="directory report paths are relative to "
+                             "(default: current directory)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    known = set(rule_names())
+    for name in args.disable:
+        if name not in known:
+            print(f"repro-lint: unknown rule {name!r} "
+                  f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+    rules = [rule for rule in all_rules() if rule.name not in args.disable]
+
+    if args.list_rules:
+        print(render_rule_list(rules))
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    analyzer = Analyzer(rules=rules, root=args.root)
+    report = analyzer.run(args.paths)
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(report.findings).save(args.write_baseline)
+        print(f"repro-lint: wrote {len(report.findings)} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    baseline = Baseline()
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            baseline = Baseline.load(baseline_path)
+        elif args.baseline != DEFAULT_BASELINE_NAME:
+            print(f"repro-lint: baseline {args.baseline} not found",
+                  file=sys.stderr)
+            return 2
+    new, grandfathered = baseline.split(report.findings)
+
+    if args.json:
+        print(render_json(report, new, grandfathered, analyzer.metrics))
+    else:
+        print(render_text(report, new, grandfathered, rules))
+    return 1 if (new or report.parse_errors) else 0

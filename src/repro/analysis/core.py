@@ -1,0 +1,313 @@
+"""The repro-lint engine: findings, file contexts, the rule registry,
+pragma suppression, and the analyzer that drives them.
+
+The repo's behavioural fidelity rests on a determinism contract —
+every component takes an injected :class:`~repro.common.clock.Clock`
+and a seeded :class:`random.Random`, all inter-node traffic flows
+through :class:`~repro.simnet.SimNetwork`, and failure handling goes
+through :mod:`repro.common.resilience`.  That contract used to be
+enforced only by convention; this package enforces it with AST-based
+static analysis, the same move DBLog makes for CDC consistency
+invariants: machine-checkable instead of tribal knowledge.
+
+Vocabulary:
+
+* a :class:`Rule` inspects one parsed module and yields
+  :class:`Finding`\\ s; rules self-register via :func:`register`;
+* a :class:`FileContext` bundles the parse tree, source lines, import
+  aliases, and per-line pragma suppressions for one file;
+* the :class:`Analyzer` walks files in sorted order (the lint run is
+  itself deterministic), applies suppressions, and counts everything
+  through a :class:`~repro.common.metrics.MetricsRegistry`;
+* a committed baseline (see :mod:`repro.analysis.baseline`)
+  grandfathers known findings so the CI gate only trips on *new*
+  violations.
+
+Suppression is per line: ``# repro-lint: disable=rule-a,rule-b`` on
+the line a finding anchors to (its node's first line) silences those
+rules there; ``disable=all`` silences every rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.common.metrics import MetricsRegistry
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-\s]+)")
+
+#: Transport/availability error names from ``repro.common.errors`` that
+#: several rules treat as "the network failed" signals.
+TRANSPORT_ERROR_NAMES = frozenset({
+    "NodeUnavailableError",
+    "TransientNetworkError",
+    "RequestTimeoutError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+})
+
+#: Attribute names that mark a call as a simulated-network operation
+#: (``SimNetwork.invoke`` / ``SimNetwork.send`` and their wrappers).
+NETWORK_CALL_ATTRS = frozenset({"invoke", "send"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # posix-style path relative to the scan root
+    line: int
+    col: int
+    message: str
+    snippet: str = ""  # the stripped source line, for fingerprinting
+
+    def fingerprint(self) -> str:
+        """Location-drift-tolerant identity used by the baseline.
+
+        Hashes the rule, path, and source-line *text* (not the line
+        number), so unrelated edits above a grandfathered finding do
+        not un-baseline it.  Identical findings on identical lines are
+        disambiguated by the baseline's per-fingerprint counts.
+        """
+        digest = hashlib.sha1(
+            f"{self.rule}\x00{self.path}\x00{self.snippet}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class ImportMap:
+    """Resolved import aliases for one module.
+
+    Lets rules ask "what dotted name does this call really target?"
+    so ``from time import sleep as pause`` still resolves to
+    ``time.sleep``.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.modules: dict[str, str] = {}   # local alias -> module dotted name
+        self.names: dict[str, str] = {}     # local name -> module.attr
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        self.modules[top] = top
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Dotted target of a call's ``func`` expression, or None.
+
+        ``Name`` nodes resolve through ``from``-imports; ``Attribute``
+        chains resolve their base through plain imports.  Calls on
+        local variables (``rng.random()``) resolve to None — the
+        linter cannot know their type and stays silent rather than
+        guessing.
+        """
+        if isinstance(func, ast.Name):
+            return self.names.get(func.id)
+        if isinstance(func, ast.Attribute):
+            parts = [func.attr]
+            node: ast.expr = func.value
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if not isinstance(node, ast.Name):
+                return None
+            base = self.modules.get(node.id)
+            if base is None:
+                # a from-imported name used as an attribute base, e.g.
+                # ``from datetime import datetime; datetime.now()``
+                base = self.names.get(node.id)
+            if base is None:
+                return None
+            return ".".join([base, *reversed(parts)])
+        return None
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with a ``.parent`` backlink (rules use this
+    to ask e.g. "is this set iteration already wrapped in sorted()?")."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    imports: ImportMap = None  # type: ignore[assignment]
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str, rel_path: str,
+              path: Path | None = None) -> "FileContext":
+        tree = ast.parse(source, filename=rel_path)
+        attach_parents(tree)
+        ctx = cls(path=path or Path(rel_path), rel_path=rel_path,
+                  source=source, tree=tree, lines=source.splitlines())
+        ctx.imports = ImportMap(tree)
+        for lineno, text in enumerate(ctx.lines, start=1):
+            match = _PRAGMA.search(text)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                ctx.suppressions[lineno] = {r for r in rules if r}
+        return ctx
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, rule: str, lineno: int) -> bool:
+        active = self.suppressions.get(lineno)
+        return bool(active) and (rule in active or "all" in active)
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement
+    :meth:`check`, and decorate with :func:`register`."""
+
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+    #: posix path suffixes exempt from this rule (e.g. the one module
+    #: allowed to touch the wall clock).
+    exempt_suffixes: tuple[str, ...] = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def exempt(self, ctx: FileContext) -> bool:
+        return any(ctx.rel_path.endswith(suffix)
+                   for suffix in self.exempt_suffixes)
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=self.name, path=ctx.rel_path, line=lineno,
+                       col=col, message=message,
+                       snippet=ctx.line_text(lineno))
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Instantiate every registered rule, sorted by name (the report
+    order is part of the determinism story)."""
+    import repro.analysis.rules  # noqa: F401  (self-registration)
+    return [_REGISTRY[name]() for name in sorted(_REGISTRY)]
+
+
+def rule_names() -> list[str]:
+    import repro.analysis.rules  # noqa: F401
+    return sorted(_REGISTRY)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one analyzer run, before baseline filtering."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    suppressed: int = 0
+
+
+class Analyzer:
+    """Runs a rule set over files/directories and aggregates findings.
+
+    ``root`` anchors the relative paths used in reports and baseline
+    fingerprints (defaults to the current directory), so a baseline
+    written from the repo root matches runs from anywhere.
+    """
+
+    def __init__(self, rules: Iterable[Rule] | None = None,
+                 root: Path | str | None = None,
+                 metrics: MetricsRegistry | None = None):
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.root = Path(root) if root is not None else Path.cwd()
+        self.metrics = metrics or MetricsRegistry()
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    @staticmethod
+    def iter_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+        for entry in paths:
+            path = Path(entry)
+            if path.is_dir():
+                yield from sorted(path.rglob("*.py"))
+            elif path.suffix == ".py":
+                yield path
+
+    def check_source(self, source: str, rel_path: str) -> list[Finding]:
+        """Analyze one source string (the unit-test entry point)."""
+        ctx = FileContext.parse(source, rel_path)
+        return self._check_context(ctx)
+
+    def _check_context(self, ctx: FileContext) -> list[Finding]:
+        kept: list[Finding] = []
+        for rule in self.rules:
+            if rule.exempt(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if ctx.suppressed(finding.rule, finding.line):
+                    self.metrics.counter("lint.suppressed").increment()
+                    continue
+                self.metrics.counter(
+                    f"lint.findings.{finding.rule}").increment()
+                kept.append(finding)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return kept
+
+    def run(self, paths: Iterable[Path | str]) -> LintReport:
+        report = LintReport()
+        for path in self.iter_files(paths):
+            report.files_scanned += 1
+            self.metrics.counter("lint.files").increment()
+            source = path.read_text(encoding="utf-8")
+            rel = self._rel(path)
+            try:
+                ctx = FileContext.parse(source, rel, path=path)
+            except SyntaxError as exc:
+                self.metrics.counter("lint.parse_errors").increment()
+                report.parse_errors.append(f"{rel}: {exc.msg} (line {exc.lineno})")
+                continue
+            report.findings.extend(self._check_context(ctx))
+        report.suppressed = self.metrics.counter("lint.suppressed").value
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report

@@ -1,0 +1,28 @@
+"""The repro-lint rule set.
+
+Importing this package registers every rule with the global registry
+in :mod:`repro.analysis.core`.  Each module holds one rule, named
+after the contract it enforces:
+
+* :mod:`.wallclock` — ``wall-clock``: no direct wall-clock reads or
+  sleeps outside ``common/clock.py``;
+* :mod:`.randomness` — ``unseeded-random``: no module-level
+  ``random.*`` calls or unseeded ``random.Random()``;
+* :mod:`.ordering` — ``set-iteration``: no iteration-order-sensitive
+  use of sets on fan-out/serialization paths;
+* :mod:`.swallowed` — ``swallowed-transport-error``: no silently
+  discarded transport failures;
+* :mod:`.retry_backoff` — ``retry-without-backoff``: retry loops must
+  back off (or use ``call_with_retries``);
+* :mod:`.deadline` — ``deadline-dropped``: a function that accepts a
+  ``Deadline`` must consult it before network work.
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    deadline,
+    ordering,
+    randomness,
+    retry_backoff,
+    swallowed,
+    wallclock,
+)

@@ -1,0 +1,67 @@
+"""``unseeded-random``: ban nondeterministic randomness sources.
+
+Replica selection jitter, retry backoff, latency sampling, and
+workload generation all draw randomness; the determinism contract
+says every draw comes from a ``random.Random(seed)`` instance that a
+test (or benchmark config) seeds.  Two violation shapes:
+
+* calls on the *module-level* RNG (``random.random()``,
+  ``random.choice(...)``, …) — that RNG is seeded from OS entropy at
+  interpreter start, so results differ run to run;
+* ``random.Random()`` constructed with no seed argument (same
+  problem, one object removed), and ``random.SystemRandom()`` which
+  is nondeterministic by design.
+
+``import random`` itself is fine — constructing seeded instances is
+exactly what the contract wants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+MODULE_LEVEL_FNS = frozenset({
+    "random", "randint", "randrange", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss",
+    "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "binomialvariate", "seed",
+})
+
+
+@register
+class UnseededRandomRule(Rule):
+    name = "unseeded-random"
+    summary = ("module-level random.* call or unseeded random.Random(); "
+               "use an explicitly seeded random.Random(seed)")
+    rationale = ("The global RNG is seeded from OS entropy, so retry "
+                 "jitter, replica choice, and latency samples change "
+                 "between runs; every draw must come from an injected "
+                 "seeded instance.")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve_call(node.func)
+            if target is None or not target.startswith("random."):
+                continue
+            tail = target[len("random."):]
+            if tail in MODULE_LEVEL_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"random.{tail}() uses the global OS-entropy-seeded "
+                    "RNG; draw from an injected random.Random(seed)")
+            elif tail == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "pass an explicit seed")
+            elif tail == "SystemRandom":
+                yield self.finding(
+                    ctx, node,
+                    "random.SystemRandom() is nondeterministic by design "
+                    "and cannot be seeded; use random.Random(seed)")

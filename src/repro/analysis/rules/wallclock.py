@@ -1,0 +1,58 @@
+"""``wall-clock``: ban direct wall-clock access outside the clock module.
+
+Every time-dependent behaviour in the reproduction — failure-detector
+windows, breaker reset timeouts, retention expiry, consumer lag — must
+read time from an injected :class:`~repro.common.clock.Clock` so a
+test's :class:`SimClock` controls it.  One stray ``time.time()`` makes
+a chaos schedule depend on the host machine; one ``time.sleep()``
+turns a deterministic discrete-event test into a real-time one.
+
+``common/clock.py`` is the single allowed exception: it is the
+boundary where :class:`WallClock` touches the real world.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+BANNED_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.sleep",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+@register
+class WallClockRule(Rule):
+    name = "wall-clock"
+    summary = ("direct wall-clock call; take an injected Clock "
+               "(repro.common.clock) instead")
+    rationale = ("SimClock-driven tests are deterministic only while no "
+                 "component reads real time; common/clock.py is the sole "
+                 "sanctioned boundary.")
+    exempt_suffixes = ("common/clock.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve_call(node.func)
+            if target in BANNED_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{target}() reads the wall clock; inject a "
+                    "repro.common.clock.Clock and use clock.now()/"
+                    "clock.sleep() so SimClock controls time in tests")

@@ -63,7 +63,7 @@ class VectorClock:
         self_bigger = False
         other_bigger = False
         nodes = {node for node, _ in self._entries} | {node for node, _ in other._entries}
-        for node in nodes:
+        for node in sorted(nodes):
             mine, theirs = self.counter_of(node), other.counter_of(node)
             if mine > theirs:
                 self_bigger = True

@@ -137,8 +137,10 @@ class HelixController:
         bring_ups: list[Transition] = []
         promotions: list[Transition] = []
 
+        # sorted so transition messages fan out in a defined order —
+        # set iteration order would leak the hash seed into the schedule
         partitions = set(current) | set(target)
-        for partition in partitions:
+        for partition in sorted(partitions):
             have = current.get(partition, {})
             want = target.get(partition, {})
             for instance, state in have.items():

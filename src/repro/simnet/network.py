@@ -30,6 +30,10 @@ from repro.common.errors import (
     TransientNetworkError,
 )
 
+#: A latency model maps the network's seeded RNG to one *one-way* hop
+#: delay in seconds.  :meth:`SimNetwork.invoke` samples it once and
+#: doubles the value (request + response hops); :meth:`SimNetwork.send`
+#: uses the single sample as the in-flight delivery delay.
 LatencyModel = Callable[[random.Random], float]
 
 
@@ -111,6 +115,35 @@ class SimNetwork:
         self.hops_delivered = 0
         self.hops_failed = 0
         self.bytes_sent = 0
+        # optional event trace (see start_trace); None = tracing off
+        self.trace: list[tuple] | None = None
+
+    # -- event tracing ---------------------------------------------------
+
+    def start_trace(self) -> None:
+        """Record every network event from now on.
+
+        Each entry is ``(kind, sim_time, src, dst, outcome, latency)``;
+        :meth:`trace_bytes` serializes the log so two runs of the same
+        seeded scenario can be compared byte for byte.  The determinism
+        replay test uses this to catch dynamic nondeterminism — hash-
+        order fan-out, unseeded draws reached only under failure — that
+        static analysis cannot see.
+        """
+        self.trace = []
+
+    def _record(self, kind: str, src: str, dst: str, outcome: str,
+                latency: float = 0.0) -> None:
+        if self.trace is not None:
+            self.trace.append(
+                (kind, round(self.clock.now(), 9), src, dst, outcome,
+                 round(latency, 9)))
+
+    def trace_bytes(self) -> bytes:
+        """The trace as canonical bytes (one ``repr`` line per event)."""
+        if self.trace is None:
+            raise ValueError("tracing is not enabled; call start_trace()")
+        return "\n".join(repr(event) for event in self.trace).encode()
 
     # -- synchronous request/response -----------------------------------
 
@@ -129,43 +162,61 @@ class SimNetwork:
         timeout = self.default_timeout if timeout is None else timeout
         if not self.failures.reachable(src, dst):
             self.hops_failed += 1
+            self._record("invoke", src, dst, "unreachable", timeout)
             exc = NodeUnavailableError(f"{dst} unreachable from {src}")
             exc.simulated_latency = timeout
             raise exc
         if self.failures.transient_error_rate > 0 and \
                 self.rng.random() < self.failures.transient_error_rate:
             self.hops_failed += 1
+            burned = self.latency_model(self.rng)
+            self._record("invoke", src, dst, "transient", burned)
             exc = TransientNetworkError(f"transient failure calling {dst}")
-            exc.simulated_latency = self.latency_model(self.rng)
+            exc.simulated_latency = burned
             raise exc
         latency = self.latency_model(self.rng) * 2  # request + response hops
         if latency > timeout:
             self.hops_failed += 1
+            self._record("invoke", src, dst, "timeout", timeout)
             exc = RequestTimeoutError(f"call to {dst} exceeded {timeout}s")
             exc.simulated_latency = timeout
             raise exc
         result = func(*args, **kwargs)
         self.hops_delivered += 1
         self.bytes_sent += payload_bytes
+        self._record("invoke", src, dst, "ok", latency)
         return result, latency
 
     # -- asynchronous one-way delivery -----------------------------------
 
     def send(self, src: str, dst: str, callback: Callable[[], None],
              payload_bytes: int = 0) -> bool:
-        """Deliver a one-way message after a sampled delay.
+        """Queue a one-way message for delivery after one sampled
+        :data:`LatencyModel` delay (one hop — no response leg, unlike
+        :meth:`invoke`).  Requires a :class:`SimClock`.
 
-        Returns ``False`` (message dropped) when the destination is
-        unreachable at send time.  Requires a :class:`SimClock`.
+        Failure rules are applied twice.  At *send* time the transient-
+        error rate and the current ``(src, dst)`` reachability (crashes,
+        partitions) decide whether the message enters the network at
+        all; ``False`` means it was dropped on the floor and the caller
+        may account for it.  A ``True`` return only means the message
+        is in flight: at *delivery* time reachability is re-checked for
+        the same ``(src, dst)`` pair, so a crash or partition that forms
+        while the message is in the air still loses it — the callback
+        runs only if the pair is reachable when the delay elapses.
+        In-flight drops count toward ``hops_failed`` and are invisible
+        to the sender, exactly like a lost datagram.
         """
         if not isinstance(self.clock, SimClock):
             raise TypeError("async send requires a SimClock")
         if not self.failures.reachable(src, dst):
             self.hops_failed += 1
+            self._record("send", src, dst, "unreachable")
             return False
         if self.failures.transient_error_rate > 0 and \
                 self.rng.random() < self.failures.transient_error_rate:
             self.hops_failed += 1
+            self._record("send", src, dst, "transient")
             return False
         delay = self.latency_model(self.rng)
 
@@ -175,10 +226,13 @@ class SimNetwork:
             # while the message was in flight
             if self.failures.reachable(src, dst):
                 self.hops_delivered += 1
+                self._record("deliver", src, dst, "ok", delay)
                 callback()
             else:
                 self.hops_failed += 1
+                self._record("deliver", src, dst, "dropped", delay)
 
         self.clock.call_later(delay, deliver)
         self.bytes_sent += payload_bytes
+        self._record("send", src, dst, "queued", delay)
         return True

@@ -279,8 +279,15 @@ class RoutedStore:
                         self.client_name, self.cluster.node_name(node_id),
                         server.engine(self.store).put, key, versioned)
                     self.metrics.counter("read_repairs").increment()
-                except (ObsoleteVersionError, NodeUnavailableError):
-                    pass
+                except ObsoleteVersionError:
+                    # the replica already caught up past this version —
+                    # the repair is moot, not a failure
+                    self.metrics.counter("read_repair.obsolete").increment()
+                except NodeUnavailableError:
+                    # best-effort by design (§II.B), but the miss must
+                    # stay observable to the failure detector and metrics
+                    self.detector.record_failure(node_id)
+                    self.metrics.counter("read_repair.failures").increment()
 
     def get_all(self, keys: list[bytes]
                 ) -> tuple[dict[bytes, list[Versioned]], float]:

@@ -1,0 +1,20 @@
+"""Shared helpers for the repro-lint test suite."""
+
+import textwrap
+
+from repro.analysis import Analyzer, all_rules
+
+
+def lint(source: str, rule: str | None = None,
+         rel_path: str = "src/repro/pkg/mod.py") -> list:
+    """Run the analyzer over a synthetic source string.
+
+    ``rule`` restricts the run to one rule (the per-rule unit tests);
+    None runs the full registry (the integration-style tests).
+    """
+    rules = all_rules()
+    if rule is not None:
+        rules = [r for r in rules if r.name == rule]
+        assert rules, f"unknown rule {rule!r}"
+    analyzer = Analyzer(rules=rules)
+    return analyzer.check_source(textwrap.dedent(source), rel_path)

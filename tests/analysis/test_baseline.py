@@ -1,0 +1,76 @@
+"""Baseline semantics: fingerprints, counts, persistence."""
+
+from repro.analysis import Analyzer, Baseline, Finding
+
+
+def _findings(source: str) -> list[Finding]:
+    return Analyzer().check_source(source, "src/repro/kafka/mod.py")
+
+
+SOURCE = (
+    "import time\n"
+    "time.sleep(0.1)\n"
+    "x = 1\n"
+    "time.sleep(0.1)\n"
+)
+
+
+def test_fingerprint_ignores_line_numbers():
+    a = Finding("wall-clock", "src/repro/m.py", 10, 0, "msg",
+                snippet="time.sleep(0.1)")
+    b = Finding("wall-clock", "src/repro/m.py", 99, 4, "other msg",
+                snippet="time.sleep(0.1)")
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_distinguishes_rule_path_and_text():
+    base = Finding("wall-clock", "src/repro/m.py", 1, 0, "m",
+                   snippet="time.sleep(0.1)")
+    assert base.fingerprint() != Finding(
+        "unseeded-random", "src/repro/m.py", 1, 0, "m",
+        snippet="time.sleep(0.1)").fingerprint()
+    assert base.fingerprint() != Finding(
+        "wall-clock", "src/repro/other.py", 1, 0, "m",
+        snippet="time.sleep(0.1)").fingerprint()
+    assert base.fingerprint() != Finding(
+        "wall-clock", "src/repro/m.py", 1, 0, "m",
+        snippet="time.sleep(0.2)").fingerprint()
+
+
+def test_identical_lines_count_separately():
+    findings = _findings(SOURCE)
+    assert len(findings) == 2
+    # both grandfathered: clean
+    baseline = Baseline.from_findings(findings)
+    new, old = baseline.split(findings)
+    assert new == [] and len(old) == 2
+    # only one grandfathered: the second identical line is new
+    baseline = Baseline.from_findings(findings[:1])
+    new, old = baseline.split(findings)
+    assert len(new) == 1 and len(old) == 1
+
+
+def test_line_drift_does_not_unbaseline(tmp_path):
+    baseline = Baseline.from_findings(_findings(SOURCE))
+    drifted = _findings("import time\n# a new comment pushes lines down\n"
+                        + SOURCE.split("\n", 1)[1])
+    new, old = baseline.split(drifted)
+    assert new == [] and len(old) == 2
+
+
+def test_save_load_roundtrip(tmp_path):
+    findings = _findings(SOURCE)
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(path)
+    loaded = Baseline.load(path)
+    new, old = loaded.split(findings)
+    assert new == [] and len(old) == 2
+    # locators keep the entry reviewable
+    assert any("wall-clock" in where for where in loaded.locators.values())
+
+
+def test_fixing_a_violation_shrinks_the_allowance(tmp_path):
+    baseline = Baseline.from_findings(_findings(SOURCE))
+    remaining = _findings("import time\ntime.sleep(0.1)\n")
+    new, old = baseline.split(remaining)
+    assert new == [] and len(old) == 1

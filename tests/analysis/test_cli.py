@@ -1,0 +1,87 @@
+"""CLI contract: exit codes, JSON output, baseline workflow."""
+
+import json
+
+from repro.analysis.cli import main
+
+VIOLATION = "import time\n\n\ndef wait():\n    time.sleep(1)\n"
+CLEAN = "def wait(clock):\n    clock.sleep(1)\n"
+
+
+def _write_pkg(tmp_path, source):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "mod.py").write_text(source)
+    return pkg
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    pkg = _write_pkg(tmp_path, CLEAN)
+    assert main([str(pkg), "--root", str(tmp_path)]) == 0
+    assert "repro-lint: clean" in capsys.readouterr().out
+
+
+def test_violation_exits_one_with_human_report(tmp_path, capsys):
+    pkg = _write_pkg(tmp_path, VIOLATION)
+    assert main([str(pkg), "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "1 new finding(s)" in out
+    assert "wall-clock" in out
+    assert "pkg/mod.py" in out
+
+
+def test_json_report_shape(tmp_path, capsys):
+    pkg = _write_pkg(tmp_path, VIOLATION)
+    assert main([str(pkg), "--json", "--root", str(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert payload["files_scanned"] == 1
+    [finding] = payload["new"]
+    assert finding["rule"] == "wall-clock"
+    assert finding["path"] == "pkg/mod.py"
+    assert finding["line"] == 5
+    assert payload["counters"]["lint.findings.wall-clock"] == 1
+
+
+def test_write_then_gate_with_baseline(tmp_path, capsys):
+    pkg = _write_pkg(tmp_path, VIOLATION)
+    baseline = tmp_path / "baseline.json"
+    assert main([str(pkg), "--root", str(tmp_path),
+                 "--write-baseline", str(baseline)]) == 0
+    # grandfathered: the same tree now gates clean
+    assert main([str(pkg), "--root", str(tmp_path),
+                 "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+    # a *new* violation still fails the gate
+    (pkg / "mod2.py").write_text(VIOLATION)
+    assert main([str(pkg), "--root", str(tmp_path),
+                 "--baseline", str(baseline)]) == 1
+
+
+def test_disable_rule(tmp_path, capsys):
+    pkg = _write_pkg(tmp_path, VIOLATION)
+    assert main([str(pkg), "--root", str(tmp_path),
+                 "--disable", "wall-clock"]) == 0
+
+
+def test_usage_errors_exit_two(tmp_path, capsys):
+    assert main(["--disable", "no-such-rule", str(tmp_path)]) == 2
+    assert main([str(tmp_path / "missing")]) == 2
+    pkg = _write_pkg(tmp_path, CLEAN)
+    assert main([str(pkg), "--baseline", str(tmp_path / "nope.json")]) == 2
+
+
+def test_list_rules_names_all_six(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("wall-clock", "unseeded-random", "set-iteration",
+                 "swallowed-transport-error", "retry-without-backoff",
+                 "deadline-dropped"):
+        assert rule in out
+
+
+def test_parse_error_exits_one(tmp_path, capsys):
+    pkg = _write_pkg(tmp_path, "def broken(:\n")
+    assert main([str(pkg), "--root", str(tmp_path)]) == 1
+    assert "parse error" in capsys.readouterr().out

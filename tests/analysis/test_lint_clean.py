@@ -1,0 +1,55 @@
+"""The CI gate: ``src/repro`` must stay repro-lint clean.
+
+This test is what turns repro-lint from advice into an invariant —
+``PYTHONPATH=src python -m pytest`` fails the moment someone lands a
+wall-clock call, an unseeded RNG, a hash-order fan-out, a swallowed
+transport error, an unpaced retry loop, or a dropped deadline that is
+not either fixed, pragma-justified in place, or consciously
+grandfathered into ``lint-baseline.json``.
+"""
+
+import shutil
+
+from repro.analysis import Analyzer, Baseline
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+from tests.analysis.test_lint_clean_support import REPO_ROOT, SRC_REPRO
+
+
+def _load_baseline() -> Baseline:
+    path = REPO_ROOT / DEFAULT_BASELINE_NAME
+    return Baseline.load(path) if path.exists() else Baseline()
+
+
+def test_src_repro_has_no_new_findings():
+    analyzer = Analyzer(root=REPO_ROOT)
+    report = analyzer.run([SRC_REPRO])
+    assert report.files_scanned > 80  # the scan really covered the tree
+    assert not report.parse_errors, report.parse_errors
+    new, _ = _load_baseline().split(report.findings)
+    assert not new, "new repro-lint findings (fix, pragma, or baseline):\n" \
+        + "\n".join(f.render() for f in new)
+
+
+def test_baseline_stays_near_empty():
+    # grandfathering is for adoption, not a dumping ground: the
+    # committed baseline must not quietly accumulate debt
+    allowance = sum(_load_baseline().allowances.values())
+    assert allowance <= 5, (
+        f"lint-baseline.json grandfathers {allowance} findings; "
+        "fix some before adding more")
+
+
+def test_gate_catches_a_seeded_violation(tmp_path):
+    """Prove the gate has teeth: plant a ``time.sleep`` in a copy of
+    ``src/repro/kafka`` and watch the same analysis fail it."""
+    seeded = tmp_path / "kafka"
+    shutil.copytree(SRC_REPRO / "kafka", seeded)
+    broker = seeded / "broker.py"
+    broker.write_text(
+        broker.read_text(encoding="utf-8")
+        + "\n\nimport time\n\n\ndef _throttle():\n    time.sleep(0.01)\n",
+        encoding="utf-8")
+    report = Analyzer(root=tmp_path).run([seeded])
+    new, _ = _load_baseline().split(report.findings)
+    assert any(f.rule == "wall-clock" and f.path.endswith("broker.py")
+               for f in new)

@@ -1,0 +1,7 @@
+"""Path anchors for the lint gate (kept separate so the gate test
+reads as pure policy)."""
+
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"

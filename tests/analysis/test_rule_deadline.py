@@ -1,0 +1,73 @@
+"""deadline-dropped rule: positives, negatives, suppression."""
+
+from tests.analysis.conftest import lint
+
+RULE = "deadline-dropped"
+
+
+def test_dropped_deadline_param_flagged():
+    findings = lint("""
+        def fetch(self, key, deadline=None):
+            result, _ = self.network.invoke("c", "s", self.fn, key)
+            return result
+    """, RULE)
+    assert [f.rule for f in findings] == [RULE]
+    assert "fetch" in findings[0].message
+
+
+def test_annotated_deadline_param_flagged():
+    findings = lint("""
+        def fetch(self, key, budget: Deadline):
+            return call_with_retries(lambda: self.do(key), clock=self.clock)
+    """, RULE)
+    assert len(findings) == 1
+    assert "budget" in findings[0].message
+
+
+def test_clamped_deadline_is_clean():
+    findings = lint("""
+        def fetch(self, key, deadline=None):
+            timeout = None if deadline is None else deadline.clamp(0.5)
+            result, _ = self.network.invoke("c", "s", self.fn, key,
+                                            timeout=timeout)
+            return result
+    """, RULE)
+    assert findings == []
+
+
+def test_forwarded_deadline_is_clean():
+    findings = lint("""
+        def fetch(self, key, deadline=None):
+            return self.network.invoke("c", "s", self.inner, key,
+                                       deadline=deadline)
+    """, RULE)
+    assert findings == []
+
+
+def test_no_network_work_is_clean():
+    # interface-conformance parameter with purely local work
+    findings = lint("""
+        def resolve(self, versions, deadline=None):
+            return max(versions, key=lambda v: v.clock)
+    """, RULE)
+    assert findings == []
+
+
+def test_deadline_read_in_nested_scope_is_clean():
+    findings = lint("""
+        def fetch(self, key, deadline=None):
+            def attempt():
+                deadline.check("fetch")
+                return self.store.get(key)
+            return call_with_retries(attempt, clock=self.clock)
+    """, RULE)
+    assert findings == []
+
+
+def test_pragma_suppresses():
+    findings = lint("""
+        def fetch(self, key, deadline=None):  # repro-lint: disable=deadline-dropped
+            result, _ = self.network.invoke("c", "s", self.fn, key)
+            return result
+    """, RULE)
+    assert findings == []

@@ -1,0 +1,100 @@
+"""set-iteration rule: true positives, true negatives, suppression."""
+
+from tests.analysis.conftest import lint
+
+RULE = "set-iteration"
+
+
+def test_for_over_set_literal_flagged():
+    findings = lint("""
+        for node in {"a", "b", "c"}:
+            send(node)
+    """, RULE)
+    assert [f.rule for f in findings] == [RULE]
+
+
+def test_for_over_set_call_flagged():
+    findings = lint("""
+        def fan_out(replicas):
+            for node in set(replicas):
+                send(node)
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_for_over_set_bound_name_flagged():
+    findings = lint("""
+        def fan_out(current, target):
+            pending = set(current) | set(target)
+            for node in pending:
+                send(node)
+    """, RULE)
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_list_comp_and_list_call_flagged():
+    findings = lint("""
+        def snapshot(members):
+            alive = {m for m in members}
+            ordered = [m.name for m in alive]
+            copy = list(alive)
+            return ordered, copy
+    """, RULE)
+    assert len(findings) == 2
+
+
+def test_sorted_iteration_is_clean():
+    findings = lint("""
+        def fan_out(current, target):
+            pending = set(current) | set(target)
+            for node in sorted(pending):
+                send(node)
+            ordered = sorted([n for n in range(3)])
+    """, RULE)
+    assert findings == []
+
+
+def test_sorted_wrapping_is_clean():
+    findings = lint("""
+        def snapshot(members):
+            alive = set(members)
+            return sorted(list(alive)), sorted([m for m in alive])
+    """, RULE)
+    assert findings == []
+
+
+def test_membership_and_rebinding_are_clean():
+    findings = lint("""
+        def route(replicas, down):
+            down_set = set(down)
+            if replicas[0] in down_set:
+                return None
+            order = set(replicas)
+            order = sorted(order)  # rebound to a list: defined order
+            for node in order:
+                send(node)
+    """, RULE)
+    assert findings == []
+
+
+def test_nested_scopes_do_not_leak_bindings():
+    # `s` is a set only in outer(); inner()'s s is a list
+    findings = lint("""
+        def outer(xs):
+            s = set(xs)
+            def inner(s):
+                for x in s:
+                    use(x)
+            return inner
+    """, RULE)
+    assert findings == []
+
+
+def test_pragma_suppresses():
+    findings = lint("""
+        def fan_out(replicas):
+            for node in set(replicas):  # repro-lint: disable=set-iteration
+                send(node)
+    """, RULE)
+    assert findings == []

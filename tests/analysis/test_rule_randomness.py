@@ -1,0 +1,77 @@
+"""unseeded-random rule: true positives, true negatives, suppression."""
+
+from tests.analysis.conftest import lint
+
+RULE = "unseeded-random"
+
+
+def test_module_level_call_flagged():
+    findings = lint("""
+        import random
+        x = random.random()
+    """, RULE)
+    assert [f.rule for f in findings] == [RULE]
+    assert "global" in findings[0].message
+
+
+def test_module_level_choice_and_shuffle_flagged():
+    findings = lint("""
+        import random
+        random.shuffle(items)
+        y = random.choice(items)
+        z = random.randint(0, 10)
+    """, RULE)
+    assert len(findings) == 3
+
+
+def test_unseeded_random_instance_flagged():
+    findings = lint("""
+        import random
+        rng = random.Random()
+    """, RULE)
+    assert len(findings) == 1
+    assert "seed" in findings[0].message
+
+
+def test_system_random_flagged():
+    findings = lint("""
+        import random
+        rng = random.SystemRandom()
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_from_import_resolved():
+    findings = lint("""
+        from random import randint
+        n = randint(1, 6)
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_seeded_instance_is_clean():
+    findings = lint("""
+        import random
+        rng = random.Random(42)
+        other = random.Random(seed)
+        kw = random.Random(x=1)
+    """, RULE)
+    assert findings == []
+
+
+def test_instance_method_calls_are_clean():
+    # calls on a local variable are not the module-level RNG; the
+    # linter cannot know the type and must not guess
+    findings = lint("""
+        def jitter(self):
+            return self._rng.random() * rng.uniform(0, 1)
+    """, RULE)
+    assert findings == []
+
+
+def test_pragma_suppresses():
+    findings = lint("""
+        import random
+        x = random.random()  # repro-lint: disable=unseeded-random
+    """, RULE)
+    assert findings == []

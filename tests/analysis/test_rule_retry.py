@@ -1,0 +1,109 @@
+"""retry-without-backoff rule: positives, negatives, suppression."""
+
+from tests.analysis.conftest import lint
+
+RULE = "retry-without-backoff"
+
+
+def test_while_true_hot_retry_flagged():
+    findings = lint("""
+        def fetch(net, fn):
+            while True:
+                try:
+                    return net.invoke("c", "s", fn)
+                except NodeUnavailableError:
+                    continue
+    """, RULE)
+    assert [f.rule for f in findings] == [RULE]
+    assert findings[0].line == 3
+
+
+def test_for_range_hot_retry_flagged():
+    findings = lint("""
+        def fetch(net, fn):
+            for attempt in range(5):
+                try:
+                    return net.invoke("c", "s", fn)
+                except TransientNetworkError:
+                    pass
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_backoff_sleep_is_clean():
+    findings = lint("""
+        def fetch(self, net, fn):
+            for attempt in range(1, 4):
+                try:
+                    return net.invoke("c", "s", fn)
+                except NodeUnavailableError:
+                    self.clock.sleep(self.policy.backoff(attempt, self.rng))
+    """, RULE)
+    assert findings == []
+
+
+def test_call_with_retries_is_clean():
+    findings = lint("""
+        def fetch(self, fn):
+            while self.pending:
+                result = call_with_retries(fn, clock=self.clock,
+                                           policy=self.policy)
+                self.handle(result)
+    """, RULE)
+    assert findings == []
+
+
+def test_helper_named_sleep_is_clean():
+    # delegating to a pacing helper (the RoutedStore pattern) counts
+    findings = lint("""
+        def quorum_round(self):
+            round_number = 1
+            while True:
+                try:
+                    self.network.invoke("c", "s", self.fn)
+                    return
+                except NodeUnavailableError:
+                    self._sleep_before_retry(round_number, "get", None)
+                    round_number += 1
+    """, RULE)
+    assert findings == []
+
+
+def test_fan_out_loop_is_clean():
+    # iterating *different* targets and collecting per-node failures is
+    # fan-out, not a retry of the same operation
+    findings = lint("""
+        def replay(self, hints):
+            remaining = []
+            for hint in hints:
+                try:
+                    self.network.invoke("c", hint.node, hint.apply)
+                except NodeUnavailableError:
+                    remaining.append(hint)
+            return remaining
+    """, RULE)
+    assert findings == []
+
+
+def test_handler_that_reraises_is_clean():
+    findings = lint("""
+        def fetch(net, fn):
+            while True:
+                try:
+                    return net.invoke("c", "s", fn)
+                except NodeUnavailableError:
+                    raise
+    """, RULE)
+    assert findings == []
+
+
+def test_pragma_suppresses():
+    findings = lint("""
+        def fetch(net, fn):
+            while True:  # repro-lint: disable=retry-without-backoff
+                try:
+                    return net.invoke("c", "s", fn)
+                except NodeUnavailableError:
+                    continue
+    """, RULE)
+    assert findings == []

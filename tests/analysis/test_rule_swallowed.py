@@ -1,0 +1,90 @@
+"""swallowed-transport-error rule: positives, negatives, suppression."""
+
+from tests.analysis.conftest import lint
+
+RULE = "swallowed-transport-error"
+
+
+def test_pass_only_transport_handler_flagged():
+    findings = lint("""
+        def repair(network, fn):
+            try:
+                network.invoke("client", "node-1", fn)
+            except NodeUnavailableError:
+                pass
+    """, RULE)
+    assert [f.rule for f in findings] == [RULE]
+    assert "NodeUnavailableError" in findings[0].message
+
+
+def test_transport_name_in_tuple_flagged():
+    findings = lint("""
+        try:
+            push(value)
+        except (ObsoleteVersionError, NodeUnavailableError):
+            pass
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_ellipsis_body_flagged():
+    findings = lint("""
+        try:
+            push(value)
+        except RequestTimeoutError:
+            ...
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_broad_except_around_network_call_flagged():
+    findings = lint("""
+        def fire_and_forget(net, msg):
+            try:
+                net.send("a", "b", msg)
+            except Exception:
+                pass
+    """, RULE)
+    assert len(findings) == 1
+    assert "broad except" in findings[0].message
+
+
+def test_recorded_outcome_is_clean():
+    findings = lint("""
+        def repair(self, network, fn):
+            try:
+                network.invoke("client", "node-1", fn)
+            except NodeUnavailableError:
+                self.metrics.counter("read_repair.failures").increment()
+    """, RULE)
+    assert findings == []
+
+
+def test_non_transport_pass_is_clean():
+    findings = lint("""
+        try:
+            cache.pop(key)
+        except KeyError:
+            pass
+    """, RULE)
+    assert findings == []
+
+
+def test_broad_except_without_network_call_is_clean():
+    findings = lint("""
+        try:
+            parse(blob)
+        except Exception:
+            pass
+    """, RULE)
+    assert findings == []
+
+
+def test_pragma_suppresses():
+    findings = lint("""
+        try:
+            network.invoke("a", "b", fn)
+        except NodeUnavailableError:  # repro-lint: disable=swallowed-transport-error
+            pass
+    """, RULE)
+    assert findings == []

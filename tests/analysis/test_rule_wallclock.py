@@ -1,0 +1,88 @@
+"""wall-clock rule: true positives, true negatives, suppression."""
+
+from tests.analysis.conftest import lint
+
+RULE = "wall-clock"
+
+
+def test_time_time_flagged():
+    findings = lint("""
+        import time
+        def stamp():
+            return time.time()
+    """, RULE)
+    assert [f.rule for f in findings] == [RULE]
+    assert findings[0].line == 4
+    assert "time.time" in findings[0].message
+
+
+def test_time_sleep_and_monotonic_flagged():
+    findings = lint("""
+        import time
+        time.sleep(0.5)
+        t = time.monotonic()
+    """, RULE)
+    assert len(findings) == 2
+
+
+def test_from_import_alias_resolved():
+    findings = lint("""
+        from time import sleep as pause
+        pause(1)
+    """, RULE)
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+
+
+def test_datetime_now_flagged():
+    findings = lint("""
+        import datetime
+        from datetime import datetime as dt
+        a = datetime.datetime.now()
+        b = dt.utcnow()
+    """, RULE)
+    assert len(findings) == 2
+
+
+def test_injected_clock_is_clean():
+    findings = lint("""
+        def wait(clock, seconds):
+            clock.sleep(seconds)
+            return clock.now()
+    """, RULE)
+    assert findings == []
+
+
+def test_bare_import_and_unrelated_attrs_clean():
+    findings = lint("""
+        import time
+        DURATION = time.strptime  # parsing, not reading the clock
+    """, RULE)
+    assert findings == []
+
+
+def test_clock_module_is_exempt():
+    findings = lint("""
+        import time
+        def now():
+            return time.monotonic()
+    """, RULE, rel_path="src/repro/common/clock.py")
+    assert findings == []
+
+
+def test_pragma_suppresses_on_the_line():
+    findings = lint("""
+        import time
+        t = time.time()  # repro-lint: disable=wall-clock
+        u = time.time()
+    """, RULE)
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_disable_all_pragma():
+    findings = lint("""
+        import time
+        t = time.time()  # repro-lint: disable=all
+    """, RULE)
+    assert findings == []
