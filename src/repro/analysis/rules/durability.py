@@ -1,0 +1,92 @@
+"""``durability-unsynced-ack``: WAL/disk writes must reach an fsync.
+
+DESIGN.md §9's contract is *acked ⇒ fsynced ⇒ recoverable*: a system
+may only acknowledge a write after the bytes that make it recoverable
+are forced to stable storage.  The repo encodes durable channels in
+names — WAL handles end in ``wal`` (``_slop_wal``, ``_commit_wal``,
+``_log_wal``) and raw device handles in ``disk`` — so an ``append`` or
+``write`` on such a receiver that is never followed by an ``fsync`` in
+the same function is a write whose caller can ack state the next crash
+will erase.
+
+The rule flags ``<receiver>.append(...)`` / ``<receiver>.write(...)``
+where the receiver's simple name contains a ``wal`` or ``disk``
+component and no call whose name mentions ``fsync`` (or is exactly
+``sync``) appears at or after the write's line within the enclosing
+function.  Nested functions are scanned independently, so an inner
+closure cannot borrow its parent's fsync.
+
+:mod:`repro.common.wal` and :mod:`repro.simnet.disk` are exempt: they
+*implement* the durability boundary (``append`` is documented as
+not-yet-durable there; the caller owns the fsync placement).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+_DURABLE_RECEIVER = re.compile(r"(^|_)(wal|disk)(_|$)", re.IGNORECASE)
+_WRITE_METHODS = frozenset({"append", "write"})
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    """Simple name of the object a method is called on."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return ""
+
+
+def _local_calls(fn: ast.AST) -> Iterator[ast.Call]:
+    """Calls in ``fn``'s own body, not descending into nested defs."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class DurabilityUnsyncedAckRule(Rule):
+    name = "durability-unsynced-ack"
+    summary = ("WAL/disk write with no fsync later in the same function; "
+               "callers can ack bytes a crash will erase")
+    rationale = ("The durability contract (DESIGN.md §9) is acked ⇒ "
+                 "fsynced ⇒ recoverable; a durable-channel write that "
+                 "never reaches an fsync lets an acknowledgement cover "
+                 "page-cache state that a kill silently drops.")
+    exempt_suffixes = ("common/wal.py", "simnet/disk.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            writes: list[ast.Call] = []
+            last_sync = -1
+            for call in _local_calls(fn):
+                if not isinstance(call.func, ast.Attribute):
+                    continue
+                method = call.func.attr
+                if method in _WRITE_METHODS and \
+                        _DURABLE_RECEIVER.search(_receiver_name(call.func)):
+                    writes.append(call)
+                elif "fsync" in method.lower() or method == "sync":
+                    last_sync = max(last_sync, call.lineno)
+            for call in writes:
+                if call.lineno > last_sync:
+                    yield self.finding(
+                        ctx, call,
+                        f"{_receiver_name(call.func)}.{call.func.attr} is "
+                        "never followed by an fsync in this function; "
+                        "force the bytes down before anything acks them "
+                        "(acked ⇒ fsynced ⇒ recoverable)")

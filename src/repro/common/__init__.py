@@ -19,6 +19,7 @@ from repro.common.serialization import (
     encode_record,
 )
 from repro.common.vectorclock import Occurred, VectorClock, prune_obsolete
+from repro.common.wal import WriteAheadLog, frame, scan_frames
 
 __all__ = [
     "Clock",
@@ -47,4 +48,7 @@ __all__ = [
     "Occurred",
     "VectorClock",
     "prune_obsolete",
+    "WriteAheadLog",
+    "frame",
+    "scan_frames",
 ]

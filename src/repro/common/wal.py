@@ -1,0 +1,150 @@
+"""A CRC32-framed, length-prefixed write-ahead log on a :class:`Disk`.
+
+Every durable component in the reproduction shares one record-log
+format, so crash recovery has one set of semantics to reason about:
+
+    [crc32 : 4B][length : 4B][payload]
+
+``crc32`` covers the payload only.  Appends buffer in the (simulated or
+real) page cache; :meth:`fsync` moves the durability line.  The repo's
+durability contract — stated in DESIGN.md §9 and enforced by the
+``durability-unsynced-ack`` lint rule — is *ack ⇒ fsync ⇒ recoverable*:
+a component may only acknowledge a write after the WAL frame holding it
+has been fsynced.
+
+Recovery (run automatically when the log is opened) replays frames from
+the start and **stops at the first bad frame** — a short header, a
+length that overruns the file, or a CRC mismatch — then truncates the
+torn tail and fsyncs the truncation, so a second crash cannot
+resurrect the garbage.  Everything before the bad frame is intact by
+construction; everything after it is unreachable (frames are not
+self-synchronizing), which is exactly the torn-tail semantics of
+Kafka's recovery scan and BDB-JE's log cleaner.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import TYPE_CHECKING, Iterator
+
+from repro.common.errors import ConfigurationError
+
+if TYPE_CHECKING:  # a runtime import would cycle: disk.py uses common.clock
+    from repro.simnet.disk import Disk
+
+_FRAME = struct.Struct("<II")   # crc32(payload), payload length
+FRAME_OVERHEAD = _FRAME.size
+
+
+def frame(payload: bytes) -> bytes:
+    """One encoded frame: header + payload."""
+    return _FRAME.pack(zlib.crc32(payload), len(payload)) + payload
+
+
+def scan_frames(data: bytes) -> tuple[list[tuple[int, bytes]], int]:
+    """Parse ``data`` into ``(offset, payload)`` frames.
+
+    Returns the valid frames and the byte offset where the first bad
+    frame (or clean EOF) begins — the recovery truncation point.
+    """
+    frames: list[tuple[int, bytes]] = []
+    position = 0
+    total = len(data)
+    while position + _FRAME.size <= total:
+        crc, length = _FRAME.unpack_from(data, position)
+        end = position + _FRAME.size + length
+        if end > total:
+            break  # torn tail: length overruns the file
+        payload = data[position + _FRAME.size:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt frame: stop, everything after is unreachable
+        frames.append((position, payload))
+        position = end
+    return frames, position
+
+
+class WriteAheadLog:
+    """Append / fsync / replay over one framed log file."""
+
+    def __init__(self, path: str, disk: Disk | None = None):
+        if not path:
+            raise ConfigurationError("WAL needs a path")
+        self.path = path
+        if disk is None:
+            from repro.simnet.disk import LocalDisk
+            disk = LocalDisk()
+        self.disk = disk
+        parent = path.rsplit("/", 1)[0] if "/" in path else ""
+        if parent:
+            self.disk.makedirs(parent)
+        self.appends = 0
+        self.fsyncs = 0
+        self.recovered_frames = 0
+        self.truncated_bytes = 0
+        self._synced_end = 0
+        self._end = 0
+        self._file = self.disk.open(self.path, "ab+")
+        self._recover()
+
+    # -- recovery ---------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Find the good end, truncate the torn tail, fsync the cut."""
+        self._file.seek(0)
+        data = self._file.read()
+        frames, good_end = scan_frames(data)
+        self.recovered_frames = len(frames)
+        self.truncated_bytes = len(data) - good_end
+        if self.truncated_bytes:
+            self._file.truncate(good_end)
+            self._file.fsync()
+        self._end = good_end
+        self._synced_end = good_end
+        self._file.seek(0, 2)
+
+    def replay(self) -> Iterator[bytes]:
+        """Yield every durable payload in append order (re-read from
+        disk, so a reopened log and a live one replay identically)."""
+        reader = self.disk.open(self.path, "rb")
+        try:
+            frames, _ = scan_frames(reader.read())
+        finally:
+            reader.close()
+        for _, payload in frames:
+            yield payload
+
+    # -- append path ------------------------------------------------------
+
+    def append(self, payload: bytes) -> int:
+        """Stage one record; returns its byte offset.  NOT yet durable —
+        callers must :meth:`fsync` before acknowledging."""
+        offset = self._end
+        self._file.write(frame(payload))
+        self._end += FRAME_OVERHEAD + len(payload)
+        self.appends += 1
+        return offset
+
+    def fsync(self) -> None:
+        """Make every staged record crash-durable."""
+        self._file.fsync()
+        self._synced_end = self._end
+        self.fsyncs += 1
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return self._end
+
+    @property
+    def synced_bytes(self) -> int:
+        return self._synced_end
+
+    @property
+    def unsynced_bytes(self) -> int:
+        return self._end - self._synced_end
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()

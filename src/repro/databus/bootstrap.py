@@ -17,36 +17,154 @@ Two query types:
   writes keep arriving, the server replays all changes committed since
   the snapshot phase started, restoring consistency exactly as the
   paper describes.
+
+Given a :class:`~repro.simnet.disk.Disk`, both storages are durable:
+every delivered event is framed into a log WAL and fsynced before the
+delivery counts (DESIGN.md §9), and :meth:`BootstrapServer.checkpoint`
+folds the snapshot plus its applied-SCN watermark into a snapshot file
+(temp-write + atomic replace) and compacts the log down to the rows
+beyond the watermark.  Recovery loads the checkpoint, then replays
+only log rows with SCN strictly above the watermark — a restarted
+bootstrap server never double-applies a window and never skips one.
 """
 
 from __future__ import annotations
 
+import ast
+import struct
 from typing import Iterator
 
 from repro.common.errors import ConfigurationError
+from repro.common.wal import WriteAheadLog, frame, scan_frames
 from repro.databus.events import DatabusEvent, EventFilter
+from repro.simnet.disk import Disk
+from repro.sqlstore.binlog import ChangeKind
+
+_EVENT_META = struct.Struct("<QIBBd")  # scn, schema ver, kind, eow, timestamp
+_U32 = struct.Struct("<I")
+_WATERMARK = struct.Struct("<Q")
+_KIND_LIST = (ChangeKind.INSERT, ChangeKind.UPDATE, ChangeKind.DELETE)
+_KIND_CODES = {kind: code for code, kind in enumerate(_KIND_LIST)}
+
+
+def _encode_event(event: DatabusEvent) -> bytes:
+    source = event.source.encode()
+    key = repr(event.key).encode()
+    out = bytearray(_EVENT_META.pack(
+        event.scn, event.schema_version, _KIND_CODES[event.kind],
+        1 if event.end_of_window else 0, event.timestamp))
+    for blob in (source, key, event.payload):
+        out.extend(_U32.pack(len(blob)))
+        out.extend(blob)
+    return bytes(out)
+
+
+def _decode_event(payload: bytes) -> DatabusEvent:
+    scn, version, code, eow, timestamp = _EVENT_META.unpack_from(payload, 0)
+    offset = _EVENT_META.size
+    blobs = []
+    for _ in range(3):
+        (length,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        blobs.append(bytes(payload[offset:offset + length]))
+        offset += length
+    source, key_repr, body = blobs
+    return DatabusEvent(scn, source.decode(), _KIND_LIST[code],
+                        ast.literal_eval(key_repr.decode()), body,
+                        schema_version=version, end_of_window=bool(eow),
+                        timestamp=timestamp)
 
 
 class BootstrapServer:
     """Log + snapshot storage with consolidated-delta and snapshot queries."""
 
-    def __init__(self, name: str = "bootstrap-1"):
+    LOG_NAME = "bootstrap.wal"
+    SNAPSHOT_NAME = "bootstrap.snapshot"
+
+    def __init__(self, name: str = "bootstrap-1", disk: Disk | None = None):
         self.name = name
         self._log: list[DatabusEvent] = []          # Log storage
         self._snapshot: dict[tuple[str, tuple], DatabusEvent] = {}
         self._applied_through = 0                   # Log applier position
         self._log_index = 0                         # next log row to apply
         self.applied_events = 0
+        self.recovered_events = 0
+        self._disk = disk
+        self._log_wal: WriteAheadLog | None = None
+        if disk is not None:
+            self._log_wal = WriteAheadLog(self.LOG_NAME, disk=disk)
+            self._recover()
+
+    # -- durability / recovery ---------------------------------------------------
+
+    def _recover(self) -> None:
+        """Checkpoint + log replay.  Rows at or below the checkpoint
+        watermark are already folded into the snapshot, so the replay
+        skips them (never double-applies); everything above is re-read
+        from the log (never skips)."""
+        if self._disk.exists(self.SNAPSHOT_NAME):
+            with self._disk.open(self.SNAPSHOT_NAME, "rb") as f:
+                frames, _ = scan_frames(f.read())
+            payloads = [payload for _, payload in frames]
+            (self._applied_through,) = _WATERMARK.unpack(payloads[0])
+            for payload in payloads[1:]:
+                event = _decode_event(payload)
+                self._snapshot[(event.source, event.key)] = event
+        watermark = self._applied_through
+        for payload in self._log_wal.replay():
+            event = _decode_event(payload)
+            if event.scn <= watermark:
+                continue  # folded into the checkpoint before the crash
+            self._log.append(event)
+        self.recovered_events = len(self._log)
+        self.apply_log()
+
+    def checkpoint(self) -> int:
+        """Fold the snapshot + watermark into durable snapshot storage
+        and compact the log to the rows beyond it; returns the number
+        of log rows compacted away.  No-op without a disk."""
+        if self._log_wal is None:
+            return 0
+        tmp = self.SNAPSHOT_NAME + ".tmp"
+        with self._disk.open(tmp, "wb") as f:
+            f.write(frame(_WATERMARK.pack(self._applied_through)))
+            for key in sorted(self._snapshot, key=repr):
+                f.write(frame(_encode_event(self._snapshot[key])))
+            f.fsync()
+        self._disk.replace(tmp, self.SNAPSHOT_NAME)
+        keep = [e for e in self._log if e.scn > self._applied_through]
+        compacted = self._log_wal.size_bytes
+        self._log_wal.close()
+        tmp_log = self.LOG_NAME + ".compact"
+        new_wal = WriteAheadLog(tmp_log, disk=self._disk)
+        for event in keep:
+            new_wal.append(_encode_event(event))
+        new_wal.fsync()
+        new_wal.close()
+        self._disk.replace(tmp_log, self.LOG_NAME)
+        self._log_wal = WriteAheadLog(self.LOG_NAME, disk=self._disk)
+        return compacted - self._log_wal.size_bytes
 
     # -- log writer ------------------------------------------------------------
 
     def on_events(self, events: list[DatabusEvent]) -> None:
-        """Log writer: append relay events (whole windows, SCN order)."""
+        """Log writer: append relay events (whole windows, SCN order).
+
+        With durable storage the whole batch is framed and fsynced
+        before it lands in the in-memory log — the delivery is only
+        acked against bytes that will survive a crash.
+        """
+        last = self._log[-1].scn if self._log else None
         for event in events:
-            if self._log and event.scn < self._log[-1].scn:
+            if last is not None and event.scn < last:
                 raise ConfigurationError(
                     f"bootstrap received out-of-order SCN {event.scn}")
-            self._log.append(event)
+            last = event.scn
+        if self._log_wal is not None:
+            for event in events:
+                self._log_wal.append(_encode_event(event))
+            self._log_wal.fsync()
+        self._log.extend(events)
         self.apply_log()
 
     # -- log applier --------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.helix import (
     compute_ideal_state,
 )
 from repro.helix.statemodel import Transition
+from repro.simnet.disk import SimDisk
 from repro.zookeeper import ZooKeeperServer
 
 
@@ -39,10 +40,12 @@ class EspressoCluster:
 
     def __init__(self, database: DatabaseSchema, num_nodes: int = 3,
                  clock: Clock | None = None,
-                 relay_buffer_events: int = 100_000):
+                 relay_buffer_events: int = 100_000,
+                 disk: SimDisk | None = None):
         if num_nodes < database.replication_factor:
             raise ConfigurationError("need at least as many nodes as replicas")
         self.database = database
+        self.disk = disk
         self.clock = clock if clock is not None else SimClock()
         self.schemas = DocumentSchemaRegistry()
         self.zookeeper = ZooKeeperServer()
@@ -60,20 +63,27 @@ class EspressoCluster:
 
     # -- node management ------------------------------------------------------
 
+    def _make_node(self, instance_name: str) -> EspressoStorageNode:
+        scope = self.disk.scope(instance_name) if self.disk else None
+        return EspressoStorageNode(instance_name, self.database, self.schemas,
+                                   self.relay, clock=self.clock, disk=scope)
+
     def _create_node(self, instance_name: str) -> EspressoStorageNode:
-        node = EspressoStorageNode(instance_name, self.database, self.schemas,
-                                   self.relay, clock=self.clock)
+        node = self._make_node(instance_name)
         participant = Participant(
             instance_name, self.database.name, self.zookeeper,
-            handler=self._make_transition_handler(node))
+            handler=self._make_transition_handler(instance_name))
         participant.connect()
         self.controller.register_participant(participant)
         self.nodes[instance_name] = node
         self.participants[instance_name] = participant
         return node
 
-    def _make_transition_handler(self, node: EspressoStorageNode):
+    def _make_transition_handler(self, instance_name: str):
+        # resolved by name so a restarted (recovered) node object picks
+        # up where the dead one left off without re-registering
         def handle(transition: Transition) -> None:
+            node = self.nodes[instance_name]
             partition = transition.partition
             if transition.to_state == "SLAVE":
                 node.become_slave(partition)
@@ -156,11 +166,21 @@ class EspressoCluster:
         return applied
 
     def crash_node(self, instance_name: str) -> None:
-        """Hard failure: liveness vanishes, roles are lost."""
+        """Hard failure: liveness vanishes, roles are lost, and (with a
+        SimDisk) unsynced commit-log bytes are gone."""
         self.participants[instance_name].disconnect()
         self.nodes[instance_name].roles.clear()
+        if self.disk is not None:
+            self.disk.crash_node(instance_name)
 
     def recover_node(self, instance_name: str) -> None:
+        """Bring a crashed node back.  With a SimDisk the node object is
+        rebuilt from its commit log — documents, indexes, and applied
+        SCNs recover together — before rejoining the cluster; converge
+        (failover) to hand it roles again."""
+        if self.disk is not None:
+            self.disk.restart_node(instance_name)
+            self.nodes[instance_name] = self._make_node(instance_name)
         self.participants[instance_name].connect()
 
     def failover(self) -> None:

@@ -12,12 +12,24 @@ partition* commit SCNs and are pushed to the partition's Databus relay
 buffer before the local commit is acknowledged (the semi-synchronous
 "written to two places" rule).  Slaves consume those buffers in SCN
 order, which is what makes replication timeline consistent.
+
+When constructed with a :class:`~repro.simnet.disk.Disk`, every
+committed window — master commit or slave apply — is framed into a
+per-node commit :class:`~repro.common.wal.WriteAheadLog` and fsynced
+*before* the in-memory apply (DESIGN.md §9).  A restarted node replays
+that log, rebuilding documents, local secondary indexes, and the
+last-applied SCN in one pass, so the three can never diverge.  A
+window captured by the relay but lost to a crash before the WAL fsync
+is re-fetched from the relay by the normal catch-up path: the dense
+SCN sequence makes replay idempotent (duplicates skip, gaps raise).
 """
 
 from __future__ import annotations
 
 import hashlib
+import struct
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.common.clock import Clock, WallClock
 from repro.common.errors import (
@@ -27,12 +39,20 @@ from repro.common.errors import (
     TransactionAbortedError,
 )
 from repro.common.serialization import decode_record, decode_with_resolution, encode_record
+from repro.common.wal import WriteAheadLog
 from repro.databus.events import DatabusEvent
 from repro.databus.relay import Relay
 from repro.espresso.index import LocalSecondaryIndex
 from repro.espresso.schema import DatabaseSchema, DocumentSchemaRegistry
+from repro.simnet.disk import Disk
 from repro.sqlstore import Column, SqlDatabase, TableSchema
 from repro.sqlstore.binlog import BinlogTransaction, ChangeEvent, ChangeKind
+
+# commit-WAL framing: one frame per committed window
+_WAL_WINDOW = struct.Struct("<IQI")   # partition, scn, change count
+_WAL_CHANGE = struct.Struct("<III")   # schema version, table len, payload len
+_KIND_LIST = (ChangeKind.INSERT, ChangeKind.UPDATE, ChangeKind.DELETE)
+_KIND_CODES = {kind: code for code, kind in enumerate(_KIND_LIST)}
 
 
 def row_table_schema(database: DatabaseSchema, table_name: str) -> TableSchema:
@@ -69,7 +89,9 @@ class EspressoStorageNode:
 
     def __init__(self, instance_name: str, database: DatabaseSchema,
                  schemas: DocumentSchemaRegistry, relay: Relay,
-                 clock: Clock | None = None):
+                 clock: Clock | None = None,
+                 disk: Disk | None = None,
+                 on_apply: Callable[[int, int], None] | None = None):
         self.instance_name = instance_name
         self.database = database
         self.schemas = schemas
@@ -90,6 +112,57 @@ class EspressoStorageNode:
         self.partition_scn: dict[int, int] = {}
         self.writes_accepted = 0
         self.windows_applied = 0
+        self.on_apply = on_apply
+        self.recovered_windows = 0
+        self._commit_wal: WriteAheadLog | None = None
+        if disk is not None:
+            self._commit_wal = WriteAheadLog("commit.wal", disk=disk)
+            self._recover_from_wal()
+
+    # -- commit log / recovery --------------------------------------------------
+
+    def _wal_append_window(self, partition: int, scn: int,
+                           items: list[tuple[int, str, int, bytes]]) -> None:
+        """Frame one committed window and make it durable *before* the
+        in-memory apply; items are (kind code, table, version, payload)."""
+        if self._commit_wal is None:
+            return
+        out = bytearray(_WAL_WINDOW.pack(partition, scn, len(items)))
+        for code, table, version, payload in items:
+            name = table.encode()
+            out.append(code)
+            out.extend(_WAL_CHANGE.pack(version, len(name), len(payload)))
+            out.extend(name)
+            out.extend(payload)
+        self._commit_wal.append(bytes(out))
+        self._commit_wal.fsync()  # the commit is acked against this frame
+
+    def _recover_from_wal(self) -> None:
+        """Replay the commit log: rows, secondary indexes, and the
+        last-applied SCN are rebuilt from the same frames, so a crash
+        can never leave the index diverged from the data store."""
+        for frame in self._commit_wal.replay():
+            partition, scn, count = _WAL_WINDOW.unpack_from(frame, 0)
+            offset = _WAL_WINDOW.size
+            changes: list[ChangeEvent] = []
+            for _ in range(count):
+                code = frame[offset]
+                offset += 1
+                version, name_len, payload_len = _WAL_CHANGE.unpack_from(
+                    frame, offset)
+                offset += _WAL_CHANGE.size
+                table = frame[offset:offset + name_len].decode()
+                offset += name_len
+                payload = bytes(frame[offset:offset + payload_len])
+                offset += payload_len
+                schema = self.relay.schemas.get(table, version)
+                row = decode_record(schema, payload)
+                key = tuple(row[k]
+                            for k in self.database.table(table).key_fields)
+                changes.append(ChangeEvent(table, _KIND_LIST[code], key, row))
+            self._apply_changes(changes)
+            self.partition_scn[partition] = scn
+            self.recovered_windows += 1
 
     # -- roles ----------------------------------------------------------------
 
@@ -251,9 +324,20 @@ class EspressoStorageNode:
         self.relay.capture_transaction(
             txn, buffer_name=partition_buffer_name(self.database.name,
                                                    partition))
+        # a crash after the relay capture but before this fsync is
+        # healed by catch-up: the relay holds the window, the dense SCN
+        # check makes re-application exact
+        items = []
+        for change in changes:
+            schema = self.relay.schemas.latest(change.table)
+            items.append((_KIND_CODES[change.kind], change.table,
+                          schema.version, encode_record(schema, change.row)))
+        self._wal_append_window(partition, scn, items)
         self._apply_changes(changes)
         self.partition_scn[partition] = scn
         self.writes_accepted += 1
+        if self.on_apply is not None:
+            self.on_apply(partition, scn)
         return scn
 
     def _apply_changes(self, changes: list[ChangeEvent]) -> None:
@@ -309,9 +393,15 @@ class EspressoStorageNode:
             schema = self.relay.schemas.get(event.source, event.schema_version)
             row = decode_record(schema, event.payload)
             changes.append(ChangeEvent(event.source, event.kind, event.key, row))
+        self._wal_append_window(
+            partition, scn,
+            [(_KIND_CODES[e.kind], e.source, e.schema_version, e.payload)
+             for e in events])
         self._apply_changes(changes)
         self.partition_scn[partition] = scn
         self.windows_applied += 1
+        if self.on_apply is not None:
+            self.on_apply(partition, scn)
 
     # -- reads ------------------------------------------------------------------------------
 
@@ -367,6 +457,16 @@ class EspressoStorageNode:
 
     def load_partition_snapshot(self, partition: int, scn: int,
                                 rows: dict[str, list[dict]]) -> None:
+        # persist the snapshot as one synthetic insert window: without
+        # it, a WAL replay would rebuild post-snapshot windows on top of
+        # a missing base and silently diverge from the donor
+        items = []
+        for table_name in sorted(rows):
+            schema = self.relay.schemas.latest(table_name)
+            for row in rows[table_name]:
+                items.append((_KIND_CODES[ChangeKind.INSERT], table_name,
+                              schema.version, encode_record(schema, row)))
+        self._wal_append_window(partition, scn, items)
         for table_name, table_rows in rows.items():
             sql_table = self.local.table(table_name)
             for row in table_rows:

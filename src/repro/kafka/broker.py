@@ -19,6 +19,7 @@ from repro.common.clock import Clock, WallClock
 from repro.common.errors import ConfigurationError
 from repro.kafka.log import PartitionLog
 from repro.kafka.message import MessageSet
+from repro.simnet.disk import Disk, SimDisk
 from repro.zookeeper import CreateMode, ZooKeeperServer
 
 
@@ -41,9 +42,11 @@ class Broker:
                  clock: Clock | None = None,
                  flush_interval_messages: int = 1,
                  flush_interval_seconds: float = 0.0,
-                 segment_bytes: int = 1 << 20):
+                 segment_bytes: int = 1 << 20,
+                 disk: Disk | None = None):
         self.broker_id = broker_id
         self.data_dir = data_dir
+        self.disk = disk
         self.clock = clock or WallClock()
         self.flush_interval_messages = flush_interval_messages
         self.flush_interval_seconds = flush_interval_seconds
@@ -56,23 +59,44 @@ class Broker:
         if zookeeper is not None:
             self.register()
 
+    def _make_log(self, directory: str) -> PartitionLog:
+        return PartitionLog(
+            directory, segment_bytes=self.segment_bytes,
+            flush_interval_messages=self.flush_interval_messages,
+            flush_interval_seconds=self.flush_interval_seconds,
+            clock=self.clock, disk=self.disk)
+
     # -- zookeeper liveness -----------------------------------------------------
 
     def register(self) -> None:
         """Join (or rejoin after a restart): liveness znode plus log
         recovery for any partitions closed by a previous shutdown."""
+        if self._session is not None:
+            # a rejoin after a kill: the dead process's session (and its
+            # ephemerals) must go before the new incarnation registers
+            self._session.close()
         self._session = self._zookeeper.connect()
         self._session.ensure_path("/brokers/ids")
         self._session.create(f"/brokers/ids/{self.broker_id}",
                              data=str(self.broker_id).encode(),
                              mode=CreateMode.EPHEMERAL)
+        self._reopen_closed_logs()
+
+    def _reopen_closed_logs(self) -> None:
+        """Recover every partition whose file handle died (shutdown or
+        crash): the PartitionLog constructor runs the CRC recovery scan
+        and rebuilds the high watermark from the surviving bytes."""
         for key, log in list(self._logs.items()):
             if log._active_file is None or log._active_file.closed:
-                self._logs[key] = PartitionLog(
-                    log.directory, segment_bytes=self.segment_bytes,
-                    flush_interval_messages=self.flush_interval_messages,
-                    flush_interval_seconds=self.flush_interval_seconds,
-                    clock=self.clock)
+                self._logs[key] = self._make_log(log.directory)
+
+    def restart(self) -> None:
+        """Boot from on-disk state after a kill: recover all partition
+        logs, then rejoin Zookeeper if this broker uses one."""
+        if self._zookeeper is not None:
+            self.register()  # register() also reopens closed logs
+        else:
+            self._reopen_closed_logs()
 
     @property
     def is_alive(self) -> bool:
@@ -92,10 +116,7 @@ class Broker:
         if key in self._logs:
             raise ConfigurationError(f"{topic}-{partition} already hosted")
         directory = os.path.join(self.data_dir, f"{topic}-{partition}")
-        log = PartitionLog(directory, segment_bytes=self.segment_bytes,
-                           flush_interval_messages=self.flush_interval_messages,
-                           flush_interval_seconds=self.flush_interval_seconds,
-                           clock=self.clock)
+        log = self._make_log(directory)
         self._logs[key] = log
         if self._session is not None:
             self._session.ensure_path(f"/brokers/topics/{topic}")
@@ -133,6 +154,16 @@ class Broker:
         return sum(log.delete_old_segments(retention_seconds)
                    for log in self._logs.values())
 
+    def tick(self) -> int:
+        """Clock-driven flush sweep over every hosted partition.
+
+        Time-based flushes used to fire only inside ``append``, so a
+        quiet partition's staged tail stayed consumer-invisible until
+        its next write.  The broker's periodic tick closes that hole;
+        returns the number of partitions flushed.
+        """
+        return sum(1 for log in self._logs.values() if log.maybe_flush())
+
 
 class KafkaCluster:
     """Wiring: brokers, topic layout, and the shared Zookeeper."""
@@ -142,19 +173,24 @@ class KafkaCluster:
                  clock: Clock | None = None,
                  partitions_per_topic: int = 4,
                  flush_interval_messages: int = 1,
-                 segment_bytes: int = 1 << 20):
+                 segment_bytes: int = 1 << 20,
+                 disk: SimDisk | None = None):
         if num_brokers <= 0:
             raise ConfigurationError("need at least one broker")
         self.zookeeper = zookeeper or ZooKeeperServer()
         self.clock = clock or WallClock()
         self.partitions_per_topic = partitions_per_topic
+        self.disk = disk
         self.brokers: dict[int, Broker] = {}
         for broker_id in range(num_brokers):
+            # with a SimDisk, each broker's files live in its own crash
+            # domain ("broker-N/..."); data_root only names real dirs
+            scope = disk.scope(f"broker-{broker_id}") if disk else None
             self.brokers[broker_id] = Broker(
                 broker_id, os.path.join(data_root, f"broker-{broker_id}"),
                 self.zookeeper, clock=self.clock,
                 flush_interval_messages=flush_interval_messages,
-                segment_bytes=segment_bytes)
+                segment_bytes=segment_bytes, disk=scope)
         self._topics: dict[str, list[TopicPartition]] = {}
 
     def create_topic(self, topic: str,
@@ -191,6 +227,10 @@ class KafkaCluster:
         for broker in self.brokers.values():
             for topic, partition in broker.partitions():
                 broker.log(topic, partition).flush()
+
+    def tick(self) -> int:
+        """One cluster-wide clock-driven flush sweep (see Broker.tick)."""
+        return sum(broker.tick() for broker in self.brokers.values())
 
     def run_retention(self, retention_seconds: float) -> int:
         return sum(b.run_retention(retention_seconds)

@@ -20,7 +20,20 @@ Semantics reproduced here:
 * **time-based retention**: whole segments are deleted once older than
   the retention period;
 * no in-process message cache — reads hit the files and rely on the OS
-  page cache, per the paper's double-buffering argument.
+  page cache, per the paper's double-buffering argument;
+* **crash recovery**: every message frame already carries a CRC32
+  (:mod:`repro.kafka.message`), so reopening a log scans the active
+  segment frame by frame, truncates the torn tail at the first bad
+  frame, and rebuilds the high watermark from what actually survived.
+  Combined with fsync-on-flush this gives the durability contract of
+  DESIGN.md §9: a produce is acknowledged only after its bytes are
+  flushed *and fsynced*, so acked data survives a kill; unsynced data
+  may be lost but never yields a half-visible record.
+
+All file I/O goes through a :class:`~repro.simnet.disk.Disk`; the
+default :class:`~repro.simnet.disk.LocalDisk` hits the real filesystem
+while chaos tests inject a :class:`~repro.simnet.disk.SimDisk` to
+crash brokers and corrupt segments deterministically.
 
 :class:`MessageIdIndexedLog` is the ablation baseline: the same log
 plus the explicit id->position index the paper's design avoids.
@@ -29,12 +42,38 @@ plus the explicit id->position index the paper's design avoids.
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.common.clock import Clock, WallClock
 from repro.common.errors import ConfigurationError, OffsetOutOfRangeError
 from repro.kafka.message import MessageSet
+from repro.simnet.disk import Disk, LocalDisk
+
+_MESSAGE_HEADER = struct.Struct("<II")   # length, crc (message framing)
+
+
+def scan_valid_bytes(data: bytes) -> int:
+    """Length of the valid CRC-framed prefix of a segment's bytes.
+
+    Walks ``[length][crc][attributes+payload]`` frames and stops at the
+    first incomplete or CRC-corrupt frame — the recovery truncation
+    point.  Everything past a bad frame is unreachable (frames are not
+    self-synchronizing), exactly the WAL torn-tail rule.
+    """
+    position = 0
+    total = len(data)
+    while position + _MESSAGE_HEADER.size <= total:
+        length, crc = _MESSAGE_HEADER.unpack_from(data, position)
+        end = position + _MESSAGE_HEADER.size + length
+        if length < 1 or end > total:
+            break
+        if zlib.crc32(data[position + _MESSAGE_HEADER.size:end]) != crc:
+            break
+        position = end
+    return position
 
 
 @dataclass
@@ -52,16 +91,20 @@ class PartitionLog:
     def __init__(self, directory: str, segment_bytes: int = 1 << 20,
                  flush_interval_messages: int = 1,
                  flush_interval_seconds: float = 0.0,
-                 clock: Clock | None = None):
+                 clock: Clock | None = None,
+                 disk: Disk | None = None,
+                 fsync_on_flush: bool = True):
         if segment_bytes <= 0:
             raise ConfigurationError("segment_bytes must be positive")
         if flush_interval_messages < 1:
             raise ConfigurationError("flush_interval_messages must be >= 1")
         self.directory = directory
-        os.makedirs(directory, exist_ok=True)
+        self.disk = disk if disk is not None else LocalDisk()
+        self.disk.makedirs(directory)
         self.segment_bytes = segment_bytes
         self.flush_interval_messages = flush_interval_messages
         self.flush_interval_seconds = flush_interval_seconds
+        self.fsync_on_flush = fsync_on_flush
         self.clock = clock or WallClock()
         self._segments: list[_Segment] = []
         self._active_file = None
@@ -71,6 +114,7 @@ class PartitionLog:
         self.log_end_offset = 0          # next offset to assign
         self.high_watermark = 0          # flushed, consumer-visible end
         self.messages_appended = 0
+        self.torn_bytes_truncated = 0    # dropped by the last recovery scan
         self._recover()
         if not self._segments:
             self._roll(base_offset=0)
@@ -82,12 +126,17 @@ class PartitionLog:
         return f"{base_offset:020d}.kafka"
 
     def _recover(self) -> None:
+        """Rebuild segment state from disk, CRC-scanning the active
+        (last) segment: a crash can only tear the segment being
+        appended to, so older segments are taken at face value and
+        validated lazily at read time (:func:`iter_messages` raises
+        :class:`ChecksumError` on a flipped bit)."""
         found = []
-        for name in os.listdir(self.directory):
+        for name in self.disk.listdir(self.directory):
             if name.endswith(".kafka"):
                 base = int(name.split(".")[0])
                 path = os.path.join(self.directory, name)
-                size = os.path.getsize(path)
+                size = self.disk.getsize(path)
                 found.append(_Segment(base, path, size,
                                       created_at=self.clock.now(),
                                       last_append_at=self.clock.now()))
@@ -95,15 +144,29 @@ class PartitionLog:
         self._segments = found
         if found:
             last = found[-1]
+            last.size = self._truncate_torn_tail(last)
             self.log_end_offset = last.base_offset + last.size
             self.high_watermark = self.log_end_offset
-            self._active_file = open(last.path, "ab")
+            self._active_file = self.disk.open(last.path, "ab")
+
+    def _truncate_torn_tail(self, segment: _Segment) -> int:
+        """CRC-scan one segment; cut it back to its valid prefix.
+        Returns the surviving size."""
+        with self.disk.open(segment.path, "rb") as f:
+            data = f.read()
+        good_end = scan_valid_bytes(data)
+        if good_end < len(data):
+            self.torn_bytes_truncated += len(data) - good_end
+            with self.disk.open(segment.path, "rb+") as f:
+                f.truncate(good_end)
+                f.fsync()  # a re-crash must not resurrect the torn tail
+        return good_end
 
     def _roll(self, base_offset: int) -> None:
         if self._active_file is not None:
             self._active_file.close()
         path = os.path.join(self.directory, self._segment_name(base_offset))
-        self._active_file = open(path, "ab")
+        self._active_file = self.disk.open(path, "ab")
         now = self.clock.now()
         self._segments.append(_Segment(base_offset, path, 0, now, now))
 
@@ -131,17 +194,29 @@ class PartitionLog:
         self._pending_messages += len(message_set)
         self.log_end_offset += len(data)
         self.messages_appended += len(message_set)
-        self._maybe_flush()
+        self.maybe_flush()
         return first_offset
 
-    def _maybe_flush(self) -> None:
+    def maybe_flush(self) -> bool:
+        """Flush if a threshold (message count or elapsed time) has
+        tripped; returns whether a flush happened.
+
+        Called from :meth:`append`, but also clock-driven from
+        :meth:`Broker.tick` — without the tick, a quiet partition's
+        staged tail would stay consumer-invisible until the *next*
+        append, which for a low-traffic topic may never come.
+        """
+        if self._pending_messages == 0:
+            return False
         if self._pending_messages >= self.flush_interval_messages:
             self.flush()
-        elif (self.flush_interval_seconds > 0
-              and self.clock.now() - self._last_flush_at
-              >= self.flush_interval_seconds
-              and self._pending_messages > 0):
+            return True
+        if (self.flush_interval_seconds > 0
+                and self.clock.now() - self._last_flush_at
+                >= self.flush_interval_seconds):
             self.flush()
+            return True
+        return False
 
     def append_raw(self, data: bytes) -> int:
         """Append already-framed bytes (the replication path: followers
@@ -154,13 +229,22 @@ class PartitionLog:
         return first_offset
 
     def flush(self) -> None:
-        """Write pending bytes to the active segment and expose them."""
+        """Write pending bytes to the active segment and expose them.
+
+        The high watermark — the acked, consumer-visible end — only
+        advances after :meth:`DiskFile.fsync`, so everything a producer
+        has been acked for survives a broker kill (acked ⇒ fsynced ⇒
+        recoverable).
+        """
         if self._pending:
             if self._active.size + len(self._pending) > self.segment_bytes \
                     and self._active.size > 0:
                 self._roll(base_offset=self.high_watermark)
             self._active_file.write(self._pending)
-            self._active_file.flush()
+            if self.fsync_on_flush:
+                self._active_file.fsync()
+            else:
+                self._active_file.flush()
             self._active.size += len(self._pending)
             self._active.last_append_at = self.clock.now()
             self._pending.clear()
@@ -197,7 +281,7 @@ class PartitionLog:
         length = min(max_bytes, visible_end - position)
         if length <= 0:
             return b""
-        with open(segment.path, "rb") as f:
+        with self.disk.open(segment.path, "rb") as f:
             f.seek(position)
             return f.read(length)
 
@@ -212,7 +296,7 @@ class PartitionLog:
             segment = self._segments[0]
             if now - segment.last_append_at <= retention_seconds:
                 break
-            os.remove(segment.path)
+            self.disk.remove(segment.path)
             self._segments.pop(0)
             deleted += 1
         return deleted

@@ -1,5 +1,13 @@
-"""Deterministic network simulation and failure injection."""
+"""Deterministic network/disk simulation and failure injection."""
 
+from repro.simnet.disk import Disk, DiskFile, DiskScope, LocalDisk, SimDisk
+from repro.simnet.faultplan import (
+    AckLedger,
+    FaultAction,
+    FaultPlan,
+    ScnAuditor,
+    offsets_within_watermark,
+)
 from repro.simnet.network import (
     FailureInjector,
     LatencyModel,
@@ -10,10 +18,20 @@ from repro.simnet.network import (
 )
 
 __all__ = [
+    "AckLedger",
+    "Disk",
+    "DiskFile",
+    "DiskScope",
     "FailureInjector",
+    "FaultAction",
+    "FaultPlan",
     "LatencyModel",
+    "LocalDisk",
+    "ScnAuditor",
+    "SimDisk",
     "SimNetwork",
     "fixed_latency",
     "lognormal_latency",
+    "offsets_within_watermark",
     "uniform_latency",
 ]

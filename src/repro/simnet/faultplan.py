@@ -1,0 +1,257 @@
+"""Scripted, deterministic fault plans plus durability invariant checkers.
+
+A :class:`FaultPlan` is a reproducible chaos schedule: kill/restart/
+corrupt actions pinned to simulated timestamps on a
+:class:`~repro.common.clock.SimClock`, executed against a
+:class:`~repro.simnet.disk.SimDisk` and whatever component lifecycle
+handlers the test registers.  Because the clock, the disk RNG, and the
+schedule itself are all seeded and sorted, running the same plan twice
+produces a byte-identical fault trace — the property the chaos tests
+assert.
+
+The checkers encode the DESIGN.md §9 contract as data:
+
+* :class:`AckLedger` — every acknowledged write must read back intact
+  after recovery (acked ⇒ fsynced ⇒ recoverable);
+* :class:`ScnAuditor` — per node and partition, commit SCNs advance
+  densely: no window applied twice, none skipped;
+* :func:`offsets_within_watermark` — a consumer's resume offset never
+  points past what the broker durably exposes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.clock import SimClock
+from repro.simnet.disk import SimDisk
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault."""
+
+    at: float
+    kind: str                 # "kill" | "restart" | "torn_write" | "bit_flip" | "call"
+    node: str = ""
+    path: str | None = None
+    keep_bytes: int | None = None
+    offset: int | None = None
+    label: str = ""
+    fn: Callable[[], None] | None = field(default=None, compare=False)
+
+
+class FaultPlan:
+    """A deterministic kill/restart/corrupt schedule.
+
+    Usage::
+
+        plan = FaultPlan(clock, disk, seed=7)
+        plan.on_kill(lambda node: cluster.kill_node(node))
+        plan.on_restart(lambda node: cluster.restart_node(node))
+        plan.torn_write(at=4.9, node="node-1")   # arm before the kill
+        plan.kill(at=5.0, node="node-1")
+        plan.restart(at=8.0, node="node-1")
+        plan.run(until=10.0)
+
+    ``executed`` records ``(time, kind, node, detail)`` tuples in firing
+    order; together with ``disk.trace_bytes()`` it forms the replayable
+    fault trace.
+    """
+
+    def __init__(self, clock: SimClock, disk: SimDisk, seed: int = 0):
+        self.clock = clock
+        self.disk = disk
+        self.rng = random.Random(seed)
+        self._actions: list[FaultAction] = []
+        self._kill_handlers: list[Callable[[str], None]] = []
+        self._restart_handlers: list[Callable[[str], None]] = []
+        self.executed: list[tuple[float, str, str, str]] = []
+
+    # -- lifecycle handlers --------------------------------------------------
+
+    def on_kill(self, handler: Callable[[str], None]) -> None:
+        """Register a handler invoked with the node name on every kill
+        (typically the cluster's own kill method, which crashes the
+        node's disk scope and network endpoint)."""
+        self._kill_handlers.append(handler)
+
+    def on_restart(self, handler: Callable[[str], None]) -> None:
+        self._restart_handlers.append(handler)
+
+    # -- schedule construction ------------------------------------------------
+
+    def kill(self, at: float, node: str) -> None:
+        self._actions.append(FaultAction(at, "kill", node))
+
+    def restart(self, at: float, node: str) -> None:
+        self._actions.append(FaultAction(at, "restart", node))
+
+    def torn_write(self, at: float, node: str, path: str | None = None,
+                   keep_bytes: int | None = None) -> None:
+        """Arm a torn write: the node's *next* crash cuts its unsynced
+        tail mid-record instead of dropping it cleanly."""
+        self._actions.append(FaultAction(at, "torn_write", node, path=path,
+                                         keep_bytes=keep_bytes))
+
+    def bit_flip(self, at: float, node: str, path: str,
+                 offset: int | None = None) -> None:
+        self._actions.append(FaultAction(at, "bit_flip", node, path=path,
+                                         offset=offset))
+
+    def call(self, at: float, label: str, fn: Callable[[], None]) -> None:
+        """Schedule arbitrary workload (writes, reads, checks) between
+        faults so the plan captures the whole scenario in one place."""
+        self._actions.append(FaultAction(at, "call", label=label, fn=fn))
+
+    # -- execution -------------------------------------------------------------
+
+    def _fire(self, action: FaultAction) -> None:
+        now = round(self.clock.now(), 9)
+        if action.kind == "kill":
+            for handler in self._kill_handlers:
+                handler(action.node)
+            self.executed.append((now, "kill", action.node, ""))
+        elif action.kind == "restart":
+            for handler in self._restart_handlers:
+                handler(action.node)
+            self.executed.append((now, "restart", action.node, ""))
+        elif action.kind == "torn_write":
+            self.disk.arm_torn_write(action.node, path=action.path,
+                                     keep_bytes=action.keep_bytes)
+            self.executed.append((now, "torn_write", action.node,
+                                  action.path or "<largest-unsynced>"))
+        elif action.kind == "bit_flip":
+            offset = self.disk.flip_bit(action.node, action.path,
+                                        offset=action.offset)
+            self.executed.append((now, "bit_flip", action.node,
+                                  f"{action.path}@{offset}"))
+        elif action.kind == "call":
+            action.fn()
+            self.executed.append((now, "call", "", action.label))
+        else:  # pragma: no cover - schedule constructors gate the kinds
+            raise ValueError(f"unknown fault kind {action.kind!r}")
+
+    def run(self, until: float | None = None) -> list[tuple[float, str, str, str]]:
+        """Schedule every action on the clock and advance through them.
+
+        Actions sharing a timestamp fire in the order they were added
+        (the clock breaks ties by scheduling order), so a plan is fully
+        determined by its construction sequence.
+        """
+        horizon = until
+        for action in self._actions:
+            if horizon is None or action.at > horizon:
+                horizon = action.at
+            self.clock.call_at(action.at,
+                               lambda action=action: self._fire(action))
+        if horizon is not None:
+            self.clock.run_until(horizon)
+        return self.executed
+
+    def trace_lines(self) -> list[str]:
+        """The executed schedule as repr lines, for byte-compare."""
+        return [repr(entry) for entry in self.executed]
+
+
+class AckLedger:
+    """Tracks acknowledged writes and verifies they survive recovery.
+
+    ``record`` is called the moment a write is acked (the system said
+    "durable"); ``verify`` is called after kills and restarts with a
+    reader function mapping the recorded key to the recovered value.
+    """
+
+    def __init__(self):
+        self._acked: dict[tuple[str, object], object] = {}
+
+    def record(self, system: str, key: object, value: object) -> None:
+        self._acked[(system, key)] = value
+
+    def __len__(self) -> int:
+        return len(self._acked)
+
+    def verify(self, system: str,
+               reader: Callable[[object], object]) -> list[str]:
+        """Read every acked key of ``system`` back; returns violations.
+
+        The reader raises or returns a different value ⇒ acked-write
+        loss, the one thing DESIGN.md §9 forbids outright.
+        """
+        violations = []
+        for (sys_name, key), expected in sorted(self._acked.items(),
+                                                key=lambda item: repr(item[0])):
+            if sys_name != system:
+                continue
+            try:
+                actual = reader(key)
+            except Exception as exc:  # noqa: BLE001 - any failure is a loss
+                violations.append(
+                    f"{system}: acked key {key!r} unreadable after "
+                    f"recovery: {type(exc).__name__}: {exc}")
+                continue
+            if actual != expected:
+                violations.append(
+                    f"{system}: acked key {key!r} recovered as "
+                    f"{actual!r}, expected {expected!r}")
+        return violations
+
+
+class ScnAuditor:
+    """Checks per-(node, partition) SCN streams for duplicates and gaps.
+
+    Plug :meth:`hook` into ``EspressoStorageNode(on_apply=...)``; after
+    a crash-recovery, call :meth:`observe_recovery` with the node's
+    recovered ``partition_scn`` so catch-up resuming at ``scn + 1`` is
+    not misread as a gap.
+    """
+
+    def __init__(self):
+        self._last: dict[tuple[str, int], int] = {}
+        self.violations: list[str] = []
+        self.windows_seen = 0
+
+    def hook(self, node: str) -> Callable[[int, int], None]:
+        def on_apply(partition: int, scn: int) -> None:
+            self.windows_seen += 1
+            key = (node, partition)
+            last = self._last.get(key, 0)
+            if scn <= last:
+                self.violations.append(
+                    f"{node}: partition {partition} applied SCN {scn} "
+                    f"twice (already at {last})")
+            elif scn > last + 1:
+                self.violations.append(
+                    f"{node}: partition {partition} skipped SCNs "
+                    f"{last + 1}..{scn - 1}")
+            self._last[key] = scn
+        return on_apply
+
+    def observe_recovery(self, node: str,
+                         partition_scn: dict[int, int]) -> None:
+        """A recovered node resumes from its durable SCNs; re-baseline
+        so the auditor demands density from there onward."""
+        for partition, scn in sorted(partition_scn.items()):
+            key = (node, partition)
+            self._last[key] = max(self._last.get(key, 0), scn)
+
+
+def offsets_within_watermark(offsets: dict[tuple[str, int], int],
+                             watermark_of: Callable[[str, int], int]
+                             ) -> list[str]:
+    """Check saved consumer offsets against broker high watermarks.
+
+    A recovered broker may have truncated a torn (never-acked) tail, but
+    a consumer's resume offset must still be at or below what the broker
+    now exposes — otherwise the consumer would skip or re-read garbage.
+    """
+    violations = []
+    for (topic, partition), offset in sorted(offsets.items()):
+        watermark = watermark_of(topic, partition)
+        if offset > watermark:
+            violations.append(
+                f"{topic}-{partition}: consumer offset {offset} beyond "
+                f"high watermark {watermark}")
+    return violations

@@ -14,6 +14,7 @@ from repro.common.clock import Clock, SimClock
 from repro.common.errors import ConfigurationError
 from repro.common.ring import HashRing, build_balanced_ring
 from repro.simnet import SimNetwork
+from repro.simnet.disk import SimDisk
 from repro.voldemort.engines import (
     InMemoryStorageEngine,
     LogStructuredEngine,
@@ -62,7 +63,8 @@ class VoldemortCluster:
     def __init__(self, num_nodes: int = 3, partitions_per_node: int = 8,
                  num_zones: int = 1, clock: Clock | None = None,
                  network: SimNetwork | None = None,
-                 data_root: str | None = None, seed: int = 0):
+                 data_root: str | None = None, seed: int = 0,
+                 disk: SimDisk | None = None):
         from repro.voldemort.server import VoldemortServer
         self.clock = clock if clock is not None else SimClock()
         self.network = network or SimNetwork(clock=self.clock, seed=seed)
@@ -70,6 +72,7 @@ class VoldemortCluster:
             num_nodes, num_nodes * partitions_per_node, num_zones)
         self.stores: dict[str, StoreDefinition] = {}
         self.data_root = data_root
+        self.disk = disk
         self.servers: dict[int, VoldemortServer] = {
             node_id: VoldemortServer(node_id, self)
             for node_id in self.ring.nodes
@@ -107,11 +110,28 @@ class VoldemortCluster:
     def server_for(self, node_id: int):
         return self.servers[node_id]
 
+    def node_disk(self, node_id: int):
+        """The node's private crash domain on the simulated disk, or
+        None when the cluster runs on the real filesystem."""
+        if self.disk is None:
+            return None
+        return self.disk.scope(self.node_name(node_id))
+
     def make_engine(self, definition: StoreDefinition,
                     node_id: int) -> StorageEngine:
         if definition.engine_type == "memory":
             return InMemoryStorageEngine()
         if definition.engine_type in ("log-structured", "read-only"):
+            if self.disk is not None:
+                if definition.engine_type == "read-only":
+                    raise ConfigurationError(
+                        "read-only stores load from real build artifacts; "
+                        "use data_root, not a SimDisk")
+                # durable mode: every acked write is fsynced, so a
+                # SimDisk crash loses nothing that was acknowledged
+                return LogStructuredEngine(
+                    definition.name, sync_every_write=True,
+                    disk=self.node_disk(node_id))
             if self.data_root is None:
                 raise ConfigurationError(
                     f"store {definition.name!r} needs on-disk storage; "
@@ -122,6 +142,39 @@ class VoldemortCluster:
                 return LogStructuredEngine(directory)
             return ReadOnlyStorageEngine(directory)
         raise ConfigurationError(f"unknown engine type {definition.engine_type!r}")
+
+    # -- crash / restart lifecycle ---------------------------------------------
+
+    def kill_node(self, node_id: int) -> int:
+        """Kill a node: its unsynced disk bytes are lost, its open file
+        handles die, and the network stops routing to it.  Returns the
+        simulated bytes lost.  The server object stays registered so a
+        later :meth:`restart_node` can rebuild it from disk."""
+        name = self.node_name(node_id)
+        self.network.failures.crash(name)
+        lost = 0
+        if self.disk is not None:
+            lost = self.disk.crash_node(name)
+        return lost
+
+    def restart_node(self, node_id: int):
+        """Boot a replacement server from the node's surviving files.
+
+        Engines re-run their recovery scans (index rebuild, torn-tail
+        truncation), the slop WAL is replayed into outstanding hints,
+        and the network resumes delivering.  In-memory stores restart
+        empty — that is the honest semantics of a non-durable engine.
+        """
+        from repro.voldemort.server import VoldemortServer
+        name = self.node_name(node_id)
+        if self.disk is not None:
+            self.disk.restart_node(name)
+        server = VoldemortServer(node_id, self)
+        for definition in self.stores.values():
+            server.open_store(definition)
+        self.servers[node_id] = server
+        self.network.failures.recover(name)
+        return server
 
     def close(self) -> None:
         for server in self.servers.values():

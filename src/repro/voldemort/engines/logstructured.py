@@ -28,6 +28,7 @@ from typing import Iterator
 
 from repro.common.errors import ChecksumError, KeyNotFoundError
 from repro.common.vectorclock import VectorClock
+from repro.simnet.disk import Disk, LocalDisk
 from repro.voldemort.engines.base import StorageEngine
 from repro.voldemort.versioned import Versioned
 
@@ -103,14 +104,17 @@ class LogStructuredEngine(StorageEngine):
     name = "log-structured"
     LOG_NAME = "data.log"
 
-    def __init__(self, directory: str, sync_every_write: bool = False):
+    def __init__(self, directory: str, sync_every_write: bool = False,
+                 disk: Disk | None = None):
         self.directory = directory
-        os.makedirs(directory, exist_ok=True)
+        self.disk = disk if disk is not None else LocalDisk()
+        self.disk.makedirs(directory)
         self._path = os.path.join(directory, self.LOG_NAME)
         self._index: dict[bytes, list[_IndexEntry]] = {}
-        self._log = open(self._path, "ab+")
+        self._log = self.disk.open(self._path, "ab+")
         self._sync = sync_every_write
         self.live_bytes = 0
+        self.torn_bytes_truncated = 0
         self._recover()
 
     # -- recovery ---------------------------------------------------------
@@ -130,7 +134,12 @@ class LogStructuredEngine(StorageEngine):
             key, versioned = _decode_body(body)
             self._index_put(key, versioned, good_end, _HEADER.size + body_len)
             good_end += _HEADER.size + body_len
-        self._log.truncate(good_end)
+        self._log.seek(0, os.SEEK_END)
+        tail = self._log.tell() - good_end
+        if tail > 0:
+            self.torn_bytes_truncated += tail
+            self._log.truncate(good_end)
+            self._log.fsync()  # the torn tail must not outlive a re-crash
         self._log.seek(0, os.SEEK_END)
 
     def _index_put(self, key: bytes, versioned: Versioned, offset: int,
@@ -181,9 +190,11 @@ class LogStructuredEngine(StorageEngine):
         self._log.seek(0, os.SEEK_END)
         offset = self._log.tell()
         self._log.write(record)
-        self._log.flush()
         if self._sync:
-            os.fsync(self._log.fileno())
+            # ack ⇒ fsync ⇒ recoverable (DESIGN.md §9)
+            self._log.fsync()
+        else:
+            self._log.flush()
         entry = _IndexEntry(versioned.clock, offset, len(record),
                             versioned.is_tombstone)
         survivors = [e for e in self._index.get(key, [])
@@ -211,7 +222,7 @@ class LogStructuredEngine(StorageEngine):
         before = self.log_size_bytes()
         compact_path = self._path + ".compact"
         new_index: dict[bytes, list[_IndexEntry]] = {}
-        with open(compact_path, "wb") as out:
+        with self.disk.open(compact_path, "wb") as out:
             offset = 0
             for key, entries in self._index.items():
                 fresh: list[_IndexEntry] = []
@@ -226,9 +237,10 @@ class LogStructuredEngine(StorageEngine):
                     offset += len(record)
                 if fresh:
                     new_index[key] = fresh
+            out.fsync()
         self._log.close()
-        os.replace(compact_path, self._path)
-        self._log = open(self._path, "ab+")
+        self.disk.replace(compact_path, self._path)
+        self._log = self.disk.open(self._path, "ab+")
         self._index = new_index
         return before - self.log_size_bytes()
 

@@ -5,10 +5,18 @@ operations the routing layer calls over the (simulated) network.  It
 also holds *hints* — writes accepted on behalf of an unreachable
 replica during hinted handoff (§II.B "Repair mechanism") — and can
 replay them once the destination recovers.
+
+When the cluster runs on a :class:`~repro.simnet.disk.SimDisk`, hints
+are persisted through a :class:`~repro.common.wal.WriteAheadLog` (the
+"slop store"): every accepted hint is fsynced before the routing layer
+counts the write as successful, and every delivery appends a fsynced
+tombstone marker, so a killed node restarts with exactly its
+outstanding hints — acked vector clocks intact, delivered hints gone.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.common.errors import (
@@ -16,9 +24,16 @@ from repro.common.errors import (
     KeyNotFoundError,
     NodeUnavailableError,
 )
+from repro.common.wal import WriteAheadLog
 from repro.voldemort.engines.base import StorageEngine
+from repro.voldemort.engines.logstructured import _decode_body, _encode_record
 from repro.voldemort.transforms import TRANSFORM_REGISTRY
 from repro.voldemort.versioned import Versioned
+
+_HINT_STORED = 0x00
+_HINT_DELIVERED = 0x01
+_HINT_HEADER = struct.Struct("<QqI")  # seq, destination node, store-name len
+_HINT_SEQ = struct.Struct("<Q")
 
 
 @dataclass(frozen=True)
@@ -31,6 +46,25 @@ class Hint:
     destination_node: int
 
 
+def _encode_hint(seq: int, hint: Hint) -> bytes:
+    store = hint.store.encode()
+    return (bytes([_HINT_STORED])
+            + _HINT_HEADER.pack(seq, hint.destination_node, len(store))
+            + store + _encode_record(hint.key, hint.versioned))
+
+
+def _decode_hint(payload: bytes) -> tuple[int, Hint]:
+    seq, destination, store_len = _HINT_HEADER.unpack_from(payload, 1)
+    offset = 1 + _HINT_HEADER.size
+    store = payload[offset:offset + store_len].decode()
+    offset += store_len
+    # the hint record reuses the engine's CRC-framed record format;
+    # skip its [crc][len] header to reach the body
+    body = payload[offset + 8:]
+    key, versioned = _decode_body(body)
+    return seq, Hint(store, key, versioned, destination)
+
+
 class VoldemortServer:
     """One node's server process."""
 
@@ -40,6 +74,27 @@ class VoldemortServer:
         self._engines: dict[str, StorageEngine] = {}
         self.hints: list[Hint] = []
         self.requests_served = 0
+        self._hint_seqs: list[int] = []   # aligned with self.hints
+        self._next_hint_seq = 0
+        self._slop_wal: WriteAheadLog | None = None
+        disk = cluster.node_disk(node_id)
+        if disk is not None:
+            self._slop_wal = WriteAheadLog("slops.wal", disk=disk)
+            self._recover_hints()
+
+    def _recover_hints(self) -> None:
+        """Rebuild outstanding hints: stored minus delivered."""
+        outstanding: dict[int, Hint] = {}
+        for payload in self._slop_wal.replay():
+            if payload[0] == _HINT_STORED:
+                seq, hint = _decode_hint(payload)
+                outstanding[seq] = hint
+                self._next_hint_seq = max(self._next_hint_seq, seq + 1)
+            elif payload[0] == _HINT_DELIVERED:
+                (seq,) = _HINT_SEQ.unpack_from(payload, 1)
+                outstanding.pop(seq, None)
+        self._hint_seqs = sorted(outstanding)
+        self.hints = [outstanding[seq] for seq in self._hint_seqs]
 
     # -- store lifecycle (invoked by the admin service) ----------------------
 
@@ -119,7 +174,13 @@ class VoldemortServer:
     # -- hinted handoff ----------------------------------------------------------
 
     def store_hint(self, hint: Hint) -> None:
+        seq = self._next_hint_seq
+        self._next_hint_seq += 1
+        if self._slop_wal is not None:
+            self._slop_wal.append(_encode_hint(seq, hint))
+            self._slop_wal.fsync()  # the write is acked against this hint
         self.hints.append(hint)
+        self._hint_seqs.append(seq)
 
     def hints_for(self, destination_node: int) -> list[Hint]:
         return [h for h in self.hints if h.destination_node == destination_node]
@@ -134,9 +195,12 @@ class VoldemortServer:
         network = self.cluster.network
         delivered = 0
         remaining: list[Hint] = []
-        for hint in self.hints:
+        remaining_seqs: list[int] = []
+        delivered_seqs: list[int] = []
+        for hint, seq in zip(self.hints, self._hint_seqs):
             if hint.destination_node != destination_node:
                 remaining.append(hint)
+                remaining_seqs.append(seq)
                 continue
             target = self.cluster.server_for(hint.destination_node)
             try:
@@ -145,11 +209,20 @@ class VoldemortServer:
                                target.engine(hint.store).put,
                                hint.key, hint.versioned)
                 delivered += 1
+                delivered_seqs.append(seq)
             except ObsoleteVersionError:
                 delivered += 1
+                delivered_seqs.append(seq)
             except NodeUnavailableError:
                 remaining.append(hint)
+                remaining_seqs.append(seq)
+        if delivered_seqs and self._slop_wal is not None:
+            for seq in delivered_seqs:
+                self._slop_wal.append(
+                    bytes([_HINT_DELIVERED]) + _HINT_SEQ.pack(seq))
+            self._slop_wal.fsync()
         self.hints = remaining
+        self._hint_seqs = remaining_seqs
         return delivered
 
     # -- maintenance -----------------------------------------------------------------
@@ -161,3 +234,5 @@ class VoldemortServer:
         for engine in self._engines.values():
             engine.close()
         self._engines.clear()
+        if self._slop_wal is not None:
+            self._slop_wal.close()

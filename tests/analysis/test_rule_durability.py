@@ -1,0 +1,92 @@
+"""durability-unsynced-ack rule: positives, negatives, suppression."""
+
+from tests.analysis.conftest import lint
+
+RULE = "durability-unsynced-ack"
+
+
+def test_wal_append_without_fsync_flagged():
+    findings = lint("""
+        def store_hint(self, hint):
+            self._slop_wal.append(encode(hint))
+            self.hints.append(hint)
+    """, RULE)
+    assert [f.rule for f in findings] == [RULE]
+    assert findings[0].line == 3
+
+
+def test_disk_write_without_fsync_flagged():
+    findings = lint("""
+        def save(self, disk, payload):
+            disk.write(payload)
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_append_then_fsync_is_clean():
+    findings = lint("""
+        def store_hint(self, hint):
+            self._slop_wal.append(encode(hint))
+            self._slop_wal.fsync()
+            self.hints.append(hint)
+    """, RULE)
+    assert findings == []
+
+
+def test_batched_appends_single_fsync_is_clean():
+    # one fsync after a batch of appends covers all of them
+    findings = lint("""
+        def on_events(self, events):
+            for event in events:
+                self._log_wal.append(encode(event))
+            self._log_wal.fsync()
+    """, RULE)
+    assert findings == []
+
+
+def test_in_memory_append_is_clean():
+    # plain lists are not durable channels; no fsync expected
+    findings = lint("""
+        def buffer(self, event):
+            self._log.append(event)
+            self.pending.append(event)
+    """, RULE)
+    assert findings == []
+
+
+def test_walrus_like_receiver_names_match():
+    findings = lint("""
+        def compact(self):
+            new_wal = self.open_wal()
+            new_wal.append(b"frame")
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_nested_function_cannot_borrow_parent_fsync():
+    findings = lint("""
+        def outer(self):
+            def stage(payload):
+                self._commit_wal.append(payload)
+            stage(b"x")
+            self._commit_wal.fsync()
+    """, RULE)
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_fsync_before_write_does_not_count():
+    findings = lint("""
+        def wrong_order(self):
+            self._commit_wal.fsync()
+            self._commit_wal.append(b"frame")
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_pragma_suppresses():
+    findings = lint("""
+        def stage_only(self):
+            self._log_wal.append(b"frame")  # repro-lint: disable=durability-unsynced-ack
+    """, RULE)
+    assert findings == []
