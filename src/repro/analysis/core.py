@@ -23,9 +23,11 @@ Vocabulary:
   grandfathers known findings so the CI gate only trips on *new*
   violations.
 
-Suppression is per line: ``# repro-lint: disable=rule-a,rule-b`` on
-the line a finding anchors to (its node's first line) silences those
-rules there; ``disable=all`` silences every rule on that line.
+Suppression is per statement span: ``# repro-lint: disable=rule-a``
+anywhere on the lines a finding's node covers (first line through
+``end_lineno``) silences those rules for it — so the pragma on the
+closing line of a multi-line call still counts; ``disable=all``
+silences every rule there.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from __future__ import annotations
 import ast
 import hashlib
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -66,6 +69,11 @@ class Finding:
     col: int
     message: str
     snippet: str = ""  # the stripped source line, for fingerprinting
+    end_line: int = 0  # last line of the anchoring node (0 = same line)
+
+    @property
+    def last_line(self) -> int:
+        return max(self.line, self.end_line)
 
     def fingerprint(self) -> str:
         """Location-drift-tolerant identity used by the baseline.
@@ -178,9 +186,19 @@ class FileContext:
             return self.lines[lineno - 1].strip()
         return ""
 
-    def suppressed(self, rule: str, lineno: int) -> bool:
-        active = self.suppressions.get(lineno)
-        return bool(active) and (rule in active or "all" in active)
+    def suppressed(self, rule: str, lineno: int, end_lineno: int = 0) -> bool:
+        """Is ``rule`` disabled anywhere on lines lineno..end_lineno?
+
+        Multi-line statements anchor a finding on their first line but
+        a trailing pragma naturally lands on the last, so the whole
+        node span counts.
+        """
+        last = max(lineno, end_lineno)
+        for pragma_line, active in self.suppressions.items():
+            if lineno <= pragma_line <= last \
+                    and (rule in active or "all" in active):
+                return True
+        return False
 
 
 class Rule:
@@ -204,9 +222,10 @@ class Rule:
     def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
+        end = getattr(node, "end_lineno", None) or lineno
         return Finding(rule=self.name, path=ctx.rel_path, line=lineno,
                        col=col, message=message,
-                       snippet=ctx.line_text(lineno))
+                       snippet=ctx.line_text(lineno), end_line=end)
 
 
 _REGISTRY: dict[str, type[Rule]] = {}
@@ -258,6 +277,10 @@ class Analyzer:
         self.rules = list(rules) if rules is not None else all_rules()
         self.root = Path(root) if root is not None else Path.cwd()
         self.metrics = metrics or MetricsRegistry()
+        #: per-rule wall seconds and finding counts, accumulated across
+        #: the run (the --stats report)
+        self.rule_seconds: dict[str, float] = {r.name: 0.0 for r in self.rules}
+        self.rule_findings: dict[str, int] = {r.name: 0 for r in self.rules}
 
     def _rel(self, path: Path) -> str:
         try:
@@ -284,13 +307,20 @@ class Analyzer:
         for rule in self.rules:
             if rule.exempt(ctx):
                 continue
+            # timing the linter itself is diagnostics, not simulated
+            # behaviour, so the real clock is fine here
+            started = time.perf_counter()  # repro-lint: disable=wall-clock
             for finding in rule.check(ctx):
-                if ctx.suppressed(finding.rule, finding.line):
+                if ctx.suppressed(finding.rule, finding.line,
+                                  finding.end_line):
                     self.metrics.counter("lint.suppressed").increment()
                     continue
                 self.metrics.counter(
                     f"lint.findings.{finding.rule}").increment()
+                self.rule_findings[rule.name] += 1
                 kept.append(finding)
+            elapsed = time.perf_counter() - started  # repro-lint: disable=wall-clock
+            self.rule_seconds[rule.name] += elapsed
         kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return kept
 

@@ -46,7 +46,8 @@ def render_text(report: LintReport, new: list[Finding],
 
 def render_json(report: LintReport, new: list[Finding],
                 grandfathered: list[Finding],
-                metrics: MetricsRegistry) -> str:
+                metrics: MetricsRegistry,
+                stats: dict | None = None) -> str:
     def encode(finding: Finding) -> dict:
         return {
             "rule": finding.rule,
@@ -67,7 +68,35 @@ def render_json(report: LintReport, new: list[Finding],
                      for name, counter in sorted(metrics.counters.items())},
         "clean": not new and not report.parse_errors,
     }
+    if stats is not None:
+        payload["stats"] = stats
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_stats(rule_seconds: dict[str, float],
+                 rule_findings: dict[str, int],
+                 files_scanned: int) -> str:
+    """Per-rule timing/finding table for ``--stats``."""
+    out = [f"per-rule stats over {files_scanned} file(s):"]
+    width = max((len(name) for name in rule_seconds), default=4)
+    for name in sorted(rule_seconds):
+        millis = rule_seconds[name] * 1000.0
+        count = rule_findings.get(name, 0)
+        out.append(f"  {name:<{width}}  {millis:8.1f} ms  "
+                   f"{count} finding(s)")
+    total = sum(rule_seconds.values()) * 1000.0
+    out.append(f"  {'total':<{width}}  {total:8.1f} ms")
+    return "\n".join(out)
+
+
+def stats_payload(rule_seconds: dict[str, float],
+                  rule_findings: dict[str, int]) -> dict:
+    """The ``--stats`` section of the JSON report."""
+    return {
+        name: {"ms": round(rule_seconds[name] * 1000.0, 3),
+               "findings": rule_findings.get(name, 0)}
+        for name in sorted(rule_seconds)
+    }
 
 
 def render_rule_list(rules: list[Rule]) -> str:

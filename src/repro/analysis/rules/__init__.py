@@ -16,17 +16,31 @@ after the contract it enforces:
   back off (or use ``call_with_retries``);
 * :mod:`.deadline` — ``deadline-dropped``: a function that accepts a
   ``Deadline`` must consult it before network work;
-* :mod:`.durability` — ``durability-unsynced-ack``: WAL/disk writes
-  must be followed by an fsync in the same function (acked ⇒ fsynced
-  ⇒ recoverable).
+* :mod:`.durability` — ``durability-unsynced-ack``: every path from a
+  WAL/disk write to a return, ack, or watermark advance passes an
+  fsync (flow-sensitive typestate; acked ⇒ fsynced ⇒ recoverable);
+* :mod:`.breaker` — ``breaker-unrecorded-outcome``: an admitted
+  ``CircuitBreaker.allow()`` reaches ``record_success`` or
+  ``record_failure`` on every normal path;
+* :mod:`.staleread` — ``stale-read-across-rpc``: no branching on
+  shared state read before a network call without a re-read;
+* :mod:`.layering` — ``layering-contract``: imports follow the
+  committed layer map in :mod:`repro.analysis.architecture`.
+
+The last four run on the control-flow graphs built by
+:mod:`repro.analysis.flow` (via :mod:`repro.analysis.protocol` for
+the typestate pair) rather than on per-line syntax.
 """
 
 from repro.analysis.rules import (  # noqa: F401
+    breaker,
     deadline,
     durability,
+    layering,
     ordering,
     randomness,
     retry_backoff,
+    staleread,
     swallowed,
     wallclock,
 )

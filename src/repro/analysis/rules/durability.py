@@ -1,92 +1,115 @@
-"""``durability-unsynced-ack``: WAL/disk writes must reach an fsync.
+"""``durability-unsynced-ack``: WAL/disk writes must reach an fsync on
+every path that acks.
 
 DESIGN.md §9's contract is *acked ⇒ fsynced ⇒ recoverable*: a system
 may only acknowledge a write after the bytes that make it recoverable
 are forced to stable storage.  The repo encodes durable channels in
 names — WAL handles end in ``wal`` (``_slop_wal``, ``_commit_wal``,
-``_log_wal``) and raw device handles in ``disk`` — so an ``append`` or
-``write`` on such a receiver that is never followed by an ``fsync`` in
-the same function is a write whose caller can ack state the next crash
-will erase.
+``_log_wal``) and raw device handles in ``disk`` — and, flow-wise, in
+provenance: a local bound from ``<disk>.open(...)`` is a durable file
+handle whatever it is called.
 
-The rule flags ``<receiver>.append(...)`` / ``<receiver>.write(...)``
-where the receiver's simple name contains a ``wal`` or ``disk``
-component and no call whose name mentions ``fsync`` (or is exactly
-``sync``) appears at or after the write's line within the enclosing
-function.  Nested functions are scanned independently, so an inner
-closure cannot borrow its parent's fsync.
+The PR 3 version of this rule was a line heuristic ("an fsync at or
+after the write's line"), blind to branching: a write whose fsync sat
+on only *one* branch passed, and a loop whose fsync preceded the write
+lexically but followed it on every path failed.  This version is
+typestate checking on the CFG (:mod:`repro.analysis.protocol`): from
+every ``append``/``write`` on a durable channel, **every** path must
+hit an ``fsync`` on the same receiver before
 
-:mod:`repro.common.wal` and :mod:`repro.simnet.disk` are exempt: they
-*implement* the durability boundary (``append`` is documented as
-not-yet-durable there; the caller owns the fsync placement).
+* the function returns normally (the caller acks against the return),
+* an ``ack``-named call fires, or
+* a watermark advances (assignment to a ``*watermark``/``*scn``/
+  ``applied_through`` attribute) — the durable-progress markers crash
+  recovery trusts.
+
+Paths that leave by an uncaught exception are excused: nothing gets
+acked on them.  Nested functions are separate scopes, so an inner
+closure still cannot borrow its parent's fsync.
+
+:mod:`repro.common.wal`, :mod:`repro.common.storage`, and
+:mod:`repro.simnet.disk` are exempt: they *implement* the durability
+boundary (``append`` is documented as not-yet-durable there; the
+caller owns the fsync placement).
 """
 
 from __future__ import annotations
 
-import ast
 import re
 from typing import Iterator
 
 from repro.analysis.core import FileContext, Finding, Rule, register
+from repro.analysis.protocol import ProtocolSpec, check_protocol
 
 _DURABLE_RECEIVER = re.compile(r"(^|_)(wal|disk)(_|$)", re.IGNORECASE)
-_WRITE_METHODS = frozenset({"append", "write"})
 
+#: Named WAL/disk receivers: append/write opens the obligation.
+WAL_SPEC = ProtocolSpec(
+    name="wal",
+    receiver=_DURABLE_RECEIVER,
+    method_events=(
+        (re.compile(r"^(append|write)$"), "write"),
+        (re.compile(r"fsync|^sync$"), "sync"),
+        (re.compile(r"(^|_)ack"), "ack"),
+    ),
+    obligation="write",
+    discharge=frozenset({"sync"}),
+    forbidden_events=frozenset({"ack"}),
+    forbidden_writes=re.compile(r"watermark|(^|_)scn(_|$)|applied_through",
+                                re.IGNORECASE),
+    exit_message=(
+        "{recv} is written on a path that returns without an fsync; "
+        "the caller can ack bytes a crash will erase "
+        "(acked ⇒ fsynced ⇒ recoverable)"),
+    forbidden_event_message=(
+        "ack fires while {recv} holds unsynced bytes; fsync before "
+        "acknowledging (acked ⇒ fsynced ⇒ recoverable)"),
+    forbidden_write_message=(
+        "watermark advances while {recv} holds unsynced bytes; a crash "
+        "now replays a watermark the log cannot back"),
+)
 
-def _receiver_name(func: ast.Attribute) -> str:
-    """Simple name of the object a method is called on."""
-    value = func.value
-    if isinstance(value, ast.Attribute):
-        return value.attr
-    if isinstance(value, ast.Name):
-        return value.id
-    return ""
-
-
-def _local_calls(fn: ast.AST) -> Iterator[ast.Call]:
-    """Calls in ``fn``'s own body, not descending into nested defs."""
-    stack = list(ast.iter_child_nodes(fn))
-    while stack:
-        node = stack.pop()
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.Lambda)):
-            continue
-        if isinstance(node, ast.Call):
-            yield node
-        stack.extend(ast.iter_child_nodes(node))
+#: File handles whose provenance is ``<disk>.open(...)``: same contract,
+#: receiver recognized by dataflow instead of naming convention.
+DISK_HANDLE_SPEC = ProtocolSpec(
+    name="disk-handle",
+    receiver=re.compile(r"$^"),   # nothing matches by name alone
+    derive_open_from=_DURABLE_RECEIVER,
+    method_events=(
+        (re.compile(r"^(write|truncate|writelines)$"), "write"),
+        (re.compile(r"fsync|^sync$"), "sync"),
+        (re.compile(r"(^|_)ack"), "ack"),
+    ),
+    obligation="write",
+    discharge=frozenset({"sync"}),
+    forbidden_events=frozenset({"ack"}),
+    forbidden_writes=re.compile(r"watermark|(^|_)scn(_|$)|applied_through",
+                                re.IGNORECASE),
+    exit_message=(
+        "{recv} (opened from a disk) is written on a path that returns "
+        "without an fsync; the caller can ack bytes a crash will erase"),
+    forbidden_event_message=(
+        "ack fires while {recv} holds unsynced bytes; fsync before "
+        "acknowledging"),
+    forbidden_write_message=(
+        "watermark advances while {recv} holds unsynced bytes; a crash "
+        "now replays a watermark the log cannot back"),
+)
 
 
 @register
 class DurabilityUnsyncedAckRule(Rule):
     name = "durability-unsynced-ack"
-    summary = ("WAL/disk write with no fsync later in the same function; "
-               "callers can ack bytes a crash will erase")
+    summary = ("a WAL/disk write escapes to a return, ack, or watermark "
+               "advance without an fsync on some path")
     rationale = ("The durability contract (DESIGN.md §9) is acked ⇒ "
-                 "fsynced ⇒ recoverable; a durable-channel write that "
-                 "never reaches an fsync lets an acknowledgement cover "
-                 "page-cache state that a kill silently drops.")
-    exempt_suffixes = ("common/wal.py", "simnet/disk.py")
+                 "fsynced ⇒ recoverable; checked flow-sensitively, so a "
+                 "branch that skips the fsync is caught even when "
+                 "another branch syncs.")
+    exempt_suffixes = ("common/wal.py", "common/storage.py",
+                       "simnet/disk.py")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for fn in ast.walk(ctx.tree):
-            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            writes: list[ast.Call] = []
-            last_sync = -1
-            for call in _local_calls(fn):
-                if not isinstance(call.func, ast.Attribute):
-                    continue
-                method = call.func.attr
-                if method in _WRITE_METHODS and \
-                        _DURABLE_RECEIVER.search(_receiver_name(call.func)):
-                    writes.append(call)
-                elif "fsync" in method.lower() or method == "sync":
-                    last_sync = max(last_sync, call.lineno)
-            for call in writes:
-                if call.lineno > last_sync:
-                    yield self.finding(
-                        ctx, call,
-                        f"{_receiver_name(call.func)}.{call.func.attr} is "
-                        "never followed by an fsync in this function; "
-                        "force the bytes down before anything acks them "
-                        "(acked ⇒ fsynced ⇒ recoverable)")
+        for spec in (WAL_SPEC, DISK_HANDLE_SPEC):
+            for violation in check_protocol(ctx.tree, spec):
+                yield self.finding(ctx, violation.node, violation.message)

@@ -1,0 +1,48 @@
+"""``layering-contract``: imports must follow the committed layer map.
+
+The legal inter-package edges live in
+:mod:`repro.analysis.architecture` with their paper justifications; an
+import of a ``repro`` package outside the importing package's allowed
+set is an architectural regression.  ``if TYPE_CHECKING:`` imports are
+exempt (annotation-only, never executed).
+
+Files outside a recognized package — tests, scripts, modules sitting
+directly under ``repro/`` — are skipped: the contract governs the
+package graph, not loose files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.architecture import (
+    allowed_imports,
+    imported_packages,
+    package_of,
+)
+from repro.analysis.core import FileContext, Finding, Rule, register
+
+
+@register
+class LayeringContractRule(Rule):
+    name = "layering-contract"
+    summary = "an import crosses a package boundary the layer map forbids"
+    rationale = ("The dependency contract in repro/analysis/architecture.py "
+                 "is the reviewed statement of the architecture; systems may "
+                 "depend on shared substrate and their documented feeds, "
+                 "never on each other's internals.")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        package = package_of(ctx.rel_path)
+        if package is None:
+            return
+        legal = allowed_imports(package)
+        for imported, node in imported_packages(ctx.tree, ctx.rel_path):
+            if imported not in legal:
+                yield self.finding(
+                    ctx, node,
+                    f"package '{package}' imports 'repro.{imported}', "
+                    f"which the layering contract does not allow "
+                    f"(allowed: {', '.join(sorted(legal))}); if this "
+                    f"dependency is intentional, add it to "
+                    f"analysis/architecture.py with its justification")

@@ -1,0 +1,162 @@
+"""``stale-read-across-rpc``: don't branch on pre-RPC reads of shared
+state.
+
+The check-then-act races that plague distributed code have one local
+shape: read a value out of shared state, make a blocking network call
+(during which any peer may change that state), then *decide* based on
+the value read before the call.  The classic Espresso/Databus instance
+is a master checking its partition SCN, invoking a relay, then
+advancing based on the stale SCN.
+
+Detection is flow-based, on the CFG (:mod:`repro.analysis.flow`):
+
+1. a local is **defined from shared state** — its right-hand side
+   reads a ``self.<attr>`` (attribute load, subscript, ``.get(...)``),
+2. a **network call** (``invoke``/``send`` on a ``net``-named
+   receiver) lies on a path between that definition and
+3. a **branch test** that uses the local, with no redefinition in
+   between.
+
+Redefinition anywhere on the path kills it — re-reading after the RPC
+is exactly the fix.  Calls *returning* state (``v = self.net.invoke``)
+do not open tracking: the element both crosses the network and
+redefines, which is the re-read pattern, not the bug.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import (
+    NETWORK_CALL_ATTRS,
+    FileContext,
+    Finding,
+    Rule,
+    register,
+)
+from repro.analysis.flow import (
+    CFG,
+    calls_in,
+    definitions,
+    iter_function_cfgs,
+    receiver_name,
+    uses,
+)
+
+_NET_RECEIVER = re.compile(r"(^|_)net(work)?(_|$)", re.IGNORECASE)
+
+
+def _network_call(element: ast.AST) -> ast.Call | None:
+    """The first simulated-network call in an element, if any."""
+    for call in calls_in(element):
+        if not isinstance(call.func, ast.Attribute):
+            continue
+        if call.func.attr not in NETWORK_CALL_ATTRS:
+            continue
+        recv = receiver_name(call.func)
+        if recv and _NET_RECEIVER.search(recv):
+            return call
+    return None
+
+
+def _shared_state_defs(element: ast.AST) -> list[tuple[str, str]]:
+    """``(local, self_attr)`` pairs this element binds from shared
+    state: a simple-name assignment whose RHS loads ``self.<attr>``
+    other than as the method of a call."""
+    if not isinstance(element, (ast.Assign, ast.AnnAssign)):
+        return []
+    if _network_call(element) is not None:
+        return []       # RPC-result binds are re-reads, not stale reads
+    value = element.value
+    if value is None:
+        return []
+    call_funcs = {id(n.func) for n in ast.walk(value)
+                  if isinstance(n, ast.Call)}
+    attr = None
+    for node in ast.walk(value):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in call_funcs
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            attr = node.attr
+            break
+    if attr is None:
+        return []
+    return [(name, attr) for name in definitions(element)]
+
+
+class _StaleUse:
+    __slots__ = ("test", "var", "attr", "call_line")
+
+    def __init__(self, test: ast.AST, var: str, attr: str, call_line: int):
+        self.test = test
+        self.var = var
+        self.attr = attr
+        self.call_line = call_line
+
+
+def _find_stale_uses(cfg: CFG) -> Iterator[_StaleUse]:
+    elements = list(cfg.elements())
+    for block, index, element in elements:
+        for var, attr in _shared_state_defs(element):
+            yield from _walk(cfg, block, index + 1, var, attr)
+
+
+def _walk(cfg: CFG, block, index: int, var: str, attr: str
+          ) -> Iterator[_StaleUse]:
+    """DFS from just-after a shared-state def; ``crossed`` carries the
+    line of the first network call on the path, or 0 before one."""
+    reported: set[int] = set()
+    stack = [(block, index, 0)]
+    visited: set[tuple[int, bool]] = set()
+    while stack:
+        blk, start, crossed = stack.pop()
+        killed = False
+        for i in range(start, len(blk.elements)):
+            element = blk.elements[i]
+            if crossed and isinstance(element, ast.expr) \
+                    and var in uses(element):
+                if id(element) not in reported:
+                    reported.add(id(element))
+                    yield _StaleUse(element, var, attr, crossed)
+            if var in definitions(element):
+                killed = True
+                break
+            if not crossed:
+                call = _network_call(element)
+                if call is not None:
+                    crossed = call.lineno
+        if killed:
+            continue
+        for edge in blk.out_edges:
+            if edge.dst is cfg.exit or edge.dst is cfg.raise_exit:
+                continue
+            key = (edge.dst.bid, bool(crossed))
+            if key not in visited:
+                visited.add(key)
+                stack.append((edge.dst, 0, crossed))
+
+
+@register
+class StaleReadAcrossRpcRule(Rule):
+    name = "stale-read-across-rpc"
+    summary = ("a value read from shared state before a network call "
+               "drives a branch after it, without a re-read")
+    rationale = ("A blocking RPC is a linearization point: any peer may "
+                 "change shared state while it is in flight, so deciding "
+                 "on a pre-call read is check-then-act across the "
+                 "network; re-read after the call returns.")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cfg in iter_function_cfgs(ctx.tree):
+            for use in _find_stale_uses(cfg):
+                yield self.finding(
+                    ctx, use.test,
+                    f"'{use.var}' was read from self.{use.attr} before "
+                    f"the network call on line {use.call_line} but "
+                    f"drives this branch after it; re-read the value "
+                    f"once the call returns — a peer may have changed "
+                    f"it in flight")

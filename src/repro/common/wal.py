@@ -26,12 +26,10 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import TYPE_CHECKING, Iterator
+from typing import Iterator
 
 from repro.common.errors import ConfigurationError
-
-if TYPE_CHECKING:  # a runtime import would cycle: disk.py uses common.clock
-    from repro.simnet.disk import Disk
+from repro.common.storage import Disk, LocalDisk
 
 _FRAME = struct.Struct("<II")   # crc32(payload), payload length
 FRAME_OVERHEAD = _FRAME.size
@@ -72,7 +70,6 @@ class WriteAheadLog:
             raise ConfigurationError("WAL needs a path")
         self.path = path
         if disk is None:
-            from repro.simnet.disk import LocalDisk
             disk = LocalDisk()
         self.disk = disk
         parent = path.rsplit("/", 1)[0] if "/" in path else ""

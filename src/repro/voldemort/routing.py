@@ -217,15 +217,18 @@ class RoutedStore:
         """One replica read.  Returns None on node failure (or when the
         node's breaker rejects the call), (latency, None) when the node
         answered 'no such key'."""
+        # deadline first: an expired hop must not consume an admitted
+        # breaker slot (a half-open probe that exits here would leave
+        # the breaker open forever, with no outcome ever recorded)
+        timeout = self._hop_timeout(deadline)
+        if timeout is not None and timeout <= 0:
+            return None
         breaker = self.breaker_for(node_id)
         # breaker gating is active only with a retry policy: the retry
         # loop's backoff sleeps are what advance the clock toward the
         # breaker's half-open probe, so without one an open breaker
         # could never recover
         if self.retry_policy is not None and not breaker.allow():
-            return None
-        timeout = self._hop_timeout(deadline)
-        if timeout is not None and timeout <= 0:
             return None
         server = self.cluster.server_for(node_id)
         try:
@@ -412,13 +415,15 @@ class RoutedStore:
         optimistic-locking conflict) for the retry loop to act on."""
         out: dict = {"failed": []}
         for node_id in pending:
+            # deadline before breaker: an expired hop must not consume
+            # an admitted slot without ever recording an outcome
+            timeout = self._hop_timeout(deadline)
+            if timeout is not None and timeout <= 0:
+                out["failed"].append(node_id)
+                continue
             breaker = self.breaker_for(node_id)
             if not self.detector.is_available(node_id) or (
                     self.retry_policy is not None and not breaker.allow()):
-                out["failed"].append(node_id)
-                continue
-            timeout = self._hop_timeout(deadline)
-            if timeout is not None and timeout <= 0:
                 out["failed"].append(node_id)
                 continue
             server = self.cluster.server_for(node_id)

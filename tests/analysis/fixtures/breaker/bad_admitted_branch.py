@@ -1,0 +1,9 @@
+# rule: breaker-unrecorded-outcome
+# Positive gate: the True branch is the admitted one, and it falls off
+# the end of the function without recording what happened.
+
+
+def probe(self):
+    if self.breaker.allow():  # BAD
+        self.do_probe()
+    return None

@@ -1,0 +1,17 @@
+# rule: breaker-unrecorded-outcome
+# The shape of the real bug fixed in voldemort/routing.py: the breaker
+# admits the call, then a deadline check exits early.  The admitted
+# slot (a half-open probe!) is consumed with no outcome ever recorded,
+# so the breaker can stay open forever.
+
+
+def call_node(self, node_id, deadline):
+    breaker = self.breaker_for(node_id)
+    if not breaker.allow():  # BAD
+        return None
+    timeout = self.hop_timeout(deadline)
+    if timeout is not None and timeout <= 0:
+        return None
+    result = self.do_call(node_id, timeout)
+    breaker.record_success()
+    return result

@@ -1,0 +1,17 @@
+# rule: breaker-unrecorded-outcome
+# The canonical shape: the rejected return carries no obligation (the
+# breaker admitted nothing), and the admitted path records on both the
+# success and the failure arm.
+
+
+def call_node(self, node_id):
+    breaker = self.breaker_for(node_id)
+    if not breaker.allow():
+        return None
+    try:
+        result = self.do_call(node_id)
+    except OSError:
+        breaker.record_failure()
+        raise
+    breaker.record_success()
+    return result

@@ -1,0 +1,10 @@
+# rule: breaker-unrecorded-outcome
+# reset() is an explicit state transition, so it discharges the
+# obligation the same way record_success/record_failure do.
+
+
+def probe(self):
+    if self.breaker.allow():
+        self.do_probe()
+        self.breaker.reset()
+    return None

@@ -1,0 +1,9 @@
+# rule: durability-unsynced-ack
+# The fsync does arrive on every path — but the ack fires first, so a
+# crash in the window between them loses an acknowledged write.
+
+
+def commit(self, record):
+    self.wal.append(frame(record))
+    self.send_ack(record)  # BAD
+    self.wal.fsync()

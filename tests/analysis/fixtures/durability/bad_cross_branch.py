@@ -1,0 +1,11 @@
+# rule: durability-unsynced-ack
+# The fsync sits lexically *after* the append, so the PR 3 line-based
+# heuristic accepted this function — but it only runs on the urgent
+# branch.  The plain branch returns (acks) bytes still in page cache.
+
+
+def commit(self, record, urgent):
+    self.wal.append(frame(record))  # BAD
+    if urgent:
+        self.wal.fsync()
+    return True

@@ -1,0 +1,11 @@
+# rule: durability-unsynced-ack
+# The handle is a local with an innocent name, but dataflow knows it
+# came from disk.open(): closing without fsync leaves the checkpoint
+# in the page cache while the caller is told it is durable.
+
+
+def checkpoint(self, state):
+    handle = self.disk.open("ckpt.tmp", "wb")
+    handle.write(serialize(state))  # BAD
+    handle.close()
+    return True

@@ -1,0 +1,15 @@
+# rule: durability-unsynced-ack
+# An exception between append and fsync is fine if it propagates — but
+# this handler converts it into a *normal return*, which the caller
+# reads as an (n)ack while the log tail is still unsynced and may be
+# resurrected as garbage by a later append.
+
+
+def ingest(self, record):
+    try:
+        self.wal.append(frame(record))  # BAD
+        self.index.update(record)
+    except KeyError:
+        return False
+    self.wal.fsync()
+    return True

@@ -1,0 +1,10 @@
+# rule: durability-unsynced-ack
+# Advancing a recovery watermark is an ack in disguise: after a crash,
+# recovery trusts the watermark, but the log frames backing it were
+# never forced to disk.
+
+
+def apply_window(self, window):
+    self.commit_wal.append(encode(window))
+    self.partition_watermark[window.partition] = window.scn  # BAD
+    self.commit_wal.fsync()

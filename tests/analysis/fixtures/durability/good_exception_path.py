@@ -1,0 +1,11 @@
+# rule: durability-unsynced-ack
+# The validation branch leaves with staged-but-unsynced bytes — by
+# raising.  No ack happens on an exceptional exit, so the obligation
+# is excused there; the normal path fsyncs.
+
+
+def stage(self, record):
+    self.wal.append(frame(record))
+    if not self.validate(record):
+        raise ValueError(record)
+    self.wal.fsync()

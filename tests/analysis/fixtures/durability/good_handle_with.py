@@ -1,0 +1,10 @@
+# rule: durability-unsynced-ack
+# The good twin of bad_handle_escape: write, fsync, then publish via
+# atomic rename.  The with-bound handle is tracked the same way.
+
+
+def checkpoint(self, state):
+    with self.disk.open("ckpt.tmp", "wb") as handle:
+        handle.write(serialize(state))
+        handle.fsync()
+    self.disk.replace("ckpt.tmp", "ckpt")

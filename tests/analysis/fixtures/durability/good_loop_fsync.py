@@ -1,0 +1,14 @@
+# rule: durability-unsynced-ack
+# The fsync is lexically *before* the append, which tripped the PR 3
+# heuristic as a false positive — but on the CFG every path from the
+# append loops back through the fsync before the ack, and a while-True
+# loop has no normal exit for the obligation to escape through.
+
+
+def run_forever(self):
+    while True:
+        batch = self.take_batch()
+        self.wal.fsync()
+        self.acknowledge(batch)
+        for record in batch:
+            self.wal.append(record)

@@ -1,0 +1,7 @@
+# rule: layering-contract
+# path: src/repro/kafka/bridge.py
+# One system reaching into another system's internals: Kafka has no
+# contract edge to Voldemort (absolute or relative spelling).
+from repro.common.errors import NodeUnavailableError
+from repro.voldemort.server import VoldemortServer  # BAD
+from ..voldemort.cluster import VoldemortCluster  # BAD

@@ -1,0 +1,5 @@
+# rule: layering-contract
+# path: src/repro/simnet/hooks.py
+# The simulation substrate importing a system built on top of it is a
+# layering inversion: simnet must be hostable by every system.
+import repro.kafka.broker  # BAD

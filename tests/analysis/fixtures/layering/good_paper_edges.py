@@ -1,0 +1,8 @@
+# rule: layering-contract
+# path: src/repro/espresso/replication.py
+# Every edge here is in the committed contract: Espresso replicates
+# through Databus, is coordinated by Helix, and sits on common.
+from repro.common.errors import NodeUnavailableError
+from repro.databus.relay import DatabusRelay
+from repro.helix.controller import HelixController
+from repro.espresso.router import EspressoRouter

@@ -1,0 +1,9 @@
+# rule: layering-contract
+# path: src/repro/kafka/types.py
+# TYPE_CHECKING imports are annotation-only and never execute; they
+# are the sanctioned way to type against a package outside the
+# contract.
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.voldemort.server import VoldemortServer

@@ -1,0 +1,9 @@
+# rule: stale-read-across-rpc
+# Binding the RPC *result* and branching on it is the re-read pattern,
+# not the bug: the value is as fresh as it can be.
+
+
+def check(self):
+    status = self.net.invoke(self.peer_status)
+    if status:
+        self.mark_alive()

@@ -74,3 +74,14 @@ def test_fixing_a_violation_shrinks_the_allowance(tmp_path):
     remaining = _findings("import time\ntime.sleep(0.1)\n")
     new, old = baseline.split(remaining)
     assert new == [] and len(old) == 1
+
+
+def test_regressed_count_fails_the_gate():
+    # two identical violations baselined; a third copy of the same
+    # line is NEW even though its fingerprint is grandfathered
+    baseline = Baseline.from_findings(_findings(SOURCE))
+    regressed = _findings(SOURCE + "time.sleep(0.1)\n")
+    new, old = baseline.split(regressed)
+    assert len(old) == 2
+    assert len(new) == 1
+    assert new[0].rule == "wall-clock"

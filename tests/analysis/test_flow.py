@@ -1,0 +1,201 @@
+"""CFG construction and dataflow: shapes, edge labels, def-use."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow import (
+    build_cfg,
+    calls_in,
+    definitions,
+    iter_function_cfgs,
+    receiver_name,
+    uses,
+)
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return build_cfg(fn)
+
+
+def edge_kinds(block):
+    return sorted(edge.kind for edge in block.out_edges)
+
+
+def test_straight_line_is_one_block_to_exit():
+    cfg = cfg_of("""
+        def f(x):
+            y = x + 1
+            return y
+    """)
+    assert len(cfg.entry.elements) == 2
+    kinds = {e.kind: e.dst for e in cfg.entry.out_edges}
+    assert kinds["normal"] is cfg.exit
+    assert kinds["exc"] is cfg.raise_exit
+
+
+def test_if_produces_true_and_false_edges_with_test():
+    cfg = cfg_of("""
+        def f(x):
+            if x > 0:
+                a = 1
+            return x
+    """)
+    head = cfg.entry
+    assert isinstance(head.elements[-1], ast.expr)   # the test element
+    labelled = {e.kind: e for e in head.out_edges if e.kind in ("true", "false")}
+    assert set(labelled) == {"true", "false"}
+    assert labelled["true"].test is labelled["false"].test
+
+
+def test_while_true_has_no_false_edge():
+    cfg = cfg_of("""
+        def f(self):
+            while True:
+                self.step()
+    """)
+    heads = [b for b in cfg.blocks
+             if b.elements and isinstance(b.elements[0], ast.Constant)]
+    assert len(heads) == 1
+    assert "false" not in edge_kinds(heads[0])
+    # the only way to the normal exit is through the unreachable
+    # after-loop block: no path from the entry gets there
+    reachable = set()
+    stack = [cfg.entry]
+    while stack:
+        block = stack.pop()
+        if block.bid in reachable:
+            continue
+        reachable.add(block.bid)
+        stack.extend(block.successors())
+    assert cfg.exit.bid not in reachable
+
+
+def test_while_condition_keeps_false_edge():
+    cfg = cfg_of("""
+        def f(self):
+            while self.running:
+                self.step()
+    """)
+    heads = [b for b in cfg.blocks
+             if b.elements and isinstance(b.elements[0], ast.Attribute)]
+    assert len(heads) == 1
+    assert "false" in edge_kinds(heads[0])
+
+
+def test_raise_goes_to_raise_exit_not_exit():
+    cfg = cfg_of("""
+        def f(x):
+            raise ValueError(x)
+    """)
+    assert all(e.dst is not cfg.exit for e in cfg.entry.out_edges)
+    assert any(e.kind == "exc" and e.dst is cfg.raise_exit
+               for e in cfg.entry.out_edges)
+
+
+def test_try_body_has_exception_edge_into_handler():
+    cfg = cfg_of("""
+        def f(self):
+            try:
+                self.work()
+            except KeyError:
+                self.recover()
+            return True
+    """)
+    body_blocks = [b for b in cfg.blocks
+                   if any(isinstance(el, ast.Expr) and "work" in ast.dump(el)
+                          for el in b.elements)]
+    assert body_blocks
+    handler_entries = [b for b in cfg.blocks
+                       if any(isinstance(el, ast.ExceptHandler)
+                              for el in b.elements)]
+    assert len(handler_entries) == 1
+    [body], [handler] = body_blocks, handler_entries
+    assert any(e.kind == "exc" and e.dst is handler for e in body.out_edges)
+    # the unmatched-exception path out of the try is also kept
+    assert any(e.kind == "exc" and e.dst is cfg.raise_exit
+               for e in body.out_edges)
+
+
+def test_break_and_continue_edges():
+    cfg = cfg_of("""
+        def f(items):
+            for item in items:
+                if item is None:
+                    break
+                if item < 0:
+                    continue
+                use(item)
+            return True
+    """)
+    breaks = [b for b in cfg.blocks
+              if any(isinstance(el, ast.Break) for el in b.elements)]
+    continues = [b for b in cfg.blocks
+                 if any(isinstance(el, ast.Continue) for el in b.elements)]
+    heads = [b for b in cfg.blocks
+             if any(isinstance(el, ast.For) for el in b.elements)]
+    assert breaks and continues and heads
+    # continue jumps to the loop head; break jumps past it
+    assert any(e.dst is heads[0] for e in continues[0].out_edges)
+    assert all(e.dst is not heads[0] or e.kind == "exc"
+               for e in breaks[0].out_edges)
+
+
+def test_nested_functions_get_their_own_cfgs():
+    tree = ast.parse(textwrap.dedent("""
+        def outer():
+            def inner():
+                return 1
+            return inner
+    """))
+    names = [cfg.fn.name for cfg in iter_function_cfgs(tree)]
+    assert sorted(names) == ["inner", "outer"]
+
+
+def test_reaching_definitions_sees_both_branch_defs():
+    cfg = cfg_of("""
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    reaching = cfg.reaching_definitions()
+    return_points = [(block.bid, i)
+                     for block, i, el in cfg.elements()
+                     if isinstance(el, ast.Return)]
+    [point] = return_points
+    assert len(reaching[point]["x"]) == 2          # both defs may reach
+    assert reaching[point]["flag"] == {(-1, -1)}   # argument pseudo-def
+
+
+def test_redefinition_kills_previous_def():
+    cfg = cfg_of("""
+        def f():
+            x = 1
+            x = 2
+            return x
+    """)
+    reaching = cfg.reaching_definitions()
+    [point] = [(b.bid, i) for b, i, el in cfg.elements()
+               if isinstance(el, ast.Return)]
+    assert len(reaching[point]["x"]) == 1
+
+
+def test_definitions_and_uses_helpers():
+    stmt = ast.parse("a, b = self.pair(c)").body[0]
+    assert sorted(definitions(stmt)) == ["a", "b"]
+    assert "c" in uses(stmt) and "a" not in uses(stmt)
+
+    with_stmt = ast.parse("with disk.open(p) as f:\n    f.write(x)\n").body[0]
+    assert definitions(with_stmt) == ["f"]
+    # only the header is the With element's reads; the body is elsewhere
+    assert uses(with_stmt) == {"disk", "p"}
+    [call] = list(calls_in(with_stmt))
+    assert receiver_name(call.func) == "disk"
+
+    walrus = ast.parse("if (n := count()) > 0:\n    pass\n").body[0].test
+    assert definitions(walrus) == ["n"]

@@ -1,0 +1,95 @@
+"""breaker-unrecorded-outcome: gated admission, discharge, exemptions."""
+
+from tests.analysis.conftest import lint
+
+RULE = "breaker-unrecorded-outcome"
+
+
+def test_admitted_then_early_return_flagged():
+    findings = lint("""
+        def call(self, node_id):
+            breaker = self.breaker_for(node_id)
+            if not breaker.allow():
+                return None
+            if self.deadline_expired():
+                return None
+            result = self.do_call(node_id)
+            breaker.record_success()
+            return result
+    """, RULE)
+    assert [f.rule for f in findings] == [RULE]
+    assert findings[0].line == 4   # anchored at the allow() call
+
+
+def test_rejected_path_carries_no_obligation():
+    findings = lint("""
+        def call(self, node_id):
+            if not self.breaker.allow():
+                return None
+            self.breaker.record_success()
+            return True
+    """, RULE)
+    assert findings == []
+
+
+def test_success_and_failure_arms_are_clean():
+    findings = lint("""
+        def call(self):
+            if not self.breaker.allow():
+                return None
+            try:
+                result = self.invoke_remote()
+            except ConnectionError:
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
+            return result
+    """, RULE)
+    assert findings == []
+
+
+def test_failure_arm_swallowing_without_record_flagged():
+    findings = lint("""
+        def call(self):
+            if not self.breaker.allow():
+                return None
+            try:
+                result = self.invoke_remote()
+            except ConnectionError:
+                return None
+            self.breaker.record_success()
+            return result
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_breakers_are_matched_per_instance():
+    # recording on a different breaker does not discharge
+    findings = lint("""
+        def call(self):
+            if not self.read_breaker.allow():
+                return None
+            self.write_breaker.record_success()
+            return True
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_resilience_module_is_exempt():
+    findings = lint("""
+        def allow(self):
+            if not self.breaker.allow():
+                return False
+            return True
+    """, RULE, rel_path="src/repro/common/resilience.py")
+    assert findings == []
+
+
+def test_pragma_suppresses():
+    findings = lint("""
+        def probe(self):
+            if self.breaker.allow():  # repro-lint: disable=breaker-unrecorded-outcome
+                self.do_probe()
+            return None
+    """, RULE)
+    assert findings == []

@@ -90,3 +90,117 @@ def test_pragma_suppresses():
             self._log_wal.append(b"frame")  # repro-lint: disable=durability-unsynced-ack
     """, RULE)
     assert findings == []
+
+
+# -- flow sensitivity: what the PR 3 line heuristic got wrong -----------------
+
+
+def test_cross_branch_fsync_is_caught():
+    # the fsync is lexically after the append, which satisfied the old
+    # "an fsync at or after this line" heuristic — but it only runs on
+    # the urgent branch; the other branch returns unsynced
+    findings = lint("""
+        def commit(self, record, urgent):
+            self.wal.append(record)
+            if urgent:
+                self.wal.fsync()
+            return True
+    """, RULE)
+    assert len(findings) == 1
+    assert findings[0].line == 3
+
+
+def test_fsync_on_every_branch_is_clean():
+    findings = lint("""
+        def commit(self, record, urgent):
+            self.wal.append(record)
+            if urgent:
+                self.wal.fsync()
+            else:
+                self.wal.fsync()
+            return True
+    """, RULE)
+    assert findings == []
+
+
+def test_loop_carried_fsync_is_not_a_false_positive():
+    # the fsync is lexically *before* the append (a loop header), which
+    # tripped the old heuristic; on the CFG every path from the append
+    # passes the fsync before the while-True loop's (nonexistent) exit
+    findings = lint("""
+        def run_forever(self):
+            while True:
+                batch = self.take()
+                self.wal.fsync()
+                self.ack(batch)
+                for record in batch:
+                    self.wal.append(record)
+    """, RULE)
+    assert findings == []
+
+
+def test_exceptional_exit_is_excused():
+    findings = lint("""
+        def stage(self, record):
+            self.wal.append(record)
+            if not self.valid(record):
+                raise ValueError(record)
+            self.wal.fsync()
+    """, RULE)
+    assert findings == []
+
+
+def test_handler_converting_raise_to_return_is_flagged():
+    findings = lint("""
+        def ingest(self, record):
+            try:
+                self.wal.append(record)
+                self.index.update(record)
+            except KeyError:
+                return False
+            self.wal.fsync()
+            return True
+    """, RULE)
+    assert len(findings) == 1
+
+
+def test_ack_before_fsync_is_flagged_at_the_ack():
+    findings = lint("""
+        def commit(self, record):
+            self.wal.append(record)
+            self.send_ack(record)
+            self.wal.fsync()
+    """, RULE)
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_watermark_advance_while_dirty_is_flagged():
+    findings = lint("""
+        def apply(self, window):
+            self.commit_wal.append(window.data)
+            self.partition_watermark[window.partition] = window.scn
+            self.commit_wal.fsync()
+    """, RULE)
+    assert len(findings) == 1
+    assert findings[0].line == 4
+
+
+def test_disk_opened_handle_is_tracked_by_dataflow():
+    findings = lint("""
+        def checkpoint(self, state):
+            handle = self.disk.open("tmp", "wb")
+            handle.write(state)
+            handle.close()
+            return True
+    """, RULE)
+    assert len(findings) == 1
+
+    clean = lint("""
+        def checkpoint(self, state):
+            with self.disk.open("tmp", "wb") as handle:
+                handle.write(state)
+                handle.fsync()
+            self.disk.replace("tmp", "real")
+    """, RULE)
+    assert clean == []

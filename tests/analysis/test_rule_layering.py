@@ -1,0 +1,100 @@
+"""layering-contract: the committed layer map governs imports."""
+
+from tests.analysis.conftest import lint
+from repro.analysis.architecture import (
+    LAYER_CONTRACT,
+    allowed_imports,
+    build_import_graph,
+    contract_violations,
+    package_of,
+)
+
+RULE = "layering-contract"
+
+
+def test_cross_system_import_flagged():
+    findings = lint(
+        "from repro.voldemort.server import VoldemortServer\n",
+        RULE, rel_path="src/repro/kafka/bridge.py")
+    assert [f.rule for f in findings] == [RULE]
+    assert "kafka" in findings[0].message
+    assert "repro.voldemort" in findings[0].message
+
+
+def test_relative_import_resolves_to_package():
+    findings = lint(
+        "from ..voldemort.server import VoldemortServer\n",
+        RULE, rel_path="src/repro/kafka/bridge.py")
+    assert len(findings) == 1
+
+
+def test_plain_import_statement_flagged():
+    findings = lint(
+        "import repro.kafka.broker\n",
+        RULE, rel_path="src/repro/simnet/hooks.py")
+    assert len(findings) == 1
+
+
+def test_paper_edges_are_legal():
+    findings = lint(
+        "from repro.databus.relay import DatabusRelay\n"
+        "from repro.helix.controller import HelixController\n"
+        "from repro.common.errors import NodeUnavailableError\n",
+        RULE, rel_path="src/repro/espresso/replication.py")
+    assert findings == []
+
+
+def test_own_package_and_common_always_legal():
+    findings = lint(
+        "from repro.kafka.log import PartitionLog\n"
+        "from repro.common.clock import Clock\n"
+        "from .broker import Broker\n",
+        RULE, rel_path="src/repro/kafka/consumer.py")
+    assert findings == []
+
+
+def test_type_checking_imports_exempt():
+    findings = lint("""
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            from repro.voldemort.server import VoldemortServer
+    """, RULE, rel_path="src/repro/kafka/types.py")
+    assert findings == []
+
+
+def test_files_outside_a_package_are_skipped():
+    findings = lint(
+        "from repro.voldemort.server import VoldemortServer\n",
+        RULE, rel_path="tests/conftest.py")
+    assert findings == []
+
+
+def test_package_of_path_shapes():
+    assert package_of("src/repro/kafka/log.py") == "kafka"
+    assert package_of("repro/kafka/log.py") == "kafka"
+    assert package_of("src/repro/__init__.py") is None
+    assert package_of("scripts/run.py") is None
+
+
+def test_contract_is_closed_over_known_packages():
+    # every package named in a contract row is itself a contract key
+    for package, allowed in LAYER_CONTRACT.items():
+        for target in allowed:
+            assert target in LAYER_CONTRACT, (package, target)
+    assert "common" in allowed_imports("kafka")
+    assert "kafka" in allowed_imports("kafka")
+    assert "voldemort" not in allowed_imports("kafka")
+
+
+def test_import_graph_and_violation_helper():
+    import ast
+    sources = [
+        ("src/repro/kafka/a.py",
+         ast.parse("from repro.voldemort.server import S\n")),
+        ("src/repro/espresso/b.py",
+         ast.parse("from repro.databus.relay import R\n")),
+    ]
+    graph = build_import_graph(sources)
+    assert graph["kafka"]["voldemort"] == 1
+    assert contract_violations(graph) == [("kafka", "voldemort", 1)]

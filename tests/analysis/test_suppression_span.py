@@ -1,0 +1,89 @@
+"""Pragma suppression over multi-line statements.
+
+A finding anchors on its node's *first* line, but a trailing pragma
+comment naturally lands on whatever line the statement ends on — so
+suppression checks the whole node span, not just the anchor line.
+"""
+
+from tests.analysis.conftest import lint
+
+
+def test_pragma_on_last_line_of_multiline_call_suppresses():
+    findings = lint("""
+        import time
+
+        def slow(self):
+            time.sleep(
+                self.interval,
+            )  # repro-lint: disable=wall-clock
+    """)
+    assert [f for f in findings if f.rule == "wall-clock"] == []
+
+
+def test_pragma_on_anchor_line_still_works():
+    findings = lint("""
+        import time
+
+        def slow(self):
+            time.sleep(  # repro-lint: disable=wall-clock
+                self.interval,
+            )
+    """)
+    assert [f for f in findings if f.rule == "wall-clock"] == []
+
+
+def test_pragma_on_middle_line_of_span_suppresses():
+    findings = lint("""
+        import time
+
+        def slow(self):
+            time.sleep(
+                self.interval,  # repro-lint: disable=wall-clock
+            )
+    """)
+    assert [f for f in findings if f.rule == "wall-clock"] == []
+
+
+def test_pragma_outside_the_span_does_not_suppress():
+    findings = lint("""
+        import time
+
+        def slow(self):
+            # repro-lint: disable=wall-clock
+            time.sleep(self.interval)
+    """)
+    assert [f.rule for f in findings if f.rule == "wall-clock"] == ["wall-clock"]
+
+
+def test_pragma_for_a_different_rule_does_not_suppress():
+    findings = lint("""
+        import time
+
+        def slow(self):
+            time.sleep(
+                self.interval,
+            )  # repro-lint: disable=unseeded-random
+    """)
+    assert [f.rule for f in findings if f.rule == "wall-clock"] == ["wall-clock"]
+
+
+def test_multiline_import_pragma_suppresses_layering():
+    findings = lint("""
+        from repro.voldemort.server import (
+            VoldemortServer,
+        )  # repro-lint: disable=layering-contract
+    """, rel_path="src/repro/kafka/bridge.py")
+    assert [f for f in findings if f.rule == "layering-contract"] == []
+
+
+def test_finding_records_its_span():
+    findings = lint("""
+        import time
+
+        def slow(self):
+            time.sleep(
+                self.interval,
+            )
+    """)
+    [finding] = [f for f in findings if f.rule == "wall-clock"]
+    assert finding.end_line >= finding.line + 2
