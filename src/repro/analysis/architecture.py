@@ -58,6 +58,14 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     # Databus captures changes from the source-of-truth SQL store and
     # serves them over the simulated network (paper §Databus).
     "databus": frozenset({"simnet", "sqlstore"}),
+    # The live-migration subsystem moves source-of-truth data from the
+    # legacy SQL store onto Espresso while both keep serving — the
+    # paper's own deployment arc ("our long term strategy is to move
+    # LinkedIn's core data ... to Espresso", §IV) — consuming the
+    # change stream through Databus.  It sits *above* all three and may
+    # import no substrate directly: durability comes from common's WAL,
+    # fault injection reaches it via duck-typed callbacks.
+    "migration": frozenset({"sqlstore", "databus", "espresso"}),
     # -- applications -----------------------------------------------------
     # The search service indexes Espresso content via Databus events
     # and joins against the social graph (paper §applications).

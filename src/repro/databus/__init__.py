@@ -22,6 +22,7 @@ from repro.databus.events import (
     partition_filter,
     row_schema_for,
     source_filter,
+    watermark_label,
 )
 from repro.databus.relay import EventBuffer, Relay, capture_from_binlog
 from repro.databus.bootstrap import BootstrapServer
@@ -33,6 +34,7 @@ __all__ = [
     "partition_filter",
     "row_schema_for",
     "source_filter",
+    "watermark_label",
     "EventBuffer",
     "Relay",
     "capture_from_binlog",

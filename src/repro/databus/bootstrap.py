@@ -43,7 +43,9 @@ from repro.sqlstore.binlog import ChangeKind
 _EVENT_META = struct.Struct("<QIBBd")  # scn, schema ver, kind, eow, timestamp
 _U32 = struct.Struct("<I")
 _WATERMARK = struct.Struct("<Q")
-_KIND_LIST = (ChangeKind.INSERT, ChangeKind.UPDATE, ChangeKind.DELETE)
+# order is the wire format: only append, never reorder
+_KIND_LIST = (ChangeKind.INSERT, ChangeKind.UPDATE, ChangeKind.DELETE,
+              ChangeKind.WATERMARK)
 _KIND_CODES = {kind: code for code, kind in enumerate(_KIND_LIST)}
 
 
@@ -173,7 +175,12 @@ class BootstrapServer:
         """Fold new log rows into snapshot storage; returns rows applied.
 
         Only complete windows are applied so the snapshot never holds a
-        half-transaction.
+        half-transaction.  Watermark/control events fold like rows but
+        each under its own key — the watermark's (label, SCN) pair is
+        globally unique — so compaction never merges two watermarks and
+        both delta and replay queries pass them through unchanged: a
+        lagging migration consumer served by the bootstrap still sees
+        every chunk bracket.
         """
         last_closed = None
         for i in range(len(self._log) - 1, self._log_index - 1, -1):

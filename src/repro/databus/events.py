@@ -46,7 +46,7 @@ class DatabusEvent:
     source: str                  # table / data-source name
     kind: ChangeKind
     key: tuple
-    payload: bytes               # Avro-encoded row image
+    payload: bytes               # Avro-encoded row image (control: label)
     schema_version: int = 1
     end_of_window: bool = False  # last event of its transaction
     timestamp: float = 0.0
@@ -56,32 +56,52 @@ class DatabusEvent:
         """Approximate wire size, used for buffer capacity accounting."""
         return len(self.payload) + 64
 
+    @property
+    def is_control(self) -> bool:
+        """True for watermark/control events.  Control events carry no
+        row image — their payload is the raw watermark label — and every
+        server-side filter passes them through unchanged, because a
+        consumer that misses a watermark cannot bracket a migration
+        chunk against the live stream."""
+        return self.kind is ChangeKind.WATERMARK
+
     def key_hash(self) -> int:
         material = repr((self.source, self.key)).encode()
         return int.from_bytes(hashlib.md5(material).digest()[:8], "big")
+
+
+def watermark_label(event: DatabusEvent) -> str:
+    """The label carried by a watermark/control event."""
+    if not event.is_control:
+        raise ValueError(f"not a control event: {event!r}")
+    return event.payload.decode("utf-8")
 
 
 EventFilter = Callable[[DatabusEvent], bool]
 
 
 def source_filter(*sources: str) -> EventFilter:
-    """Server-side filter: only events from the named sources."""
+    """Server-side filter: only events from the named sources.
+    Control events always pass — they address the stream, not a source."""
     wanted = set(sources)
 
     def check(event: DatabusEvent) -> bool:
-        return event.source in wanted
+        return event.is_control or event.source in wanted
 
     return check
 
 
 def partition_filter(num_partitions: int, partition: int) -> EventFilter:
     """Server-side filter for partitioned consumer groups (§III.B):
-    each consumer instance takes the keys hashing to its bucket."""
+    each consumer instance takes the keys hashing to its bucket.
+    Control events pass to every partition — a watermark brackets the
+    whole stream, not one key's bucket."""
     if not 0 <= partition < num_partitions:
         raise ValueError(f"partition {partition} out of range")
 
     def check(event: DatabusEvent) -> bool:
-        return event.key_hash() % num_partitions == partition
+        return event.is_control or \
+            event.key_hash() % num_partitions == partition
 
     return check
 
@@ -103,7 +123,12 @@ def events_from_transaction(txn: BinlogTransaction,
     events = []
     last = len(txn.changes) - 1
     for i, change in enumerate(txn.changes):
-        payload, version = encode(change.table, change.row)
+        if change.kind is ChangeKind.WATERMARK:
+            # control events skip Avro entirely: the payload is the raw
+            # label, version 0, and no schema needs registering
+            payload, version = str(change.row["label"]).encode("utf-8"), 0
+        else:
+            payload, version = encode(change.table, change.row)
         events.append(DatabusEvent(
             scn=txn.scn,
             source=change.table,

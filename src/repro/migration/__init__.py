@@ -1,0 +1,66 @@
+"""Live migration: sqlstore → Espresso with no downtime (paper §IV).
+
+The paper's deployment story — member profiles and InMail moving off
+legacy RDBMS onto Espresso — implies a migration that runs while the
+site keeps serving.  This subsystem is that playbook, executable:
+
+* :mod:`repro.migration.backfill` — DBLog-style chunked snapshot
+  reader: keyed chunks bracketed by low/high watermark events through
+  the binlog/Databus stream, superseded rows discarded, no source lock;
+* :mod:`repro.migration.dualwrite` — the dual-write proxy and
+  shadow-read comparator with per-table mismatch accounting;
+* :mod:`repro.migration.cutover` — the ramped-cutover state machine
+  (BACKFILL → CATCHUP → SHADOW → RAMP(n%) → CUTOVER, automatic
+  ROLLBACK on SLO breach) and its coordinator;
+* :mod:`repro.migration.checkpoint` — the fsynced checkpoint journal
+  that lets a crashed coordinator resume without re-reading chunks;
+* :mod:`repro.migration.target` — the Espresso-side adapter: schema
+  derivation, row↔document transforms, partition-master routing;
+* :mod:`repro.migration.stack` — one-call wiring of all of the above.
+"""
+
+from repro.migration.backfill import (
+    ChunkedBackfill,
+    ChunkResult,
+    LiveReplicator,
+)
+from repro.migration.checkpoint import (
+    MigrationCheckpoint,
+    MigrationJournal,
+)
+from repro.migration.cutover import (
+    MigrationCoordinator,
+    MigrationPhase,
+    MigrationSlo,
+)
+from repro.migration.dualwrite import (
+    DualWriteProxy,
+    ShadowReadStats,
+    ramp_bucket,
+)
+from repro.migration.stack import MigrationStack
+from repro.migration.target import (
+    EspressoTarget,
+    RowTransform,
+    document_schema_for,
+    espresso_schema_for,
+)
+
+__all__ = [
+    "ChunkedBackfill",
+    "ChunkResult",
+    "LiveReplicator",
+    "MigrationCheckpoint",
+    "MigrationJournal",
+    "MigrationCoordinator",
+    "MigrationPhase",
+    "MigrationSlo",
+    "DualWriteProxy",
+    "ShadowReadStats",
+    "ramp_bucket",
+    "MigrationStack",
+    "EspressoTarget",
+    "RowTransform",
+    "document_schema_for",
+    "espresso_schema_for",
+]

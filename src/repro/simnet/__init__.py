@@ -3,6 +3,7 @@
 from repro.simnet.disk import Disk, DiskFile, DiskScope, LocalDisk, SimDisk
 from repro.simnet.faultplan import (
     AckLedger,
+    ChunkLedger,
     FaultAction,
     FaultPlan,
     ScnAuditor,
@@ -19,6 +20,7 @@ from repro.simnet.network import (
 
 __all__ = [
     "AckLedger",
+    "ChunkLedger",
     "Disk",
     "DiskFile",
     "DiskScope",

@@ -238,6 +238,45 @@ class ScnAuditor:
             self._last[key] = max(self._last.get(key, 0), scn)
 
 
+class ChunkLedger:
+    """Checks that a crash-resumed backfill never re-reads a completed
+    chunk (the migration checkpoint contract).
+
+    Wire the two methods into ``ChunkedBackfill(on_chunk_read=...,
+    on_chunk_complete=...)`` — the backfill takes plain callables, so
+    migration code never imports this module.  A chunk is identified by
+    its start position ``(table, after_key)``: re-reading the position
+    that was *in flight* at a crash is legal (it never completed, and
+    its upserts are idempotent), but re-reading a position whose chunk
+    completed means the coordinator resumed from a stale checkpoint and
+    is repeating durable work.
+    """
+
+    def __init__(self):
+        self._completed: set[tuple[str, str]] = set()
+        self.reads = 0
+        self.completions = 0
+        self.violations: list[str] = []
+
+    def _position(self, table: str, after_key: object) -> tuple[str, str]:
+        return (table, repr(after_key))
+
+    def on_read(self, table: str, after_key: object) -> None:
+        self.reads += 1
+        if self._position(table, after_key) in self._completed:
+            self.violations.append(
+                f"{table}: chunk after {after_key!r} read again after "
+                "completing — resume ignored a durable checkpoint")
+
+    def on_complete(self, table: str, after_key: object) -> None:
+        self.completions += 1
+        position = self._position(table, after_key)
+        if position in self._completed:
+            self.violations.append(
+                f"{table}: chunk after {after_key!r} completed twice")
+        self._completed.add(position)
+
+
 def offsets_within_watermark(offsets: dict[tuple[str, int], int],
                              watermark_of: Callable[[str, int], int]
                              ) -> list[str]:

@@ -18,7 +18,13 @@ approaches (§III.C).  This package supplies that substrate:
 """
 
 from repro.sqlstore.table import Column, Row, Table, TableSchema
-from repro.sqlstore.binlog import Binlog, BinlogTransaction, ChangeEvent, ChangeKind
+from repro.sqlstore.binlog import (
+    WATERMARK_TABLE,
+    Binlog,
+    BinlogTransaction,
+    ChangeEvent,
+    ChangeKind,
+)
 from repro.sqlstore.database import SemiSyncTimeoutError, SqlDatabase, Transaction
 
 __all__ = [
@@ -26,6 +32,7 @@ __all__ = [
     "Row",
     "Table",
     "TableSchema",
+    "WATERMARK_TABLE",
     "Binlog",
     "BinlogTransaction",
     "ChangeEvent",

@@ -22,6 +22,16 @@ class ChangeKind(Enum):
     INSERT = "insert"
     UPDATE = "update"
     DELETE = "delete"
+    #: A control event: no table is touched, but the entry occupies a
+    #: definite position in the commit order.  DBLog-style migrations
+    #: bracket each chunk read with a low/high watermark pair so stream
+    #: consumers can tell exactly which live changes interleaved with
+    #: the chunk (Andreakis et al., "DBLog", 2020).
+    WATERMARK = "watermark"
+
+
+#: Pseudo-table carried by watermark change events; never a real table.
+WATERMARK_TABLE = "__watermark__"
 
 
 @dataclass(frozen=True)

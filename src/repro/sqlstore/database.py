@@ -20,6 +20,7 @@ from repro.common.errors import (
     TransactionAbortedError,
 )
 from repro.sqlstore.binlog import (
+    WATERMARK_TABLE,
     Binlog,
     BinlogTransaction,
     ChangeEvent,
@@ -185,19 +186,25 @@ class SqlDatabase:
         """
         self._semisync = listener
 
+    def _ack_semisync(self, txn: BinlogTransaction) -> None:
+        """Run the semi-sync listener; raise (and count an abort) when
+        it cannot acknowledge — the "written to two places" rule."""
+        if self._semisync is None:
+            return
+        try:
+            acked = self._semisync(txn)
+        except Exception as exc:
+            self.aborts += 1
+            raise SemiSyncTimeoutError(
+                f"semi-sync listener raised: {exc}") from exc
+        if not acked:
+            self.aborts += 1
+            raise SemiSyncTimeoutError("semi-sync listener refused ack")
+
     def _commit(self, changes: list[ChangeEvent]) -> int:
         scn = self._next_scn
         txn = BinlogTransaction(scn, tuple(changes), timestamp=self.clock.now())
-        if self._semisync is not None:
-            try:
-                acked = self._semisync(txn)
-            except Exception as exc:
-                self.aborts += 1
-                raise SemiSyncTimeoutError(
-                    f"semi-sync listener raised: {exc}") from exc
-            if not acked:
-                self.aborts += 1
-                raise SemiSyncTimeoutError("semi-sync listener refused ack")
+        self._ack_semisync(txn)
         # apply to tables; validation already happened statement by statement
         for change in changes:
             table = self._tables[change.table]
@@ -212,6 +219,42 @@ class SqlDatabase:
         self.binlog.append(txn)
         self.commits += 1
         return scn
+
+    # -- migration support ----------------------------------------------------
+
+    def write_watermark(self, label: str) -> int:
+        """Append a watermark/control transaction to the binlog and
+        return its SCN.  No table is touched: the watermark's only job
+        is to occupy a definite position in the commit order, which is
+        what lets a DBLog-style backfill bracket a lock-free chunk read
+        between a low and a high watermark and identify exactly the
+        live changes that interleaved with it.
+
+        The watermark still goes through the semi-sync listener: it is
+        part of the replication stream, so it must be written to two
+        places like every other commit.
+        """
+        if not label:
+            raise ConfigurationError("watermark label must be non-empty")
+        scn = self._next_scn
+        # the SCN in the key makes every watermark globally unique, so
+        # log-compacting stores (bootstrap snapshots) never fold two
+        # watermarks into one even when their labels repeat
+        change = ChangeEvent(WATERMARK_TABLE, ChangeKind.WATERMARK,
+                             (label, scn), {"label": label})
+        txn = BinlogTransaction(scn, (change,), timestamp=self.clock.now())
+        self._ack_semisync(txn)
+        self._next_scn += 1
+        self.binlog.append(txn)
+        self.commits += 1
+        return scn
+
+    def scan_chunk(self, table_name: str, after_key: tuple | None,
+                   limit: int) -> list[Row]:
+        """Keyed chunk pagination over one table (deep copies), in
+        deterministic primary-key order — the migration backfill's
+        read path.  See :meth:`Table.scan_chunk`."""
+        return self.table(table_name).scan_chunk(after_key, limit)
 
     # -- bootstrap support ----------------------------------------------------
 
@@ -250,6 +293,8 @@ class SqlDatabase:
                 f"{self.name}: out-of-order replication: expected {expected}, "
                 f"got {txn.scn}")
         for change in txn.changes:
+            if change.kind is ChangeKind.WATERMARK:
+                continue  # control event: position only, no table effect
             table = self._tables[change.table]
             if change.kind is ChangeKind.DELETE:
                 if table.contains(change.key):

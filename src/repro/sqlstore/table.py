@@ -7,6 +7,7 @@ columns (timestamp, etag, val blob, schema_version).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -141,12 +142,39 @@ class Table:
             if key[:len(key_prefix)] == key_prefix:
                 yield dict(self._rows[key])
 
+    def scan_chunk(self, after_key: tuple | None, limit: int) -> list[Row]:
+        """Keyed pagination: up to ``limit`` rows with primary key
+        strictly greater than ``after_key`` (``None`` starts at the
+        beginning), in primary-key order.
+
+        This is the DBLog-style chunk read for live migration: each
+        call pages forward without copying the whole table and without
+        any lock — concurrent writers keep committing while a backfill
+        walks the keyspace.  Rows are deep copies, so a chunk held by a
+        migration reader can never alias live storage.
+        """
+        if limit <= 0:
+            raise ValueError(f"chunk limit must be positive, got {limit}")
+        out: list[Row] = []
+        for key in sorted(self._rows):
+            if after_key is not None and key <= after_key:
+                continue
+            out.append(copy.deepcopy(self._rows[key]))
+            if len(out) >= limit:
+                break
+        return out
+
     def keys(self) -> list[tuple]:
         return sorted(self._rows)
 
     def snapshot(self) -> list[Row]:
-        """A consistent full copy (bootstrap/backup source)."""
-        return [dict(self._rows[k]) for k in sorted(self._rows)]
+        """A consistent full copy (bootstrap/backup source).
+
+        Deep copies: snapshot consumers (replica bootstrap, migration
+        backfill) hold the rows long after this call returns, so they
+        must not alias live storage.
+        """
+        return [copy.deepcopy(self._rows[k]) for k in sorted(self._rows)]
 
     def restore(self, rows: list[Row]) -> None:
         """Replace contents wholesale (bootstrap target)."""

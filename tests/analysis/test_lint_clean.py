@@ -52,6 +52,16 @@ def test_analysis_package_passes_its_own_lint():
     assert report.suppressed >= 2   # the justified perf_counter reads
 
 
+def test_migration_package_is_lint_clean():
+    """The migration subsystem post-dates the linter, so it gets no
+    grandfathering at all: zero findings, not zero *new* findings."""
+    analyzer = Analyzer(root=REPO_ROOT)
+    report = analyzer.run([SRC_REPRO / "migration"])
+    assert report.files_scanned >= 6
+    assert not report.parse_errors, report.parse_errors
+    assert not report.findings, "\n".join(f.render() for f in report.findings)
+
+
 def test_layering_contract_matches_reality():
     """The committed contract and the actual import graph agree —
     checked whole-repo, not per file, so a contract row nobody uses

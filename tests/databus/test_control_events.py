@@ -1,0 +1,170 @@
+"""Control (watermark) events through the Databus pipeline: capture,
+filters, bootstrap log compaction, delta/replay, and durable recovery.
+
+Regression suite for the migration's one hard dependency on Databus:
+a consumer — however it is served, relay or bootstrap — must see every
+watermark, or it cannot bracket a DBLog chunk against the live stream.
+"""
+
+import pytest
+
+from repro.databus import (
+    BootstrapServer,
+    DatabusClient,
+    DatabusConsumer,
+    Relay,
+    capture_from_binlog,
+    partition_filter,
+    source_filter,
+    watermark_label,
+)
+from repro.common.clock import SimClock
+from repro.simnet.disk import SimDisk
+from repro.sqlstore.binlog import ChangeKind
+from repro.sqlstore.database import SqlDatabase
+from repro.sqlstore.table import Column, TableSchema
+
+SCHEMA = TableSchema("member", (Column("id", int), Column("name", str)),
+                     ("id",))
+
+
+def make_db(rows=3):
+    db = SqlDatabase("source")
+    db.create_table(SCHEMA)
+    for i in range(rows):
+        db.autocommit("member", {"id": i, "name": f"n{i}"})
+    return db
+
+
+def captured_events(db):
+    relay = Relay()
+    capture_from_binlog(db, relay).poll()
+    return relay.stream_from(0)
+
+
+class Collector(DatabusConsumer):
+    def __init__(self):
+        self.events = []
+
+    def on_data_event(self, event):
+        self.events.append(event)
+
+
+class TestCaptureAndFilters:
+    def test_watermark_flows_through_capture(self):
+        db = make_db(1)
+        db.write_watermark("chunk-low:member")
+        events = captured_events(db)
+        controls = [e for e in events if e.is_control]
+        assert len(controls) == 1
+        assert controls[0].scn == 2
+        assert controls[0].end_of_window
+        assert watermark_label(controls[0]) == "chunk-low:member"
+
+    def test_watermark_label_rejects_data_events(self):
+        db = make_db(1)
+        (event,) = captured_events(db)
+        with pytest.raises(ValueError):
+            watermark_label(event)
+
+    def test_source_filter_passes_control_events(self):
+        db = make_db(1)
+        db.write_watermark("mark")
+        keep = source_filter("some_other_table")
+        kept = [e for e in captured_events(db) if keep(e)]
+        assert [e.is_control for e in kept] == [True]
+
+    def test_partition_filter_passes_control_to_every_partition(self):
+        db = make_db(0)
+        db.write_watermark("mark")
+        (control,) = captured_events(db)
+        assert all(partition_filter(4, p)(control) for p in range(4))
+
+
+class TestBootstrapCompaction:
+    def _server_fed_with(self, db, disk=None):
+        server = BootstrapServer(disk=disk)
+        server.on_events(captured_events(db))
+        return server
+
+    def test_compaction_never_merges_watermarks(self):
+        """Log folding keeps only the last event per row key — but every
+        watermark is its own key, so all four brackets survive."""
+        db = make_db(1)
+        for _ in range(2):
+            low = db.write_watermark("chunk-low:member")
+            db.write_watermark(f"chunk-high:member:{low}")
+        server = self._server_fed_with(db)
+        delta, _ = server.consolidated_delta(0)
+        controls = [e for e in delta if e.is_control]
+        assert len(controls) == 4
+        # repeated same-label lows both survive (unique (label, scn) keys)
+        lows = [e for e in controls
+                if watermark_label(e) == "chunk-low:member"]
+        assert len(lows) == 2
+
+    def test_row_updates_still_fold_around_watermarks(self):
+        db = make_db(1)
+        db.write_watermark("mark")
+        db.autocommit("member", {"id": 0, "name": "v2"},
+                      kind=ChangeKind.UPDATE)
+        db.autocommit("member", {"id": 0, "name": "v3"},
+                      kind=ChangeKind.UPDATE)
+        server = self._server_fed_with(db)
+        delta, _ = server.consolidated_delta(0)
+        row_events = [e for e in delta if not e.is_control]
+        assert len(row_events) == 1      # v2 folded away, v3 kept
+        assert len([e for e in delta if e.is_control]) == 1
+
+    def test_full_replay_preserves_stream_positions(self):
+        db = make_db(2)
+        db.write_watermark("mark")
+        server = self._server_fed_with(db)
+        replay, _ = server.full_replay(0)
+        assert [e.scn for e in replay] == [1, 2, 3]
+        assert replay[-1].is_control
+
+    def test_watermarks_survive_durable_checkpoint_and_recovery(self):
+        disk = SimDisk(clock=SimClock(), seed=3)
+        db = make_db(1)
+        db.write_watermark("chunk-low:member")
+        server = self._server_fed_with(db, disk=disk.scope("bootstrap"))
+        server.checkpoint()              # fold into snapshot storage
+        disk.crash_node("bootstrap")
+        recovered = BootstrapServer(disk=disk.scope("bootstrap"))
+        delta, _ = recovered.consolidated_delta(0)
+        controls = [e for e in delta if e.is_control]
+        assert len(controls) == 1
+        assert watermark_label(controls[0]) == "chunk-low:member"
+        assert controls[0].kind is ChangeKind.WATERMARK
+
+
+class TestClientDelivery:
+    def test_client_delivers_watermarks_from_relay(self):
+        db = make_db(2)
+        db.write_watermark("mark")
+        relay = Relay()
+        capture_from_binlog(db, relay).poll()
+        collector = Collector()
+        client = DatabusClient(collector, relay)
+        client.run_to_head()
+        assert [e.scn for e in collector.events] == [1, 2, 3]
+        assert collector.events[-1].is_control
+        assert client.checkpoint == 3    # checkpointed past the watermark
+
+    def test_client_delivers_watermarks_from_bootstrap_delta(self):
+        """A lagging consumer served by the bootstrap still sees the
+        brackets: eviction must not turn watermarks into gaps."""
+        db = make_db(1)
+        db.write_watermark("mark")
+        for i in range(5, 9):
+            db.autocommit("member", {"id": i, "name": f"n{i}"})
+        relay = Relay(max_events_per_buffer=2)   # evicted the watermark
+        capture_from_binlog(db, relay).poll()
+        bootstrap = BootstrapServer()
+        bootstrap.on_events(captured_events(db))  # long-term storage has all
+        collector = Collector()
+        client = DatabusClient(collector, relay, bootstrap=bootstrap)
+        client.run_to_head()
+        assert client.stats.bootstraps >= 1
+        assert any(e.is_control for e in collector.events)

@@ -1,0 +1,120 @@
+"""The coordinator state machine: transitions, SLO gates, rollback,
+and the checkpoint journal's record of all of it."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.migration import MigrationPhase, MigrationSlo, MigrationStack
+
+from tests.migration.conftest import FAST_SLO, drive_to_phase, make_source
+
+
+def test_happy_path_reaches_cutover(clock, stack):
+    drive_to_phase(stack, clock, MigrationPhase.CUTOVER)
+    phases = [t.phase for t in stack.coordinator.transitions]
+    assert phases == [MigrationPhase.CATCHUP, MigrationPhase.SHADOW,
+                      MigrationPhase.RAMP, MigrationPhase.CUTOVER]
+    assert stack.proxy.serve_target_only
+    assert stack.proxy.full_comparison() == []
+
+
+def test_cutover_requires_shadow_traffic(clock, stack):
+    """No reads -> the shadow SLO can never be satisfied -> SHADOW."""
+    for _ in range(40):
+        stack.coordinator.tick()
+        clock.advance(1.0)
+    assert stack.coordinator.phase is MigrationPhase.SHADOW
+
+
+def test_ramp_walks_the_whole_schedule(clock, stack):
+    drive_to_phase(stack, clock, MigrationPhase.CUTOVER)
+    counters = stack.coordinator.metrics.counter("migration.ramp_steps")
+    assert counters.value == len(FAST_SLO.ramp_steps) - 1
+
+
+def test_mismatch_in_shadow_rolls_back(clock, stack):
+    drive_to_phase(stack, clock, MigrationPhase.SHADOW)
+    stack.target.put_row("profiles", {"member_id": 7, "name": "BAD",
+                                      "score": 0})
+    stack.proxy.read("profiles", (7,))
+    stack.coordinator.tick()
+    assert stack.coordinator.phase is MigrationPhase.ROLLBACK
+    assert "mismatch rate" in stack.coordinator.rollback_reason
+    assert not stack.proxy.dual_writes_enabled
+    assert stack.proxy.ramp_percent == 0
+    # reads serve the intact source copy again
+    assert stack.proxy.read("profiles", (7,))["name"] == "m7"
+
+
+def test_mismatch_during_ramp_rolls_back(clock, stack):
+    drive_to_phase(stack, clock, MigrationPhase.RAMP)
+    stack.target.put_row("profiles", {"member_id": 9, "name": "BAD",
+                                      "score": 0})
+    stack.proxy.read("profiles", (9,))
+    stack.coordinator.tick()
+    assert stack.coordinator.phase is MigrationPhase.ROLLBACK
+
+
+def test_cutover_gate_catches_unread_divergence(clock, stack):
+    """A target row nobody shadow-read diverges; the full comparison at
+    the cutover gate still refuses to finalize."""
+    drive_to_phase(stack, clock, MigrationPhase.RAMP)
+    stack.target.put_row("profiles", {"member_id": 33, "name": "BAD",
+                                      "score": 0})
+    drive_to_phase(stack, clock, MigrationPhase.ROLLBACK)
+    assert "cutover verification" in stack.coordinator.rollback_reason
+    assert not stack.proxy.serve_target_only
+
+
+def test_catchup_deadline_breach_rolls_back(clock, source, disk):
+    slo = MigrationSlo(min_shadow_reads=3, shadow_duration=1.0,
+                       ramp_step_duration=1.0, catchup_deadline=5.0)
+    stack = MigrationStack.build(source, disk.scope("c"), clock,
+                                 slo=slo, chunk_size=16)
+    while stack.coordinator.phase is MigrationPhase.BACKFILL:
+        stack.coordinator.tick()
+        clock.advance(1.0)
+    # the binlog→relay feed stalls while writes keep landing: the lag
+    # can only grow, so the deadline must fire and roll the whole
+    # migration back instead of waiting forever
+    stack.coordinator.capture = None
+    for i in range(4):
+        source.autocommit("profiles",
+                          {"member_id": 1000 + i, "name": "w", "score": 0})
+    ticks = 0
+    while stack.coordinator.phase is MigrationPhase.CATCHUP and ticks < 50:
+        stack.coordinator.tick()
+        clock.advance(1.0)
+        ticks += 1
+    assert stack.coordinator.phase is MigrationPhase.ROLLBACK
+    assert "did not converge" in stack.coordinator.rollback_reason
+
+
+def test_journal_records_every_transition(clock, stack):
+    drive_to_phase(stack, clock, MigrationPhase.CUTOVER)
+    phases = [c.phase for c in stack.journal.history()]
+    assert phases[0] == "backfill"
+    assert phases[-1] == "cutover"
+    for phase in ("catchup", "shadow", "ramp"):
+        assert phase in phases
+    latest = stack.journal.load_latest()
+    assert latest.stream_scn == stack.client.checkpoint
+
+
+def test_slo_validation():
+    with pytest.raises(ConfigurationError):
+        MigrationSlo(ramp_steps=(5, 25))        # must end at 100
+    with pytest.raises(ConfigurationError):
+        MigrationSlo(ramp_steps=(50, 25, 100))  # must be non-decreasing
+    with pytest.raises(ConfigurationError):
+        MigrationSlo(chunks_per_tick=0)
+
+
+def test_run_to_completion_helper(clock, source, disk):
+    stack = MigrationStack.build(source, disk.scope("c"), clock,
+                                 slo=MigrationSlo(min_shadow_reads=0,
+                                                  shadow_duration=1.0,
+                                                  ramp_step_duration=1.0),
+                                 chunk_size=16)
+    final = stack.coordinator.run_to_completion(tick_interval=1.0)
+    assert final is MigrationPhase.CUTOVER

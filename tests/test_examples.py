@@ -18,6 +18,7 @@ EXAMPLES = [
     "databus_replication.py",
     "social_graph.py",
     "site_pipeline.py",
+    "live_migration.py",
 ]
 
 

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.voldemort.engines",
     "repro.databus",
     "repro.espresso",
+    "repro.migration",
     "repro.kafka",
     "repro.workloads",
     "repro.socialgraph",
