@@ -52,6 +52,9 @@ TRANSPORT_ERROR_NAMES = frozenset({
     "RequestTimeoutError",
     "DeadlineExceededError",
     "CircuitOpenError",
+    "OverloadError",
+    "ServerOverloadedError",
+    "BackpressureError",
 })
 
 #: Attribute names that mark a call as a simulated-network operation

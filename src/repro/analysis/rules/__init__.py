@@ -14,6 +14,8 @@ after the contract it enforces:
   discarded transport failures;
 * :mod:`.retry_backoff` — ``retry-without-backoff``: retry loops must
   back off (or use ``call_with_retries``);
+* :mod:`.retry_amplification` — ``retry-amplification``: no retrying
+  context nested inside another (budgets multiply under overload);
 * :mod:`.deadline` — ``deadline-dropped``: a function that accepts a
   ``Deadline`` must consult it before network work;
 * :mod:`.durability` — ``durability-unsynced-ack``: every path from a
@@ -39,6 +41,7 @@ from repro.analysis.rules import (  # noqa: F401
     layering,
     ordering,
     randomness,
+    retry_amplification,
     retry_backoff,
     staleread,
     swallowed,

@@ -1,0 +1,134 @@
+"""``retry-amplification``: one failure gets one retry budget.
+
+Nested retrying contexts multiply load: an inner call that retries 3
+times inside an outer loop that retries 3 times sends up to 9 requests
+for one logical operation.  Under overload that multiplication is the
+metastable-failure engine — the harder the system struggles, the more
+traffic its clients generate, so the collapse outlives the spike that
+started it.  The overload layer (``common/overload.py``) sheds load at
+the front door precisely so that *one* bounded retry budget, owned by
+one layer, is the only re-sending that happens.
+
+A *retrying context* here is either a ``call_with_retries(...)`` call
+(its function argument is the retried region) or a retry-shaped loop
+(per ``retry-without-backoff``'s definition) that catches a transport
+error and keeps looping.  The rule flags, inside such a context:
+
+* another ``call_with_retries`` call;
+* another retry loop that catches a transport error and continues;
+* a call to — or, for ``call_with_retries`` arguments, a bare
+  reference to — a same-file function/method that itself contains
+  either: the one-file approximation of the cross-layer nesting this
+  rule exists to catch.
+
+The fix is to pick the layer that owns the retry (usually the
+outermost one with the deadline budget) and make every inner layer
+fail fast — or shed — instead of re-sending.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    TRANSPORT_ERROR_NAMES,
+    FileContext,
+    Finding,
+    Rule,
+    register,
+)
+from repro.analysis.rules.retry_backoff import (
+    _callee_name,
+    _handler_retries,
+    _is_retry_loop,
+)
+from repro.analysis.rules.swallowed import _caught_names
+
+
+def _is_retry_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and \
+        _callee_name(node.func) == "call_with_retries"
+
+
+def _is_retrying_loop(node: ast.AST) -> bool:
+    """A loop that re-attempts after transport failures (paced or not —
+    pacing fixes storms, not multiplication)."""
+    if not isinstance(node, (ast.While, ast.For)) or not _is_retry_loop(node):
+        return False
+    for child in ast.walk(node):
+        if isinstance(child, ast.Try):
+            for handler in child.handlers:
+                if _caught_names(handler) & TRANSPORT_ERROR_NAMES and \
+                        _handler_retries(handler):
+                    return True
+    return False
+
+
+def _retrying_functions(tree: ast.AST) -> set[str]:
+    """Names of same-file functions whose body contains a retrying
+    context (so calling them from inside one nests the budgets)."""
+    names = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for child in ast.walk(node):
+            if child is not node and \
+                    (_is_retry_call(child) or _is_retrying_loop(child)):
+                names.add(node.name)
+                break
+    return names
+
+
+@register
+class RetryAmplificationRule(Rule):
+    name = "retry-amplification"
+    summary = ("retrying context nested inside another retrying context; "
+               "retry budgets multiply load under overload")
+    rationale = ("An inner retry inside an outer retry turns one failure "
+                 "into attempts^depth requests — the amplification that "
+                 "makes overload metastable.  Exactly one layer owns the "
+                 "retry; inner layers fail fast or shed.")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        retrying_methods = _retrying_functions(ctx.tree)
+        flagged: set[int] = set()
+        for outer in ast.walk(ctx.tree):
+            is_retry_call = _is_retry_call(outer)
+            if is_retry_call:
+                # the retried region is the call's arguments (the fn
+                # plus any callbacks), not the call node itself
+                region: list[ast.AST] = list(outer.args) + \
+                    [kw.value for kw in outer.keywords]
+            elif _is_retrying_loop(outer):
+                region = list(outer.body) + list(outer.orelse)
+            else:
+                continue
+            for root in region:
+                for inner in ast.walk(root):
+                    if id(inner) in flagged:
+                        continue
+                    if _is_retry_call(inner):
+                        detail = "nested call_with_retries"
+                    elif _is_retrying_loop(inner):
+                        detail = "nested retry loop"
+                    elif isinstance(inner, ast.Call) and \
+                            _callee_name(inner.func) in retrying_methods:
+                        detail = (f"call to {_callee_name(inner.func)}(), "
+                                  "which retries internally")
+                    elif is_retry_call and inner is root and \
+                            isinstance(inner, ast.Name) and \
+                            inner.id in retrying_methods:
+                        # the retried callable itself retries: passing
+                        # a retrying function to call_with_retries
+                        detail = (f"{inner.id} (which retries internally) "
+                                  "passed as the retried function")
+                    else:
+                        continue
+                    flagged.add(id(inner))
+                    yield self.finding(
+                        ctx, inner,
+                        f"{detail} inside a retrying context: budgets "
+                        "multiply (attempts^depth requests per failure); "
+                        "let exactly one layer own the retry and make "
+                        "the other fail fast")

@@ -76,6 +76,33 @@ class CircuitOpenError(NodeUnavailableError):
     target has been failing and its recovery timeout has not elapsed."""
 
 
+class OverloadError(ReproError):
+    """Base class for load-shedding and backpressure signals.
+
+    Deliberately *not* a :class:`NodeUnavailableError`: a shed request
+    means "the target is up but refuses extra work", and retrying it on
+    the default transport-retry path would amplify exactly the load
+    that caused the shed.  Callers back off, route elsewhere, or
+    surface the rejection — they do not hammer.
+    """
+
+
+class ServerOverloadedError(OverloadError):
+    """A server-side queue or admission controller rejected the request
+    outright (the overload-robustness layer's fast rejection: cheaper
+    than queueing work that will time out anyway)."""
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class BackpressureError(OverloadError):
+    """A client-side buffer refused to grow: the caller must slow down
+    instead of queueing unbounded work (Kafka producer, Databus
+    consumer catch-up)."""
+
+
 class OffsetOutOfRangeError(ReproError):
     """A Kafka fetch addressed an offset outside the partition log."""
 

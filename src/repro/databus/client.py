@@ -39,8 +39,10 @@ from repro.common.errors import (
     ConfigurationError,
     NodeUnavailableError,
     SCNGoneError,
+    ServerOverloadedError,
 )
 from repro.common.metrics import MetricsRegistry
+from repro.common.overload import PRIORITY_BULK, PRIORITY_LIVE
 from repro.common.resilience import CircuitBreaker, RetryPolicy, call_with_retries
 from repro.databus.bootstrap import BootstrapServer
 from repro.databus.events import DatabusEvent, EventFilter
@@ -80,6 +82,7 @@ class ClientStats:
     windows_aborted: int = 0
     relay_failovers: int = 0    # polls served by bootstrap because the
     relay_reconnects: int = 0   # relay was down, and returns to it
+    polls_shed: int = 0         # polls the relay refused under overload
 
 
 class DatabusClient:
@@ -96,9 +99,12 @@ class DatabusClient:
                  relay_name: str | None = None,
                  bootstrap_name: str | None = None,
                  breaker: CircuitBreaker | None = None,
-                 retry_seed: int = 0):
+                 retry_seed: int = 0,
+                 bulk_lag_scns: int = 1000):
         if max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
+        if bulk_lag_scns < 1:
+            raise ConfigurationError("bulk_lag_scns must be >= 1")
         self.consumer = consumer
         self.relay = relay
         self.bootstrap = bootstrap
@@ -127,6 +133,11 @@ class DatabusClient:
         self.metrics = MetricsRegistry()
         self.relay_breaker = breaker or CircuitBreaker(
             self.clock, name="relay", metrics=self.metrics)
+        # overload etiquette: a consumer more than bulk_lag_scns behind
+        # the relay head is catching up, not tailing, and declares its
+        # polls bulk-class so an admission-controlled relay sheds them
+        # before they can starve live tailing consumers
+        self.bulk_lag_scns = bulk_lag_scns
 
     # -- transport ---------------------------------------------------------
 
@@ -138,11 +149,16 @@ class DatabusClient:
                                         fn, *args)
         return result
 
+    def _poll_priority(self) -> int:
+        lag = self.relay.newest_scn(self.buffer_name) - self.checkpoint
+        return PRIORITY_BULK if lag > self.bulk_lag_scns else PRIORITY_LIVE
+
     def _stream_from_relay(self, max_events: int) -> list[DatabusEvent]:
+        priority = self._poll_priority()
         return call_with_retries(
             lambda: self._call(self.relay_name, self.relay.stream_from,
                                self.checkpoint, self.buffer_name,
-                               self.event_filter, max_events),
+                               self.event_filter, max_events, priority),
             clock=self.clock, policy=self.retry_policy, rng=self._retry_rng,
             retry_on=(NodeUnavailableError,), breaker=self.relay_breaker,
             metrics=self.metrics, name="relay.poll")
@@ -169,6 +185,20 @@ class DatabusClient:
         except SCNGoneError:
             self._bootstrap()
             events = self._stream_from_relay(max_events)
+        except ServerOverloadedError as exc:
+            # the relay shed this poll.  Never retry in a tight loop —
+            # that is the retry amplification the shed exists to stop.
+            # A lagging consumer takes its catch-up to the bootstrap
+            # server instead (that is what it is for); a tailing one
+            # backs off for the server's Retry-After hint and polls
+            # again later, checkpoint untouched.
+            self.stats.polls_shed += 1
+            self.metrics.counter("relay.polls_shed").increment()
+            if self.bootstrap is not None and \
+                    self._poll_priority() == PRIORITY_BULK:
+                return self._poll_bootstrap()
+            self.clock.sleep(exc.retry_after or 0.05)
+            return 0
         except NodeUnavailableError:
             # the relay is down (or its breaker is open): serve this
             # poll from the bootstrap server so consumers keep moving

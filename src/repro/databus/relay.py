@@ -27,6 +27,7 @@ from collections import deque
 from typing import Callable
 
 from repro.common.errors import ConfigurationError, SCNGoneError
+from repro.common.overload import PRIORITY_LIVE, AdmissionController
 from repro.common.serialization import RecordSchema, SchemaRegistry, encode_record
 from repro.databus.events import DatabusEvent, EventFilter, events_from_transaction
 from repro.sqlstore.binlog import BinlogTransaction
@@ -136,13 +137,19 @@ class Relay:
     """A shared-nothing relay process managing named event buffers."""
 
     def __init__(self, name: str = "relay-1", max_events_per_buffer: int = 100_000,
-                 max_bytes_per_buffer: int = 64 * 1024 * 1024):
+                 max_bytes_per_buffer: int = 64 * 1024 * 1024,
+                 admission: AdmissionController | None = None):
         self.name = name
         self._max_events = max_events_per_buffer
         self._max_bytes = max_bytes_per_buffer
         self._buffers: dict[str, EventBuffer] = {}
         self.schemas = SchemaRegistry()
         self.requests_served = 0
+        # admission control over the serving path: near-head tailing
+        # polls are live-class, catch-up polls declare themselves bulk
+        # (see DatabusClient), so a herd of lagging consumers sheds
+        # before it can starve the tailing ones
+        self.admission = admission
 
     # -- buffers -----------------------------------------------------------
 
@@ -197,7 +204,10 @@ class Relay:
 
     def stream_from(self, scn: int, buffer_name: str = DEFAULT_BUFFER,
                     event_filter: EventFilter | None = None,
-                    max_events: int = 10_000) -> list[DatabusEvent]:
+                    max_events: int = 10_000,
+                    priority: int = PRIORITY_LIVE) -> list[DatabusEvent]:
+        if self.admission is not None:
+            self.admission.admit(priority, what=f"stream {buffer_name}")
         self.requests_served += 1
         return self.buffer(buffer_name).events_since(scn, event_filter,
                                                      max_events)

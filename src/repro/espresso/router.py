@@ -33,9 +33,15 @@ from repro.common.errors import (
     ConfigurationError,
     KeyNotFoundError,
     NotMasterError,
+    ServerOverloadedError,
     TransactionAbortedError,
 )
 from repro.common.metrics import MetricsRegistry
+from repro.common.overload import (
+    PRIORITY_LIVE,
+    PRIORITY_WRITE,
+    AdmissionController,
+)
 from repro.common.resilience import RetryPolicy, call_with_retries
 from repro.espresso.cluster import EspressoCluster
 from repro.espresso.uri import EspressoUri, parse_index_query, parse_uri
@@ -48,6 +54,8 @@ class Response:
     status: int
     body: object = None
     etag: str | None = None
+    #: set on load-shed 503s: the server's Retry-After hint in seconds
+    retry_after: float | None = None
 
 
 class Router:
@@ -55,13 +63,45 @@ class Router:
 
     def __init__(self, cluster: EspressoCluster,
                  retry_policy: RetryPolicy | None = None,
-                 auto_failover: bool = False, retry_seed: int = 0):
+                 auto_failover: bool = False, retry_seed: int = 0,
+                 admission_rate: float | None = None,
+                 admission_burst: float | None = None):
         self.cluster = cluster
         self.retry_policy = retry_policy
         self.auto_failover = auto_failover
         self._retry_rng = random.Random(retry_seed)
         self.metrics = MetricsRegistry()
         self.requests_routed = 0
+        # per-partition admission control (off unless a rate is given):
+        # a hot partition sheds its own overflow as fast 503s instead of
+        # queueing behind the storage node, and the other partitions of
+        # the same node stay unaffected.  Shed 503s are retried against
+        # the resilience budget (see _execute) — the backoff sleeps are
+        # what let the partition's token bucket refill.
+        self.admission_rate = admission_rate
+        self.admission_burst = admission_burst
+        self._admission: dict[int, AdmissionController] = {}
+
+    def admission_for(self, partition_id: int) -> AdmissionController | None:
+        """The partition's admission controller (created on first use;
+        None when admission control is disabled)."""
+        if self.admission_rate is None:
+            return None
+        controller = self._admission.get(partition_id)
+        if controller is None:
+            controller = AdmissionController(
+                self.cluster.clock, self.admission_rate,
+                self.admission_burst, metrics=self.metrics,
+                name=f"admission.p{partition_id}")
+            self._admission[partition_id] = controller
+        return controller
+
+    def _admit(self, resource_id: str, priority: int, what: str) -> None:
+        if self.admission_rate is None:
+            return
+        partition = self.cluster.database.partition_for(resource_id)
+        self.admission_for(partition).admit(
+            priority, what=f"{what} partition {partition}")
 
     def _target(self, uri: EspressoUri):
         if uri.database != self.cluster.database.name:
@@ -77,14 +117,19 @@ class Router:
         Between attempts the router (optionally) asks the controller to
         converge, promoting a slave for any masterless partition.
         """
-        def on_retry(_retry_number, _exc):
-            if self.auto_failover:
+        def on_retry(_retry_number, exc):
+            if self.auto_failover and isinstance(exc, NotMasterError):
                 self.metrics.counter("router.failovers").increment()
                 self.cluster.failover()
 
+        # shed 503s are retryable *within the resilience budget*: the
+        # policy's bounded attempts and backoff sleeps (during which the
+        # admission bucket refills) are precisely the "clients retry
+        # against the budget" contract — no policy, no retry, fast 503
         return call_with_retries(
             fn, clock=self.cluster.clock, policy=self.retry_policy,
-            rng=self._retry_rng, retry_on=(NotMasterError,),
+            rng=self._retry_rng,
+            retry_on=(NotMasterError, ServerOverloadedError),
             metrics=self.metrics, name=name, on_retry=on_retry)
 
     # -- verbs ------------------------------------------------------------------
@@ -94,6 +139,7 @@ class Router:
         parsed = parse_uri(uri)
 
         def attempt():
+            self._admit(parsed.resource_id, PRIORITY_LIVE, "GET")
             node = self._target(parsed)
             if parsed.query is not None:
                 fieldname, value = parse_index_query(parsed.query)
@@ -115,6 +161,8 @@ class Router:
             return Response(404, str(exc))
         except NotMasterError as exc:
             return Response(503, str(exc))
+        except ServerOverloadedError as exc:
+            return Response(503, str(exc), retry_after=exc.retry_after)
         except ConfigurationError as exc:
             return Response(400, str(exc))
 
@@ -124,6 +172,7 @@ class Router:
         parsed = parse_uri(uri)
 
         def attempt():
+            self._admit(parsed.resource_id, PRIORITY_WRITE, "PUT")
             node = self._target(parsed)
             etag = node.put_document(parsed.table, parsed.key, document,
                                      expected_etag=if_match)
@@ -133,6 +182,8 @@ class Router:
             return self._execute("put", attempt)
         except NotMasterError as exc:
             return Response(503, str(exc))
+        except ServerOverloadedError as exc:
+            return Response(503, str(exc), retry_after=exc.retry_after)
         except TransactionAbortedError as exc:
             return Response(412, str(exc))
         except ConfigurationError as exc:
@@ -142,6 +193,7 @@ class Router:
         parsed = parse_uri(uri)
 
         def attempt():
+            self._admit(parsed.resource_id, PRIORITY_WRITE, "DELETE")
             node = self._target(parsed)
             node.delete_document(parsed.table, parsed.key)
             return Response(200)
@@ -152,6 +204,8 @@ class Router:
             return Response(404, str(exc))
         except NotMasterError as exc:
             return Response(503, str(exc))
+        except ServerOverloadedError as exc:
+            return Response(503, str(exc), retry_after=exc.retry_after)
         except ConfigurationError as exc:
             return Response(400, str(exc))
 
@@ -165,6 +219,7 @@ class Router:
             return Response(400, f"unknown database {database!r}")
 
         def attempt():
+            self._admit(resource_id, PRIORITY_WRITE, "POST")
             node = self.cluster.node_for_resource(resource_id)
             self.requests_routed += 1
             scn = node.transact(resource_id, operations)
@@ -174,5 +229,7 @@ class Router:
             return self._execute("post", attempt)
         except NotMasterError as exc:
             return Response(503, str(exc))
+        except ServerOverloadedError as exc:
+            return Response(503, str(exc), retry_after=exc.retry_after)
         except (TransactionAbortedError, ConfigurationError) as exc:
             return Response(409, str(exc))

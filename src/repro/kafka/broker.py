@@ -17,6 +17,11 @@ from dataclasses import dataclass
 
 from repro.common.clock import Clock, WallClock
 from repro.common.errors import ConfigurationError
+from repro.common.overload import (
+    PRIORITY_LIVE,
+    PRIORITY_WRITE,
+    AdmissionController,
+)
 from repro.kafka.log import PartitionLog
 from repro.kafka.message import MessageSet
 from repro.simnet.disk import Disk, SimDisk
@@ -43,11 +48,18 @@ class Broker:
                  flush_interval_messages: int = 1,
                  flush_interval_seconds: float = 0.0,
                  segment_bytes: int = 1 << 20,
-                 disk: Disk | None = None):
+                 disk: Disk | None = None,
+                 admission: AdmissionController | None = None):
         self.broker_id = broker_id
         self.data_dir = data_dir
         self.disk = disk
         self.clock = clock or WallClock()
+        # bounded request handling: with an admission controller the
+        # broker sheds overflow as fast ServerOverloadedError instead
+        # of queueing requests without bound — consumer fetches outrank
+        # produces, which outrank replication catch-up (see
+        # ReplicatedPartition.poll_replication)
+        self.admission = admission
         self.flush_interval_messages = flush_interval_messages
         self.flush_interval_seconds = flush_interval_seconds
         self.segment_bytes = segment_bytes
@@ -139,13 +151,21 @@ class Broker:
     # -- produce / fetch ------------------------------------------------------------
 
     def produce(self, topic: str, partition: int,
-                message_set: MessageSet) -> int:
+                message_set: MessageSet,
+                priority: int = PRIORITY_WRITE) -> int:
+        if self.admission is not None:
+            self.admission.admit(priority,
+                                 what=f"produce {topic}-{partition}")
         data_size = message_set.wire_size
         self.bytes_in += data_size
         return self.log(topic, partition).append(message_set)
 
     def fetch(self, topic: str, partition: int, offset: int,
-              max_bytes: int = 300 * 1024) -> bytes:
+              max_bytes: int = 300 * 1024,
+              priority: int = PRIORITY_LIVE) -> bytes:
+        if self.admission is not None:
+            self.admission.admit(priority,
+                                 what=f"fetch {topic}-{partition}")
         data = self.log(topic, partition).read(offset, max_bytes)
         self.bytes_out += len(data)
         return data
@@ -174,7 +194,9 @@ class KafkaCluster:
                  partitions_per_topic: int = 4,
                  flush_interval_messages: int = 1,
                  segment_bytes: int = 1 << 20,
-                 disk: SimDisk | None = None):
+                 disk: SimDisk | None = None,
+                 admission_rate: float | None = None,
+                 admission_burst: float | None = None):
         if num_brokers <= 0:
             raise ConfigurationError("need at least one broker")
         self.zookeeper = zookeeper or ZooKeeperServer()
@@ -186,11 +208,17 @@ class KafkaCluster:
             # with a SimDisk, each broker's files live in its own crash
             # domain ("broker-N/..."); data_root only names real dirs
             scope = disk.scope(f"broker-{broker_id}") if disk else None
+            admission = None
+            if admission_rate is not None:
+                admission = AdmissionController(
+                    self.clock, admission_rate, admission_burst,
+                    name=f"broker-{broker_id}.admission")
             self.brokers[broker_id] = Broker(
                 broker_id, os.path.join(data_root, f"broker-{broker_id}"),
                 self.zookeeper, clock=self.clock,
                 flush_interval_messages=flush_interval_messages,
-                segment_bytes=segment_bytes, disk=scope)
+                segment_bytes=segment_bytes, disk=scope,
+                admission=admission)
         self._topics: dict[str, list[TopicPartition]] = {}
 
     def create_topic(self, topic: str,

@@ -20,7 +20,12 @@ from __future__ import annotations
 import hashlib
 import random
 
-from repro.common.errors import ConfigurationError, NodeUnavailableError
+from repro.common.errors import (
+    BackpressureError,
+    ConfigurationError,
+    NodeUnavailableError,
+    OverloadError,
+)
 from repro.common.metrics import MetricsRegistry
 from repro.common.resilience import RetryPolicy, call_with_retries
 from repro.kafka.broker import KafkaCluster
@@ -34,11 +39,18 @@ class Producer:
     def __init__(self, cluster: KafkaCluster, batch_size: int = 50,
                  compress: bool = False, compression_level: int = 6,
                  seed: int = 0, retry_policy: RetryPolicy | None = None,
-                 retry_seed: int = 0):
+                 retry_seed: int = 0, max_pending: int | None = None):
         if batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if max_pending is not None and max_pending < batch_size:
+            raise ConfigurationError("max_pending must be >= batch_size")
         self.cluster = cluster
         self.batch_size = batch_size
+        # backpressure bound: with max_pending set, send() refuses to
+        # buffer past it (BackpressureError) instead of growing the
+        # unacked backlog without limit while the cluster is down or
+        # shedding — the caller must drain or slow down
+        self.max_pending = max_pending
         self.compress = compress
         self.compression_level = compression_level
         self._rng = random.Random(seed)
@@ -75,7 +87,11 @@ class Producer:
 
     def send(self, topic: str, payload: bytes,
              key: bytes | None = None) -> None:
-        """Queue one message; batches flush automatically at batch_size."""
+        """Queue one message; batches flush automatically at batch_size.
+
+        Raises :class:`BackpressureError` when ``max_pending`` messages
+        are already buffered unacked."""
+        self._check_backpressure(1)
         partition = self._choose_partition(topic, key)
         batch = self._batches.setdefault((topic, partition), [])
         batch.append(Message(payload))
@@ -86,10 +102,20 @@ class Producer:
                  key: bytes | None = None) -> None:
         """Publish several payloads as one request (the sample code's
         ``producer.send("topic1", set)``)."""
+        self._check_backpressure(len(payloads))
         partition = self._choose_partition(topic, key)
         self._batches.setdefault((topic, partition), []).extend(
             Message(p) for p in payloads)
         self._publish(topic, partition)
+
+    def _check_backpressure(self, incoming: int) -> None:
+        if self.max_pending is None:
+            return
+        if self.pending + incoming > self.max_pending:
+            self.metrics.counter("produce.backpressure").increment()
+            raise BackpressureError(
+                f"{self.pending} messages already pending (bound "
+                f"{self.max_pending}); drain with flush() or slow down")
 
     def _produce_once(self, topic: str, partition: int,
                       message_set: MessageSet) -> None:
@@ -123,9 +149,12 @@ class Producer:
                 clock=self.cluster.clock, policy=self.retry_policy,
                 rng=self._retry_rng, retry_on=(NodeUnavailableError,),
                 metrics=self.metrics, name="produce", on_retry=on_retry)
-        except NodeUnavailableError:
+        except (NodeUnavailableError, OverloadError):
             # not acked: put the batch back so a later flush (after the
-            # cluster heals) can deliver it — nothing silently dropped
+            # cluster heals or stops shedding) can deliver it — nothing
+            # silently dropped.  Sheds are deliberately NOT retried
+            # in-line here: re-sending into an overloaded broker is the
+            # retry-amplification this layer exists to prevent.
             self._batches.setdefault((topic, partition), [])[:0] = batch
             raise
         self.messages_sent += len(batch)

@@ -32,6 +32,7 @@ from repro.common.errors import (
     NodeUnavailableError,
     OffsetOutOfRangeError,
 )
+from repro.common.overload import PRIORITY_BULK
 from repro.kafka.broker import Broker, KafkaCluster
 from repro.kafka.message import MessageSet
 
@@ -123,6 +124,7 @@ class ReplicatedPartition:
         """
         replicated = 0
         leader_end = self.leader_log_end
+        leader_admission = self._broker(self.leader_id).admission
         for broker_id in self.replica_ids:
             if broker_id == self.leader_id:
                 continue
@@ -131,6 +133,13 @@ class ReplicatedPartition:
                 continue
             state = self._replicas[broker_id]
             while state.log_end_offset < leader_end:
+                # replication catch-up is bulk-class traffic on the
+                # leader: under pressure the follower simply stays
+                # lagged until the next poll, so live fetches and
+                # produces keep their admission tokens
+                if leader_admission is not None and \
+                        not leader_admission.try_admit(PRIORITY_BULK):
+                    break
                 data = self._log(self.leader_id).read(
                     state.log_end_offset, max_bytes)
                 if not data:

@@ -12,6 +12,7 @@ from repro.simnet.faultplan import (
 from repro.simnet.network import (
     FailureInjector,
     LatencyModel,
+    ServerQueue,
     SimNetwork,
     fixed_latency,
     lognormal_latency,
@@ -30,6 +31,7 @@ __all__ = [
     "LatencyModel",
     "LocalDisk",
     "ScnAuditor",
+    "ServerQueue",
     "SimDisk",
     "SimNetwork",
     "fixed_latency",

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.clock import SimClock
+from repro.common.errors import ConfigurationError
 from repro.simnet.disk import SimDisk
 
 
@@ -34,13 +35,23 @@ class FaultAction:
     """One scheduled fault."""
 
     at: float
-    kind: str                 # "kill" | "restart" | "torn_write" | "bit_flip" | "call"
+    kind: str                 # "kill" | "restart" | "torn_write" | "bit_flip"
+                              # | "call" | "limp" | "heal_limp" | "net_crash"
+                              # | "net_recover" | "set_link" | "clear_link"
+                              # | "block" | "heal_blocks"
     node: str = ""
     path: str | None = None
     keep_bytes: int | None = None
     offset: int | None = None
     label: str = ""
     fn: Callable[[], None] | None = field(default=None, compare=False)
+    # gray-failure fields
+    factor: float | None = None
+    src: str = ""
+    dst: str = ""
+    groups: tuple = ()
+    latency_model: Callable | None = field(default=None, compare=False)
+    loss_rate: float = 0.0
 
 
 class FaultPlan:
@@ -61,14 +72,24 @@ class FaultPlan:
     fault trace.
     """
 
-    def __init__(self, clock: SimClock, disk: SimDisk, seed: int = 0):
+    def __init__(self, clock: SimClock, disk: SimDisk, seed: int = 0,
+                 network=None):
         self.clock = clock
         self.disk = disk
+        # gray-failure actions (limp, links, one-way blocks, flapping)
+        # drive a SimNetwork's FailureInjector; plans without network
+        # faults need not attach one
+        self.network = network
         self.rng = random.Random(seed)
         self._actions: list[FaultAction] = []
         self._kill_handlers: list[Callable[[str], None]] = []
         self._restart_handlers: list[Callable[[str], None]] = []
         self.executed: list[tuple[float, str, str, str]] = []
+
+    def _require_network(self, kind: str) -> None:
+        if self.network is None:
+            raise ConfigurationError(
+                f"{kind} actions need a network attached to the plan")
 
     # -- lifecycle handlers --------------------------------------------------
 
@@ -106,6 +127,78 @@ class FaultPlan:
         faults so the plan captures the whole scenario in one place."""
         self._actions.append(FaultAction(at, "call", label=label, fn=fn))
 
+    # -- gray-failure schedule constructors -----------------------------------
+
+    def limp(self, at: float, node: str, factor: float) -> None:
+        """Slow-node onset: inflate the node's service and hop times."""
+        self._require_network("limp")
+        self._actions.append(FaultAction(at, "limp", node, factor=factor))
+
+    def heal_limp(self, at: float, node: str) -> None:
+        """Slow-node recovery."""
+        self._require_network("heal_limp")
+        self._actions.append(FaultAction(at, "heal_limp", node))
+
+    def net_crash(self, at: float, node: str) -> None:
+        """Network-level crash (the injector's, not the cluster's)."""
+        self._require_network("net_crash")
+        self._actions.append(FaultAction(at, "net_crash", node))
+
+    def net_recover(self, at: float, node: str) -> None:
+        self._require_network("net_recover")
+        self._actions.append(FaultAction(at, "net_recover", node))
+
+    def flap(self, at: float, node: str, period: float, cycles: int) -> None:
+        """Flapping: ``cycles`` crash/recover pairs, one ``period``
+        apart, starting with a crash at ``at``.  Expanded into plain
+        net_crash/net_recover actions at construction time, so the
+        schedule (and its trace) is fully explicit."""
+        self._require_network("flap")
+        if period <= 0 or cycles < 1:
+            raise ConfigurationError("flap needs period > 0 and cycles >= 1")
+        for cycle in range(cycles):
+            start = at + cycle * period
+            self._actions.append(FaultAction(start, "net_crash", node))
+            self._actions.append(
+                FaultAction(start + period / 2, "net_recover", node))
+
+    def set_link(self, at: float, src: str, dst: str,
+                 latency_model: Callable | None = None,
+                 loss_rate: float = 0.0) -> None:
+        """Degrade one directed link (extra latency and/or loss)."""
+        self._require_network("set_link")
+        self._actions.append(FaultAction(
+            at, "set_link", src=src, dst=dst,
+            latency_model=latency_model, loss_rate=loss_rate))
+
+    def clear_link(self, at: float, src: str, dst: str) -> None:
+        self._require_network("clear_link")
+        self._actions.append(FaultAction(at, "clear_link", src=src, dst=dst))
+
+    def block(self, at: float, src_group: list[str],
+              dst_group: list[str]) -> None:
+        """Asymmetric partition: src→dst traffic drops, dst→src flows."""
+        self._require_network("block")
+        self._actions.append(FaultAction(
+            at, "block", groups=(tuple(src_group), tuple(dst_group))))
+
+    def heal_blocks(self, at: float) -> None:
+        self._require_network("heal_blocks")
+        self._actions.append(FaultAction(at, "heal_blocks"))
+
+    def spike(self, at: float, duration: float, label: str,
+              start: Callable[[], None], stop: Callable[[], None]) -> None:
+        """A traffic spike: ``start`` fires at ``at``, ``stop`` at
+        ``at + duration`` — the callables adjust the workload's arrival
+        rate, so the spike's shape lives in the plan's trace."""
+        if duration <= 0:
+            raise ConfigurationError("spike duration must be positive")
+        self._actions.append(
+            FaultAction(at, "call", label=f"spike_start:{label}", fn=start))
+        self._actions.append(
+            FaultAction(at + duration, "call", label=f"spike_end:{label}",
+                        fn=stop))
+
     # -- execution -------------------------------------------------------------
 
     def _fire(self, action: FaultAction) -> None:
@@ -131,6 +224,39 @@ class FaultPlan:
         elif action.kind == "call":
             action.fn()
             self.executed.append((now, "call", "", action.label))
+        elif action.kind == "limp":
+            self.network.failures.limp(action.node, action.factor)
+            self.executed.append((now, "limp", action.node,
+                                  f"x{action.factor}"))
+        elif action.kind == "heal_limp":
+            self.network.failures.heal_limp(action.node)
+            self.executed.append((now, "heal_limp", action.node, ""))
+        elif action.kind == "net_crash":
+            self.network.failures.crash(action.node)
+            self.executed.append((now, "net_crash", action.node, ""))
+        elif action.kind == "net_recover":
+            self.network.failures.recover(action.node)
+            self.executed.append((now, "net_recover", action.node, ""))
+        elif action.kind == "set_link":
+            self.network.set_link(action.src, action.dst,
+                                  latency_model=action.latency_model,
+                                  loss_rate=action.loss_rate)
+            self.executed.append((now, "set_link",
+                                  f"{action.src}->{action.dst}",
+                                  f"loss={action.loss_rate}"))
+        elif action.kind == "clear_link":
+            self.network.clear_link(action.src, action.dst)
+            self.executed.append((now, "clear_link",
+                                  f"{action.src}->{action.dst}", ""))
+        elif action.kind == "block":
+            src_group, dst_group = action.groups
+            self.network.failures.block(list(src_group), list(dst_group))
+            self.executed.append((now, "block",
+                                  ",".join(sorted(src_group)),
+                                  ",".join(sorted(dst_group))))
+        elif action.kind == "heal_blocks":
+            self.network.failures.heal_blocks()
+            self.executed.append((now, "heal_blocks", "", ""))
         else:  # pragma: no cover - schedule constructors gate the kinds
             raise ValueError(f"unknown fault kind {action.kind!r}")
 

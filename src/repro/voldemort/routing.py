@@ -29,8 +29,17 @@ from repro.common.errors import (
     KeyNotFoundError,
     NodeUnavailableError,
     ObsoleteVersionError,
+    OverloadError,
+    ServerOverloadedError,
 )
 from repro.common.metrics import MetricsRegistry
+from repro.common.overload import (
+    PRIORITY_BULK,
+    PRIORITY_LIVE,
+    PRIORITY_WRITE,
+    AdmissionController,
+    HedgedCall,
+)
 from repro.common.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.common.vectorclock import Occurred
 from repro.voldemort.cluster import StoreDefinition, VoldemortCluster
@@ -51,7 +60,9 @@ class RoutedStore:
                  client_zone: int | None = None,
                  retry_policy: RetryPolicy | None = None,
                  breaker_config: dict | None = None,
-                 retry_seed: int = 0):
+                 retry_seed: int = 0,
+                 admission: AdmissionController | None = None,
+                 hedge: HedgedCall | None = None):
         self.cluster = cluster
         self.store = store
         self.definition: StoreDefinition = cluster.store_definition(store)
@@ -82,6 +93,15 @@ class RoutedStore:
         # new destination" (§II.B Admin Service)
         self.admin = None
         self.metrics = MetricsRegistry()
+        # overload layer (all optional, off by default):
+        # * admission sheds whole operations at the front door — checked
+        #   BEFORE any breaker so a shed never consumes an admitted
+        #   breaker slot and never counts as a node failure;
+        # * hedge fires one backup read at the next replica when the
+        #   primary is slower than the tracked p99 (tail-latency cut
+        #   under gray failure).
+        self.admission = admission
+        self.hedge = hedge
 
     # -- replica selection ------------------------------------------------------
 
@@ -115,6 +135,9 @@ class RoutedStore:
         try:
             self.cluster.network.invoke(
                 self.client_name, self.cluster.node_name(node_id), server.ping)
+            return True
+        except OverloadError:
+            # a shed ping still proves the node is alive
             return True
         except NodeUnavailableError:
             return False
@@ -161,6 +184,11 @@ class RoutedStore:
         short quorum rounds are retried with backoff against the
         replicas that have not answered yet, bounded by ``deadline``.
         """
+        # admission runs before replica selection and before any breaker:
+        # a shed read costs nothing downstream and records no breaker or
+        # detector outcome (the cluster is fine — *we* are overloaded)
+        if self.admission is not None:
+            self.admission.admit(PRIORITY_LIVE, what="get")
         replicas = self.replica_nodes(key)
         required = self.definition.required_reads
         responses: dict[int, list[Versioned]] = {}
@@ -168,13 +196,24 @@ class RoutedStore:
         missing_nodes: list[int] = []
         max_rounds = self.retry_policy.max_attempts if self.retry_policy else 1
         round_number = 1
+        hedged_this_op = False
         while True:
-            for node_id in self._ordered_by_availability(replicas):
+            ordered = self._ordered_by_availability(replicas)
+            for node_id in ordered:
                 if len(responses) + len(missing_nodes) >= required:
                     break
                 if node_id in responses or node_id in missing_nodes:
                     continue
-                result = self._call_get(node_id, key, transform, deadline)
+                if self.hedge is not None and not hedged_this_op:
+                    hedged_this_op = True
+                    backup = next(
+                        (n for n in ordered if n != node_id
+                         and n not in responses and n not in missing_nodes),
+                        None)
+                    node_id, result = self._call_get_hedged(
+                        node_id, backup, key, transform, deadline)
+                else:
+                    result = self._call_get(node_id, key, transform, deadline)
                 if result is None:
                     continue
                 latency, versions = result
@@ -242,11 +281,52 @@ class RoutedStore:
             self.detector.record_success(node_id)
             breaker.record_success()
             return 0.0005, None
+        except ServerOverloadedError:
+            # the replica is alive but shedding — an answered request,
+            # so the admitted breaker slot records success (tripping the
+            # breaker on sheds would turn overload into unavailability),
+            # and routing simply moves on to the next replica instead of
+            # hammering this one
+            self.detector.record_success(node_id)
+            breaker.record_success()
+            self.metrics.counter("get.replica_shed").increment()
+            return None
         except NodeUnavailableError:
             self.detector.record_failure(node_id)
             breaker.record_failure()
             self.metrics.counter("get.node_failures").increment()
             return None
+
+    def _call_get_hedged(self, primary: int, backup: int | None, key: bytes,
+                         transform: tuple | None, deadline: Deadline | None
+                         ) -> tuple[int, tuple[float, list[Versioned] | None] | None]:
+        """One replica read with a tail-latency hedge to ``backup``.
+
+        Returns ``(answering_node, result)`` in :meth:`_call_get`'s
+        result shape.  The hedge races the primary against a backup
+        launched after the tracked p99; per-replica bookkeeping
+        (breaker, detector) happens inside :meth:`_call_get` for both
+        legs, so the hedge changes *which* answer wins, never what gets
+        recorded.
+        """
+        if backup is None:
+            return primary, self._call_get(primary, key, transform, deadline)
+
+        def attempt(node_id):
+            outcome = self._call_get(node_id, key, transform, deadline)
+            if outcome is None:
+                raise NodeUnavailableError(f"node {node_id} did not answer")
+            latency, versions = outcome
+            return versions, latency
+
+        try:
+            winner, versions, effective, hedged = self.hedge.run(
+                [primary, backup], attempt)
+        except (NodeUnavailableError, OverloadError):
+            return primary, None
+        if hedged:
+            self.metrics.counter("get.hedged").increment()
+        return winner, (effective, versions)
 
     @staticmethod
     def _resolve_frontier(responses: dict[int, list[Versioned]]
@@ -275,6 +355,12 @@ class RoutedStore:
             if any(f.clock not in clocks for f in frontier):
                 stale.append(node_id)
         for node_id in stale:
+            # repair is bulk-class traffic: under pressure it is the
+            # first thing to go, so live reads keep their tokens
+            if self.admission is not None and \
+                    not self.admission.try_admit(PRIORITY_BULK):
+                self.metrics.counter("read_repair.shed").increment()
+                return
             server = self.cluster.server_for(node_id)
             for versioned in frontier:
                 try:
@@ -286,6 +372,10 @@ class RoutedStore:
                     # the replica already caught up past this version —
                     # the repair is moot, not a failure
                     self.metrics.counter("read_repair.obsolete").increment()
+                except ServerOverloadedError:
+                    # the replica shed the repair: best-effort traffic,
+                    # dropped without penalty
+                    self.metrics.counter("read_repair.shed").increment()
                 except NodeUnavailableError:
                     # best-effort by design (§II.B), but the miss must
                     # stay observable to the failure detector and metrics
@@ -302,6 +392,8 @@ class RoutedStore:
         absent everywhere are omitted.  Keys that cannot reach R
         replicas raise, matching :meth:`get`.
         """
+        if self.admission is not None:
+            self.admission.admit(PRIORITY_LIVE, what="get_all")
         required = self.definition.required_reads
         per_node: dict[int, list[bytes]] = {}
         assignments: dict[bytes, list[int]] = {}
@@ -322,6 +414,10 @@ class RoutedStore:
                     server.get_batch, self.store, node_keys)
                 self.detector.record_success(node_id)
                 latencies.append(latency)
+            except ServerOverloadedError:
+                self.detector.record_success(node_id)
+                self.metrics.counter("get_all.replica_shed").increment()
+                continue
             except NodeUnavailableError:
                 self.detector.record_failure(node_id)
                 continue
@@ -363,6 +459,11 @@ class RoutedStore:
     def _write(self, key: bytes, versioned: Versioned,
                transform: tuple | None, is_delete: bool,
                deadline: Deadline | None = None) -> float:
+        # shed before breaker (same front-door rule as reads); writes
+        # outrank bulk traffic but yield to live reads under pressure
+        if self.admission is not None:
+            self.admission.admit(
+                PRIORITY_WRITE, what="delete" if is_delete else "put")
         replicas = self.replica_nodes(key)
         required = self.definition.required_writes
         successes = 0
@@ -446,6 +547,14 @@ class RoutedStore:
                 self.detector.record_success(node_id)
                 breaker.record_success()
                 out["conflict"] = exc
+            except ServerOverloadedError:
+                # shed by the replica: alive (breaker success), but the
+                # write did not land — eligible for retry/handoff like
+                # any other miss
+                self.detector.record_success(node_id)
+                breaker.record_success()
+                self.metrics.counter("put.replica_shed").increment()
+                out["failed"].append(node_id)
             except NodeUnavailableError:
                 self.detector.record_failure(node_id)
                 breaker.record_failure()
@@ -468,6 +577,9 @@ class RoutedStore:
                     self.client_name, self.cluster.node_name(holder_id),
                     holder.store_hint, hint)
                 self.metrics.counter("hints_stored").increment()
+            except OverloadError:
+                self.metrics.counter("hints_shed").increment()
+                continue
             except NodeUnavailableError:
                 continue
 
@@ -485,13 +597,21 @@ class RoutedStore:
             return 10 ** 6
         return zone.proximity.index(node_zone) + 1
 
+    def _queue_depth(self, node_id: int) -> int:
+        """The replica's simulated server-queue depth (0 when the node
+        has no bounded queue configured) — the load signal for
+        least-loaded replica selection."""
+        return self.cluster.network.queue_depth(self.cluster.node_name(node_id))
+
     def _ordered_by_availability(self, replicas: list[int]) -> list[int]:
-        """Available replicas first, nearest zone first within each
-        group, preserving ring order as the final tie-break."""
+        """Available replicas first, nearest zone first, least-loaded
+        (shallowest server queue) within a zone, preserving ring order
+        as the final tie-break."""
         indexed = list(enumerate(replicas))
         indexed.sort(key=lambda pair: (
             not self.detector.is_available(pair[1]),
             self._zone_distance(pair[1]),
+            self._queue_depth(pair[1]),
             pair[0]))
         return [node_id for _, node_id in indexed]
 

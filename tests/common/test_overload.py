@@ -1,0 +1,337 @@
+"""Overload primitives: token buckets, admission classes, CoDel
+shedding, adaptive concurrency, and hedged calls (DESIGN.md §12)."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    BackpressureError,
+    ConfigurationError,
+    NodeUnavailableError,
+    ServerOverloadedError,
+)
+from repro.common.metrics import MetricsRegistry
+from repro.common.overload import (
+    PRIORITY_BULK,
+    PRIORITY_LIVE,
+    PRIORITY_WRITE,
+    AdmissionController,
+    CoDelShedder,
+    ConcurrencyLimiter,
+    HedgedCall,
+    TokenBucket,
+)
+
+# -- TokenBucket ----------------------------------------------------------
+
+
+def test_token_bucket_starts_full_and_drains():
+    bucket = TokenBucket(SimClock(), rate=10.0, burst=5.0)
+    assert bucket.available == 5.0
+    for _ in range(5):
+        assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_token_bucket_refills_with_time_capped_at_burst():
+    clock = SimClock()
+    bucket = TokenBucket(clock, rate=10.0, burst=5.0)
+    for _ in range(5):
+        bucket.try_acquire()
+    clock.advance(0.2)  # 2 tokens back
+    assert bucket.available == pytest.approx(2.0)
+    clock.advance(100.0)  # refill saturates at burst
+    assert bucket.available == pytest.approx(5.0)
+
+
+def test_token_bucket_fractional_costs():
+    bucket = TokenBucket(SimClock(), rate=1.0, burst=1.0)
+    assert bucket.try_acquire(0.75)
+    assert not bucket.try_acquire(0.5)
+    assert bucket.try_acquire(0.25)
+
+
+def test_token_bucket_validation():
+    with pytest.raises(ConfigurationError):
+        TokenBucket(SimClock(), rate=0.0, burst=1.0)
+    with pytest.raises(ConfigurationError):
+        TokenBucket(SimClock(), rate=1.0, burst=0.0)
+
+
+# -- AdmissionController --------------------------------------------------
+
+
+def test_admission_sheds_bulk_before_writes_before_live():
+    # burst 10: bulk floor 4 tokens, write floor 1.5, live floor 0
+    clock = SimClock()
+    admission = AdmissionController(clock, rate=1.0, burst=10.0)
+    drained = 0
+    while admission.try_admit(PRIORITY_BULK):
+        drained += 1
+    assert drained == 6  # 10 - floor(4)
+    # bulk is now shed but writes still flow...
+    assert not admission.try_admit(PRIORITY_BULK)
+    assert admission.try_admit(PRIORITY_WRITE)
+    assert admission.try_admit(PRIORITY_WRITE)
+    assert not admission.try_admit(PRIORITY_WRITE)
+    # ...and live reads drain the bucket to the last token
+    assert admission.try_admit(PRIORITY_LIVE)
+    assert admission.try_admit(PRIORITY_LIVE)
+    assert not admission.try_admit(PRIORITY_LIVE)
+
+
+def test_admission_admit_raises_with_retry_after_hint():
+    clock = SimClock()
+    admission = AdmissionController(clock, rate=2.0, burst=1.0)
+    admission.admit(PRIORITY_LIVE, what="read")
+    with pytest.raises(ServerOverloadedError) as exc_info:
+        admission.admit(PRIORITY_LIVE, what="read")
+    # one token short at 2 tokens/s => half a second until admittable
+    assert exc_info.value.retry_after == pytest.approx(0.5)
+    clock.advance(exc_info.value.retry_after)
+    admission.admit(PRIORITY_LIVE)  # the hint was honest
+
+
+def test_admission_counts_per_class_metrics():
+    metrics = MetricsRegistry()
+    admission = AdmissionController(SimClock(), rate=1.0, burst=1.0,
+                                    metrics=metrics, name="adm")
+    assert admission.try_admit(PRIORITY_LIVE)
+    assert not admission.try_admit(PRIORITY_BULK)
+    assert metrics.counters["adm.admitted.live"].value == 1
+    assert metrics.counters["adm.shed.bulk"].value == 1
+    assert admission.admitted == 1
+    assert admission.shed == 1
+
+
+def test_admission_custom_reserve_overrides_default():
+    admission = AdmissionController(SimClock(), rate=1.0, burst=10.0,
+                                    reserve={PRIORITY_BULK: 0.0})
+    drained = 0
+    while admission.try_admit(PRIORITY_BULK):
+        drained += 1
+    assert drained == 10  # no reservation: bulk drains the whole bucket
+
+
+# -- CoDelShedder ---------------------------------------------------------
+
+
+def test_codel_dormant_below_target():
+    shedder = CoDelShedder(SimClock(), target=0.005, interval=0.1)
+    for _ in range(100):
+        assert not shedder.offer(0.004, PRIORITY_BULK)
+    assert not shedder.dropping
+    assert shedder.shed == 0
+
+
+def test_codel_tolerates_bursts_shorter_than_interval():
+    clock = SimClock()
+    shedder = CoDelShedder(clock, target=0.005, interval=0.1)
+    # delay above target, but only for half an interval
+    for _ in range(5):
+        assert not shedder.offer(0.02, PRIORITY_BULK)
+        clock.advance(0.01)
+    # back under target: the burst never became a standing queue
+    assert not shedder.offer(0.001, PRIORITY_BULK)
+    assert not shedder.dropping
+
+
+def test_codel_enters_dropping_after_full_interval_above_target():
+    clock = SimClock()
+    shedder = CoDelShedder(clock, target=0.005, interval=0.1)
+    assert not shedder.offer(0.02, PRIORITY_BULK)  # arms the timer
+    clock.advance(0.11)
+    assert shedder.offer(0.02, PRIORITY_BULK)      # standing queue: shed
+    assert shedder.dropping
+    # recovery: one sample under target exits dropping mode
+    assert not shedder.offer(0.004, PRIORITY_BULK)
+    assert not shedder.dropping
+
+
+def test_codel_class_targets_shed_bulk_first():
+    clock = SimClock()
+    shedder = CoDelShedder(clock, target=0.005, interval=0.1)
+    shedder.offer(0.008, PRIORITY_BULK)
+    clock.advance(0.11)
+    # 8ms delay: above bulk's 5ms target, below write's 10ms and
+    # live's 20ms — only bulk sheds
+    assert shedder.offer(0.008, PRIORITY_BULK)
+    assert not shedder.offer(0.008, PRIORITY_WRITE)
+    assert not shedder.offer(0.008, PRIORITY_LIVE)
+    # at 25ms every class sheds
+    assert shedder.offer(0.025, PRIORITY_LIVE)
+
+
+def test_codel_validation():
+    with pytest.raises(ConfigurationError):
+        CoDelShedder(SimClock(), target=0.0)
+    with pytest.raises(ConfigurationError):
+        CoDelShedder(SimClock(), interval=0.0)
+
+
+# -- ConcurrencyLimiter ---------------------------------------------------
+
+
+def test_limiter_bounds_in_flight():
+    limiter = ConcurrencyLimiter(initial=2)
+    assert limiter.try_acquire()
+    assert limiter.try_acquire()
+    assert not limiter.try_acquire()
+    with pytest.raises(BackpressureError):
+        limiter.acquire("send")
+    limiter.release(latency=0.01)
+    assert limiter.try_acquire()
+
+
+def test_limiter_shrinks_multiplicatively_on_overload():
+    limiter = ConcurrencyLimiter(initial=100, decrease=0.5)
+    limiter.try_acquire()
+    limiter.release(overloaded=True)
+    assert limiter.limit == 50
+    assert limiter.overload_shrinks == 1
+
+
+def test_limiter_gradient_shrink_on_latency_blowup():
+    limiter = ConcurrencyLimiter(initial=100, decrease=0.5,
+                                 latency_factor=2.0)
+    limiter.try_acquire()
+    limiter.release(latency=0.010)  # establishes the baseline
+    limiter.try_acquire()
+    limiter.release(latency=0.050)  # 5x baseline: gray slowness
+    assert limiter.limit == 50
+    assert limiter.overload_shrinks == 1
+
+
+def test_limiter_grows_additively_on_clean_success():
+    limiter = ConcurrencyLimiter(initial=4, max_limit=8)
+    limiter.try_acquire()
+    limiter.release(latency=0.010)  # baseline
+    for _ in range(20):
+        limiter.try_acquire()
+        limiter.release(latency=0.010)
+    assert 4 < limiter.limit <= 8  # +1/limit per success, AIMD probing
+
+
+def test_limiter_respects_min_and_max():
+    limiter = ConcurrencyLimiter(initial=2, min_limit=2, max_limit=4,
+                                 decrease=0.5)
+    limiter.try_acquire()
+    limiter.release(overloaded=True)
+    assert limiter.limit == 2  # clamped at min
+
+
+def test_limiter_validation():
+    with pytest.raises(ConfigurationError):
+        ConcurrencyLimiter(initial=0)
+    with pytest.raises(ConfigurationError):
+        ConcurrencyLimiter(initial=8, min_limit=9)
+    with pytest.raises(ConfigurationError):
+        ConcurrencyLimiter(decrease=1.0)
+    with pytest.raises(ConfigurationError):
+        ConcurrencyLimiter(latency_factor=1.0)
+    with pytest.raises(ConfigurationError):
+        ConcurrencyLimiter(smoothing=1.0)
+
+
+# -- HedgedCall -----------------------------------------------------------
+
+
+def make_attempt(latencies, failures=()):
+    """An attempt fn mapping target -> (target, latency) with scripted
+    per-target failures."""
+    def attempt(target):
+        if target in failures:
+            exc = NodeUnavailableError(f"{target} down")
+            exc.simulated_latency = 0.002
+            raise exc
+        return f"from-{target}", latencies[target]
+    return attempt
+
+
+def test_hedge_uses_fallback_delay_until_warmup():
+    hedge = HedgedCall(min_delay=0.001, fallback_delay=0.05, warmup=10)
+    assert hedge.hedge_delay() == 0.05
+
+
+def test_hedge_fast_primary_never_hedges():
+    hedge = HedgedCall(min_delay=0.001, fallback_delay=0.05, warmup=1)
+    attempt = make_attempt({"a": 0.002, "b": 0.002})
+    target, result, latency, hedged = hedge.run(["a", "b"], attempt)
+    assert (target, result, hedged) == ("a", "from-a", False)
+    assert latency == 0.002
+    assert hedge.launched == 0
+
+
+def test_hedge_backup_wins_against_slow_primary():
+    hedge = HedgedCall(min_delay=0.001, fallback_delay=0.005, warmup=50)
+    attempt = make_attempt({"a": 0.100, "b": 0.002})
+    target, result, latency, hedged = hedge.run(["a", "b"], attempt)
+    assert (target, result, hedged) == ("b", "from-b", True)
+    # backup fired at the 5ms delay and took 2ms: effective 7ms << 100ms
+    assert latency == pytest.approx(0.007)
+    assert hedge.launched == 1
+    assert hedge.backup_wins == 1
+
+
+def test_hedge_slow_backup_loses_to_primary():
+    hedge = HedgedCall(min_delay=0.001, fallback_delay=0.005, warmup=50)
+    attempt = make_attempt({"a": 0.010, "b": 0.100})
+    target, result, latency, hedged = hedge.run(["a", "b"], attempt)
+    assert (target, hedged) == ("a", True)   # hedge fired but lost
+    assert latency == 0.010
+    assert hedge.backup_wins == 0
+
+
+def test_hedge_doubles_as_failover_on_primary_failure():
+    hedge = HedgedCall(min_delay=0.001, fallback_delay=0.005, warmup=50)
+    attempt = make_attempt({"a": 0.1, "b": 0.002}, failures={"a"})
+    target, result, latency, hedged = hedge.run(["a", "b"], attempt)
+    assert (target, result, hedged) == ("b", "from-b", True)
+    # burned the primary's 2ms failure latency, then the backup's 2ms
+    assert latency == pytest.approx(0.004)
+
+
+def test_hedge_backup_failure_keeps_primary_result():
+    hedge = HedgedCall(min_delay=0.001, fallback_delay=0.005, warmup=50)
+    attempt = make_attempt({"a": 0.100, "b": 0.0}, failures={"b"})
+    target, result, latency, hedged = hedge.run(["a", "b"], attempt)
+    assert (target, result, hedged) == ("a", "from-a", True)
+    assert latency == 0.100
+
+
+def test_hedge_single_target_failure_propagates():
+    hedge = HedgedCall()
+    attempt = make_attempt({}, failures={"a"})
+    with pytest.raises(NodeUnavailableError):
+        hedge.run(["a"], attempt)
+    with pytest.raises(ConfigurationError):
+        hedge.run([], attempt)
+
+
+def test_hedge_delay_tracks_p99_of_observed_latencies():
+    hedge = HedgedCall(min_delay=0.001, fallback_delay=0.5, warmup=20)
+    attempt = make_attempt({"a": 0.010})
+    for _ in range(100):
+        hedge.run(["a"], attempt)
+    assert hedge.hedge_delay() == pytest.approx(0.010, rel=0.2)
+
+
+def test_hedge_delay_median_clamp_survives_persistent_gray_failure():
+    # a limping replica serves ~10% of reads 50x slow.  The raw p99
+    # converges to the slow latency — which would disable the hedge
+    # exactly when it matters.  The median clamp keeps the delay near
+    # 3x the healthy median instead.
+    hedge = HedgedCall(min_delay=0.001, fallback_delay=0.005, warmup=20,
+                       median_multiplier=3.0)
+    for i in range(200):
+        hedge.histogram.record(0.500 if i % 10 == 0 else 0.010)
+    assert hedge.hedge_delay() == pytest.approx(0.030, rel=0.2)
+
+
+def test_hedge_validation():
+    with pytest.raises(ConfigurationError):
+        HedgedCall(min_delay=-0.001)
+    with pytest.raises(ConfigurationError):
+        HedgedCall(min_delay=0.01, fallback_delay=0.005)
+    with pytest.raises(ConfigurationError):
+        HedgedCall(median_multiplier=1.0)

@@ -1,0 +1,108 @@
+"""Relay admission control and consumer backpressure: catch-up
+consumers classify themselves as bulk, shed to the bootstrap server,
+and never starve tailing consumers."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigurationError, ServerOverloadedError
+from repro.common.overload import (
+    PRIORITY_BULK,
+    PRIORITY_LIVE,
+    AdmissionController,
+)
+from repro.databus import BootstrapServer, DatabusClient, DatabusConsumer, Relay
+
+from tests.databus.conftest import insert_member
+
+
+class CountingConsumer(DatabusConsumer):
+    def __init__(self):
+        self.events = []
+        self.snapshot_rows = []
+
+    def on_data_event(self, event):
+        self.events.append(event)
+
+    def on_snapshot_row(self, event):
+        self.snapshot_rows.append(event)
+
+
+def build_pipeline(source_db, clock, rate=10.0, burst=10.0, events=8):
+    relay = Relay("relay-1", admission=AdmissionController(
+        clock, rate=rate, burst=burst))
+    from repro.databus import capture_from_binlog
+    capture = capture_from_binlog(source_db, relay)
+    for member in range(1, events + 1):
+        insert_member(source_db, member)
+    capture.poll()
+    bootstrap = BootstrapServer()
+    bootstrap.on_events(relay.stream_from(bootstrap.high_watermark))
+    return relay, bootstrap
+
+
+def drain(admission, tokens_left=0.0):
+    while admission.bucket.available > tokens_left:
+        assert admission.try_admit(PRIORITY_LIVE)
+
+
+def test_relay_sheds_bulk_before_live(source_db):
+    clock = SimClock()
+    relay, _ = build_pipeline(source_db, clock)
+    # 2 tokens left: below the bulk floor (0.4 * 10 = 4)
+    drain(relay.admission, tokens_left=2.0)
+    with pytest.raises(ServerOverloadedError):
+        relay.stream_from(0, priority=PRIORITY_BULK)
+    assert relay.stream_from(0, priority=PRIORITY_LIVE)
+
+
+def test_client_classifies_polls_by_lag(source_db):
+    clock = SimClock()
+    relay, _ = build_pipeline(source_db, clock, events=8)
+    consumer = CountingConsumer()
+    client = DatabusClient(consumer, relay, clock=clock, bulk_lag_scns=3)
+    assert client._poll_priority() == PRIORITY_BULK   # 8 SCNs behind
+    client.poll()
+    assert client._poll_priority() == PRIORITY_LIVE   # caught up
+
+
+def test_bulk_lag_validation(source_db):
+    relay = Relay()
+    with pytest.raises(ConfigurationError):
+        DatabusClient(CountingConsumer(), relay, bulk_lag_scns=0)
+
+
+def test_tailing_client_backs_off_on_shed_without_tight_retry(source_db):
+    clock = SimClock()
+    relay, _ = build_pipeline(source_db, clock, events=2)
+    consumer = CountingConsumer()
+    client = DatabusClient(consumer, relay, clock=clock, bulk_lag_scns=100)
+    drain(relay.admission)     # even live-class polls shed now
+    requests_before = relay.requests_served
+    before = clock.now()
+    assert client.poll() == 0
+    assert client.stats.polls_shed == 1
+    assert clock.now() > before             # slept the Retry-After hint
+    assert relay.requests_served == requests_before  # no hammering
+    # the backoff let the bucket refill: the next poll delivers
+    assert client.poll() > 0
+    assert len(consumer.events) == 2
+
+
+def test_lagging_client_takes_catchup_to_bootstrap(source_db):
+    clock = SimClock()
+    relay, bootstrap = build_pipeline(source_db, clock, events=8)
+    consumer = CountingConsumer()
+    client = DatabusClient(consumer, relay, bootstrap=bootstrap,
+                           clock=clock, bulk_lag_scns=3)
+    # 2 tokens left: the client's bulk-class poll sheds, but instead of
+    # sleeping it catches up from the bootstrap server
+    drain(relay.admission, tokens_left=2.0)
+    delivered = client.poll()
+    assert delivered > 0
+    assert client.stats.polls_shed == 1
+    assert client.stats.bootstraps == 1   # catch-up went to bootstrap
+    # a tailing (live-class) consumer was never starved meanwhile
+    tailing = DatabusClient(CountingConsumer(), relay, clock=clock,
+                            checkpoint=relay.newest_scn() - 1)
+    assert tailing.poll() == 1

@@ -127,3 +127,88 @@ def test_mark_up_hook_fires_for_external_recovery():
     # mark_up is an external recovery signal for listeners (breakers)
     detector.mark_up(2)
     assert recovered == [1, 2]
+
+
+# -- flapping nodes (rapid down/up cycles) --------------------------------
+
+
+def test_flapping_node_is_remarked_down_each_cycle():
+    clock = SimClock()
+    alive = {"up": True}
+    detector = FailureDetector(clock, threshold=0.9, minimum_samples=2,
+                               ping_interval=1.0,
+                               ping=lambda node: alive["up"])
+    cycles = 5
+    for _ in range(cycles):
+        alive["up"] = False
+        detector.record_failure(1)
+        detector.record_failure(1)
+        assert not detector.is_available(1)
+        alive["up"] = True
+        clock.advance(1.0)           # the probe brings it back
+        assert detector.is_available(1)
+    assert detector.nodes_marked_down == cycles
+    assert detector.nodes_recovered == cycles
+
+
+def test_flapping_recovery_clears_stale_failure_history():
+    # each mark_up wipes the outcome window, so one failure right after
+    # a recovery is judged on fresh samples — the detector neither
+    # instantly re-marks a recovered node down on old history, nor
+    # lets old successes mask a relapse
+    clock = SimClock()
+    detector = FailureDetector(clock, threshold=0.9, minimum_samples=3,
+                               ping_interval=1.0, ping=lambda node: True)
+    detector.record_failure(1)
+    detector.record_failure(1)
+    detector.record_failure(1)
+    assert not detector.is_available(1)
+    clock.advance(1.0)
+    assert detector.is_available(1)
+    detector.record_failure(1)       # 1 sample < minimum: still up
+    assert detector.is_available(1)
+    assert len(detector._node(1).outcomes) == 1
+
+
+def test_flapping_fires_mark_up_hook_every_cycle():
+    # breakers listen on on_mark_up; under flapping they must be reset
+    # on every recovery, not just the first
+    clock = SimClock()
+    alive = {"up": True}
+    recoveries = []
+    detector = FailureDetector(clock, threshold=0.9, minimum_samples=2,
+                               ping_interval=0.5,
+                               ping=lambda node: alive["up"])
+    detector.on_mark_up = recoveries.append
+    for _ in range(3):
+        alive["up"] = False
+        detector.record_failure(7)
+        detector.record_failure(7)
+        alive["up"] = True
+        clock.advance(0.5)
+    assert recoveries == [7, 7, 7]
+
+
+def test_flapping_probe_does_not_stack_duplicate_probes():
+    # a node that flaps down again while probes are pending must not
+    # accumulate probe storms: probes for an already-recovered node
+    # exit without rescheduling
+    clock = SimClock()
+    alive = {"up": False, "pings": 0}
+
+    def ping(node):
+        alive["pings"] += 1
+        return alive["up"]
+
+    detector = FailureDetector(clock, threshold=0.9, minimum_samples=2,
+                               ping_interval=1.0, ping=ping)
+    detector.record_failure(1)
+    detector.record_failure(1)
+    clock.advance(3.0)               # three failed probes
+    assert alive["pings"] == 3
+    alive["up"] = True
+    clock.advance(1.0)               # the fourth succeeds
+    assert detector.is_available(1)
+    pings_after_recovery = alive["pings"]
+    clock.advance(5.0)               # no further probes for an up node
+    assert alive["pings"] == pings_after_recovery
