@@ -6,6 +6,9 @@ errors.  Typical invocations::
 
     python -m repro.analysis src/repro            # human report
     python -m repro.analysis src/repro --json     # machine report
+    python -m repro.analysis src/repro --format=github  # CI annotations
+    python -m repro.analysis src/repro --jobs 4   # parallel per-file scan
+    python -m repro.analysis src/repro --graph    # call graph as DOT
     python -m repro.analysis --rule layering-contract --stats
     repro-lint src/repro --baseline               # gate against lint-baseline.json
     repro-lint src/repro --write-baseline         # grandfather current findings
@@ -29,6 +32,7 @@ from pathlib import Path
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.core import Analyzer, all_rules, rule_names
 from repro.analysis.reporters import (
+    render_github,
     render_json,
     render_rule_list,
     render_stats,
@@ -46,7 +50,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="files or directories to scan "
                              "(default: src/repro)")
     parser.add_argument("--json", action="store_true",
-                        help="emit a machine-readable JSON report")
+                        help="emit a machine-readable JSON report "
+                             "(alias for --format=json)")
+    parser.add_argument("--format", choices=["text", "json", "github"],
+                        default=None,
+                        help="report format; 'github' emits Actions "
+                             "::error annotations for new findings")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run per-file rules across N worker "
+                             "processes (default: 1)")
+    parser.add_argument("--graph", nargs="?", const="dot", default=None,
+                        choices=["dot", "json"], metavar="FORMAT",
+                        help="dump the repo-wide call graph (dot or "
+                             "json) instead of linting")
     parser.add_argument("--baseline", nargs="?", const=DEFAULT_BASELINE_NAME,
                         default=None, metavar="PATH",
                         help="grandfather findings recorded in PATH "
@@ -103,8 +119,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-lint: no such path(s): {', '.join(missing)}",
               file=sys.stderr)
         return 2
+    if args.json and args.format not in (None, "json"):
+        print("repro-lint: --json conflicts with "
+              f"--format={args.format}", file=sys.stderr)
+        return 2
+    output = args.format or ("json" if args.json else "text")
 
-    analyzer = Analyzer(rules=rules, root=args.root)
+    analyzer = Analyzer(rules=rules, root=args.root, jobs=args.jobs)
+
+    if args.graph is not None:
+        print(_dump_graph(analyzer, args.paths, args.graph))
+        return 0
+
     report = analyzer.run(args.paths)
 
     if args.write_baseline is not None:
@@ -147,9 +173,13 @@ def main(argv: list[str] | None = None) -> int:
     stats = None
     if args.stats:
         stats = stats_payload(analyzer.rule_seconds, analyzer.rule_findings)
-    if args.json:
+    if output == "json":
         print(render_json(report, new, grandfathered, analyzer.metrics,
                           stats=stats))
+    elif output == "github":
+        annotations = render_github(new, report.parse_errors)
+        if annotations:
+            print(annotations)
     else:
         print(render_text(report, new, grandfathered, rules))
         if args.stats:
@@ -157,3 +187,19 @@ def main(argv: list[str] | None = None) -> int:
                                analyzer.rule_findings,
                                report.files_scanned))
     return 1 if (new or report.parse_errors) else 0
+
+
+def _dump_graph(analyzer: Analyzer, paths: list[str], fmt: str) -> str:
+    """Parse the given paths and render their call graph."""
+    from repro.analysis.callgraph import Project
+    from repro.analysis.core import FileContext
+    contexts = []
+    for path in analyzer.iter_files(paths):
+        source = path.read_text(encoding="utf-8")
+        try:
+            contexts.append(FileContext.parse(
+                source, analyzer._rel(path), path=path))
+        except SyntaxError:
+            continue
+    graph = Project(contexts).graph
+    return graph.to_dot() if fmt == "dot" else graph.to_json()

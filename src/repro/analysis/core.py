@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.common.errors import ConfigurationError
 from repro.common.metrics import MetricsRegistry
 
 _PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-\s]+)")
@@ -63,8 +64,31 @@ NETWORK_CALL_ATTRS = frozenset({"invoke", "send"})
 
 
 @dataclass(frozen=True)
+class Frame:
+    """One hop of an interprocedural finding's call chain.
+
+    ``caller`` performed a call on ``line`` of ``path`` that reaches
+    ``callee`` (a function qualname, or a primitive like ``<invoke>``
+    / the raised exception name at the chain's end)."""
+
+    path: str
+    line: int
+    caller: str
+    callee: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.caller} -> {self.callee}"
+
+
+@dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    Interprocedural rules attach the ``chain`` of call frames from the
+    entry point down to the offending call; per-line rules leave it
+    empty.  Both reporters render it, and a pragma on any frame's line
+    suppresses the finding (see :meth:`Analyzer._project_findings`).
+    """
 
     rule: str
     path: str          # posix-style path relative to the scan root
@@ -73,6 +97,7 @@ class Finding:
     message: str
     snippet: str = ""  # the stripped source line, for fingerprinting
     end_line: int = 0  # last line of the anchoring node (0 = same line)
+    chain: tuple[Frame, ...] = ()
 
     @property
     def last_line(self) -> int:
@@ -222,13 +247,32 @@ class Rule:
         return any(ctx.rel_path.endswith(suffix)
                    for suffix in self.exempt_suffixes)
 
-    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                chain: tuple[Frame, ...] = ()) -> Finding:
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         end = getattr(node, "end_lineno", None) or lineno
         return Finding(rule=self.name, path=ctx.rel_path, line=lineno,
                        col=col, message=message,
-                       snippet=ctx.line_text(lineno), end_line=end)
+                       snippet=ctx.line_text(lineno), end_line=end,
+                       chain=chain)
+
+
+class ProjectRule(Rule):
+    """A rule that sees the whole scanned project at once.
+
+    Per-file rules get one :class:`FileContext`; subclasses of this
+    get the :class:`~repro.analysis.callgraph.Project` — parsed files,
+    call graph, and effect summaries (built once per run and shared) —
+    and yield findings whose :attr:`Finding.chain` spells out the call
+    path that convicts them.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, type[Rule]] = {}
@@ -237,9 +281,9 @@ _REGISTRY: dict[str, type[Rule]] = {}
 def register(cls: type[Rule]) -> type[Rule]:
     """Class decorator adding a rule to the global registry."""
     if not cls.name:
-        raise ValueError(f"rule {cls.__name__} has no name")
+        raise ConfigurationError(f"rule {cls.__name__} has no name")
     if cls.name in _REGISTRY:
-        raise ValueError(f"duplicate rule name {cls.name!r}")
+        raise ConfigurationError(f"duplicate rule name {cls.name!r}")
     _REGISTRY[cls.name] = cls
     return cls
 
@@ -272,14 +316,22 @@ class Analyzer:
     ``root`` anchors the relative paths used in reports and baseline
     fingerprints (defaults to the current directory), so a baseline
     written from the repo root matches runs from anywhere.
+
+    ``jobs`` > 1 fans the per-file parse/scan out across a process
+    pool; the interprocedural pass (the :class:`ProjectRule`\\ s) always
+    runs in the parent over the full parse, because the call graph
+    needs every file at once.  Output is byte-identical either way —
+    results are collected in input order.
     """
 
     def __init__(self, rules: Iterable[Rule] | None = None,
                  root: Path | str | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 jobs: int | None = None):
         self.rules = list(rules) if rules is not None else all_rules()
         self.root = Path(root) if root is not None else Path.cwd()
         self.metrics = metrics or MetricsRegistry()
+        self.jobs = jobs if jobs and jobs > 1 else 1
         #: per-rule wall seconds and finding counts, accumulated across
         #: the run (the --stats report)
         self.rule_seconds: dict[str, float] = {r.name: 0.0 for r in self.rules}
@@ -301,14 +353,18 @@ class Analyzer:
                 yield path
 
     def check_source(self, source: str, rel_path: str) -> list[Finding]:
-        """Analyze one source string (the unit-test entry point)."""
+        """Analyze one source string (the unit-test entry point) —
+        per-file rules plus the project rules over a one-file project."""
         ctx = FileContext.parse(source, rel_path)
-        return self._check_context(ctx)
+        findings = self._check_context(ctx)
+        findings.extend(self._project_findings([ctx]))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
 
     def _check_context(self, ctx: FileContext) -> list[Finding]:
         kept: list[Finding] = []
         for rule in self.rules:
-            if rule.exempt(ctx):
+            if isinstance(rule, ProjectRule) or rule.exempt(ctx):
                 continue
             # timing the linter itself is diagnostics, not simulated
             # behaviour, so the real clock is fine here
@@ -329,7 +385,10 @@ class Analyzer:
 
     def run(self, paths: Iterable[Path | str]) -> LintReport:
         report = LintReport()
-        for path in self.iter_files(paths):
+        files = list(self.iter_files(paths))
+        parallel = self._scan_parallel(files) if self.jobs > 1 else None
+        contexts: list[FileContext] = []
+        for path in files:
             report.files_scanned += 1
             self.metrics.counter("lint.files").increment()
             source = path.read_text(encoding="utf-8")
@@ -340,7 +399,107 @@ class Analyzer:
                 self.metrics.counter("lint.parse_errors").increment()
                 report.parse_errors.append(f"{rel}: {exc.msg} (line {exc.lineno})")
                 continue
-            report.findings.extend(self._check_context(ctx))
+            contexts.append(ctx)
+            if parallel is None:
+                report.findings.extend(self._check_context(ctx))
+        if parallel is not None:
+            report.findings.extend(parallel)
+        report.findings.extend(self._project_findings(contexts))
         report.suppressed = self.metrics.counter("lint.suppressed").value
         report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return report
+
+    def _scan_parallel(self, files: list[Path]) -> list[Finding] | None:
+        """Per-file rules across a process pool; None falls back to the
+        serial path (pool unavailable in restricted environments)."""
+        from concurrent.futures import ProcessPoolExecutor
+        payload = [(str(path), str(self.root),
+                    frozenset(r.name for r in self.rules))
+                   for path in files]
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                chunk = max(1, len(files) // (self.jobs * 4))
+                results = list(pool.map(_scan_file_worker, payload,
+                                        chunksize=chunk))
+        except (OSError, ImportError):
+            return None
+        findings: list[Finding] = []
+        for file_findings, suppressed, seconds, counts in results:
+            findings.extend(file_findings)
+            self.metrics.counter("lint.suppressed").increment(suppressed)
+            for name, value in seconds.items():
+                self.rule_seconds[name] = \
+                    self.rule_seconds.get(name, 0.0) + value
+            for name, value in counts.items():
+                self.rule_findings[name] = \
+                    self.rule_findings.get(name, 0) + value
+                self.metrics.counter(f"lint.findings.{name}").increment(value)
+        return findings
+
+    def _project_findings(self, contexts: list[FileContext]) -> list[Finding]:
+        """Run the interprocedural rules once over the whole parse.
+
+        Suppression honours the pragma *at any frame of the chain*: a
+        ``# repro-lint: disable=<rule>`` on the entry point, on an
+        intermediate call, or on the offending line all silence the
+        finding — whichever frame the justification reads best at.
+        """
+        project_rules = [r for r in self.rules if isinstance(r, ProjectRule)]
+        if not project_rules or not contexts:
+            return []
+        from repro.analysis.callgraph import Project   # lazy: import cycle
+        project = Project(contexts)
+        by_path = {ctx.rel_path: ctx for ctx in contexts}
+        kept: list[Finding] = []
+        for rule in project_rules:
+            started = time.perf_counter()  # repro-lint: disable=wall-clock
+            for finding in rule.check_project(project):
+                if self._chain_suppressed(finding, by_path):
+                    self.metrics.counter("lint.suppressed").increment()
+                    continue
+                self.metrics.counter(
+                    f"lint.findings.{finding.rule}").increment()
+                self.rule_findings[rule.name] += 1
+                kept.append(finding)
+            elapsed = time.perf_counter() - started  # repro-lint: disable=wall-clock
+            self.rule_seconds[rule.name] += elapsed
+        return kept
+
+    @staticmethod
+    def _chain_suppressed(finding: Finding,
+                          by_path: dict[str, FileContext]) -> bool:
+        ctx = by_path.get(finding.path)
+        if ctx is not None and ctx.suppressed(finding.rule, finding.line,
+                                              finding.end_line):
+            return True
+        for frame in finding.chain:
+            frame_ctx = by_path.get(frame.path)
+            if frame_ctx is not None and \
+                    frame_ctx.suppressed(finding.rule, frame.line):
+                return True
+        return False
+
+
+def _scan_file_worker(args: tuple[str, str, frozenset[str]]
+                      ) -> tuple[list[Finding], int,
+                                 dict[str, float], dict[str, int]]:
+    """Process-pool unit: parse one file and run the per-file rules.
+
+    Parse errors return empty-handed — the parent's own parse of the
+    same file reports them exactly once.
+    """
+    path_str, root_str, rule_names = args
+    rules = [rule for rule in all_rules()
+             if rule.name in rule_names and not isinstance(rule, ProjectRule)]
+    analyzer = Analyzer(rules=rules, root=root_str)
+    path = Path(path_str)
+    try:
+        ctx = FileContext.parse(path.read_text(encoding="utf-8"),
+                                analyzer._rel(path), path=path)
+    except SyntaxError:
+        return [], 0, {}, {}
+    findings = analyzer._check_context(ctx)
+    suppressed = analyzer.metrics.counter("lint.suppressed").value
+    return (findings, suppressed,
+            {name: s for name, s in analyzer.rule_seconds.items() if s},
+            {name: c for name, c in analyzer.rule_findings.items() if c})

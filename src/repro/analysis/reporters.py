@@ -28,6 +28,8 @@ def render_text(report: LintReport, new: list[Finding],
             for finding in group:
                 out.append(f"    {finding.line}:{finding.col} "
                            f"[{finding.rule}] {finding.message}")
+                for frame in finding.chain:
+                    out.append(f"      via {frame.render()}")
     if grandfathered:
         out.append(f"{len(grandfathered)} baselined finding(s) "
                    "(grandfathered, not gating):")
@@ -49,7 +51,7 @@ def render_json(report: LintReport, new: list[Finding],
                 metrics: MetricsRegistry,
                 stats: dict | None = None) -> str:
     def encode(finding: Finding) -> dict:
-        return {
+        payload = {
             "rule": finding.rule,
             "path": finding.path,
             "line": finding.line,
@@ -57,6 +59,12 @@ def render_json(report: LintReport, new: list[Finding],
             "message": finding.message,
             "fingerprint": finding.fingerprint(),
         }
+        if finding.chain:
+            payload["chain"] = [
+                {"path": frame.path, "line": frame.line,
+                 "caller": frame.caller, "callee": frame.callee}
+                for frame in finding.chain]
+        return payload
 
     payload = {
         "files_scanned": report.files_scanned,
@@ -71,6 +79,35 @@ def render_json(report: LintReport, new: list[Finding],
     if stats is not None:
         payload["stats"] = stats
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_github(new: list[Finding],
+                  parse_errors: list[str] | None = None) -> str:
+    """GitHub Actions workflow-command annotations, one per finding.
+
+    ``::error file=…,line=…`` lines surface inline on the PR diff; the
+    call chain of an interprocedural finding rides in the message body
+    (``%0A`` is the workflow-command newline escape).
+    """
+    out: list[str] = []
+    for error in parse_errors or []:
+        out.append(f"::error title=repro-lint parse error::{_escape(error)}")
+    for finding in new:
+        message = finding.message
+        if finding.chain:
+            message += "".join(f"\nvia {frame.render()}"
+                               for frame in finding.chain)
+        out.append(f"::error file={finding.path},line={finding.line},"
+                   f"endLine={finding.last_line},"
+                   f"title=repro-lint {finding.rule}::{_escape(message)}")
+    return "\n".join(out)
+
+
+def _escape(message: str) -> str:
+    """Workflow-command data escaping per the GitHub Actions spec."""
+    return (message.replace("%", "%25")
+                   .replace("\r", "%0D")
+                   .replace("\n", "%0A"))
 
 
 def render_stats(rule_seconds: dict[str, float],

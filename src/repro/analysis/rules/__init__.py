@@ -27,17 +27,25 @@ after the contract it enforces:
 * :mod:`.staleread` — ``stale-read-across-rpc``: no branching on
   shared state read before a network call without a re-read;
 * :mod:`.layering` — ``layering-contract``: imports follow the
-  committed layer map in :mod:`repro.analysis.architecture`.
+  committed layer map in :mod:`repro.analysis.architecture`;
+* :mod:`.unbounded_rpc` — ``unbounded-rpc``: a held deadline bounds
+  every transitive RPC (interprocedural, call-chain findings);
+* :mod:`.escaped_error` — ``escaped-internal-error``: only taxonomy
+  errors escape the package-exported public API (interprocedural).
 
-The last four run on the control-flow graphs built by
+The four flow rules run on the control-flow graphs built by
 :mod:`repro.analysis.flow` (via :mod:`repro.analysis.protocol` for
-the typestate pair) rather than on per-line syntax.
+the typestate pair) rather than on per-line syntax; the last two are
+:class:`~repro.analysis.core.ProjectRule`\\ s consuming the repo-wide
+call graph (:mod:`repro.analysis.callgraph`) and effect summaries
+(:mod:`repro.analysis.summaries`).
 """
 
 from repro.analysis.rules import (  # noqa: F401
     breaker,
     deadline,
     durability,
+    escaped_error,
     layering,
     ordering,
     randomness,
@@ -45,5 +53,6 @@ from repro.analysis.rules import (  # noqa: F401
     retry_backoff,
     staleread,
     swallowed,
+    unbounded_rpc,
     wallclock,
 )

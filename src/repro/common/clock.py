@@ -15,6 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.common.errors import InvalidRequestError, NonConvergenceError
+
 
 class Clock:
     """Abstract time source.  All timestamps are float seconds."""
@@ -65,13 +67,15 @@ class SimClock(Clock):
 
     def sleep(self, seconds: float) -> None:
         if seconds < 0:
-            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+            raise InvalidRequestError(
+                f"cannot sleep a negative duration: {seconds}")
         self.advance(seconds)
 
     def call_at(self, when: float, callback: Callable[[], None]) -> _ScheduledEvent:
         """Schedule ``callback`` to run when the clock reaches ``when``."""
         if when < self._now:
-            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+            raise InvalidRequestError(
+                f"cannot schedule in the past: {when} < {self._now}")
         event = _ScheduledEvent(when, next(self._seq), callback)
         heapq.heappush(self._queue, event)
         return event
@@ -110,7 +114,9 @@ class SimClock(Clock):
             event.callback()
             fired += 1
             if fired >= limit:
-                raise RuntimeError(f"run_all exceeded {limit} events; likely a self-rescheduling loop")
+                raise NonConvergenceError(
+                    f"run_all exceeded {limit} events; "
+                    "likely a self-rescheduling loop")
 
     @property
     def pending_events(self) -> int:

@@ -15,8 +15,48 @@ class ReproError(Exception):
     """Base class for every error raised by this library."""
 
 
-class ConfigurationError(ReproError):
-    """A component was constructed or configured with invalid parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed or configured with invalid parameters.
+
+    Inherits :class:`ValueError` so callers can catch either form.
+    """
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A caller supplied a malformed or out-of-domain argument at call
+    time (as opposed to construction time, which is
+    :class:`ConfigurationError`).
+
+    Inherits :class:`ValueError` so callers can catch either form.
+    """
+
+
+class UnsupportedTypeError(ReproError, TypeError):
+    """A value of the wrong Python type crossed an API boundary that
+    requires pre-encoded bytes or a specific capability (e.g. a
+    simulated clock for asynchronous delivery).
+
+    Inherits :class:`TypeError` so callers can catch either form.
+    """
+
+
+class NonConvergenceError(ReproError, RuntimeError):
+    """An iterative process exceeded its progress bound without
+    reaching a fixpoint (a self-rescheduling event loop, a rebalance
+    pipeline that never settles).
+
+    Inherits :class:`RuntimeError` so callers can catch either form.
+    """
+
+
+class FileMissingError(ReproError, FileNotFoundError):
+    """A simulated-filesystem operation addressed a path that does not
+    exist.
+
+    Inherits :class:`FileNotFoundError` (and through it
+    :class:`OSError`) so code written against the real file API keeps
+    working.
+    """
 
 
 class SchemaError(ReproError):
@@ -25,6 +65,30 @@ class SchemaError(ReproError):
 
 class SchemaCompatibilityError(SchemaError):
     """A proposed schema evolution violates the resolution rules."""
+
+
+class SchemaValidationError(SchemaError, ValueError):
+    """A datum failed validation against its schema (NOT NULL violated,
+    unknown column, wrong column type, missing primary key).
+
+    Inherits :class:`ValueError` so callers can catch either form.
+    """
+
+
+class DuplicateKeyError(ReproError, ValueError):
+    """An insert addressed a primary key that already holds a row.
+
+    Inherits :class:`ValueError` so callers can catch either form.
+    """
+
+
+class ReplicationOrderError(ReproError, ValueError):
+    """A replication stream arrived with a sequence-number gap or an
+    out-of-order transaction: the replica cannot apply it without
+    risking divergence (Databus's commit-order contract, §III).
+
+    Inherits :class:`ValueError` so callers can catch either form.
+    """
 
 
 class SerializationError(ReproError):

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.common.errors import ConfigurationError, InvalidRequestError
+
 
 class LatencyHistogram:
     """Fixed-precision histogram of latency samples (seconds).
@@ -23,7 +25,7 @@ class LatencyHistogram:
     def __init__(self, min_value: float = 1e-7, max_value: float = 100.0,
                  buckets_per_decade: int = 48):
         if min_value <= 0 or max_value <= min_value:
-            raise ValueError("require 0 < min_value < max_value")
+            raise ConfigurationError("require 0 < min_value < max_value")
         self._min = min_value
         self._log_min = math.log(min_value)
         decades = math.log10(max_value / min_value)
@@ -37,7 +39,7 @@ class LatencyHistogram:
 
     def record(self, seconds: float) -> None:
         if seconds < 0:
-            raise ValueError("latency cannot be negative")
+            raise InvalidRequestError("latency cannot be negative")
         self._total += 1
         self._sum += seconds
         self._max = max(self._max, seconds)
@@ -74,7 +76,7 @@ class LatencyHistogram:
     def percentile(self, p: float) -> float:
         """Return the latency at percentile ``p`` (0 < p <= 100)."""
         if not 0 < p <= 100:
-            raise ValueError("percentile must be in (0, 100]")
+            raise InvalidRequestError("percentile must be in (0, 100]")
         if self._total == 0:
             return 0.0
         target = math.ceil(self._total * p / 100.0)
@@ -106,7 +108,7 @@ class Counter:
 
     def increment(self, by: int = 1) -> None:
         if by < 0:
-            raise ValueError("counters only move forward")
+            raise InvalidRequestError("counters only move forward")
         self.value += by
 
 

@@ -40,6 +40,7 @@ from repro.common.errors import (
     CircuitOpenError,
     ConfigurationError,
     DeadlineExceededError,
+    InvalidRequestError,
     NodeUnavailableError,
 )
 from repro.common.metrics import MetricsRegistry
@@ -112,7 +113,7 @@ class RetryPolicy:
     def backoff(self, retry_number: int, rng: random.Random) -> float:
         """Delay before 1-based retry ``retry_number``."""
         if retry_number < 1:
-            raise ValueError("retry_number is 1-based")
+            raise InvalidRequestError("retry_number is 1-based")
         raw = min(self.max_delay,
                   self.base_delay * self.multiplier ** (retry_number - 1))
         if self.jitter == 0.0:

@@ -19,13 +19,14 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, UnsupportedTypeError
 
 
 def hash_key(key: bytes) -> int:
     """Stable 64-bit hash of a key (MD5-derived, like Voldemort's)."""
     if not isinstance(key, bytes):
-        raise TypeError(f"keys are bytes, got {type(key).__name__}")
+        raise UnsupportedTypeError(
+            f"keys are bytes, got {type(key).__name__}")
     digest = hashlib.md5(key).digest()
     return int.from_bytes(digest[:8], "big")
 

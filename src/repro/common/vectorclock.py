@@ -14,6 +14,8 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable, Mapping
 
+from repro.common.errors import ConfigurationError
+
 
 class Occurred(Enum):
     """Relationship between two vector clocks."""
@@ -33,7 +35,9 @@ class VectorClock:
         items = dict(entries or {})
         for node, counter in items.items():
             if counter <= 0:
-                raise ValueError(f"counter for node {node} must be positive, got {counter}")
+                raise ConfigurationError(
+                    f"counter for node {node} must be positive, "
+                    f"got {counter}")
         self._entries: tuple[tuple[int, int], ...] = tuple(sorted(items.items()))
 
     @property

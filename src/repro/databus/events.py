@@ -18,6 +18,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.common.errors import ConfigurationError, InvalidRequestError
 from repro.common.serialization import Field, RecordSchema
 from repro.sqlstore.binlog import BinlogTransaction, ChangeKind
 from repro.sqlstore.table import TableSchema
@@ -73,7 +74,7 @@ class DatabusEvent:
 def watermark_label(event: DatabusEvent) -> str:
     """The label carried by a watermark/control event."""
     if not event.is_control:
-        raise ValueError(f"not a control event: {event!r}")
+        raise InvalidRequestError(f"not a control event: {event!r}")
     return event.payload.decode("utf-8")
 
 
@@ -97,7 +98,7 @@ def partition_filter(num_partitions: int, partition: int) -> EventFilter:
     Control events pass to every partition — a watermark brackets the
     whole stream, not one key's bucket."""
     if not 0 <= partition < num_partitions:
-        raise ValueError(f"partition {partition} out of range")
+        raise ConfigurationError(f"partition {partition} out of range")
 
     def check(event: DatabusEvent) -> bool:
         return event.is_control or \

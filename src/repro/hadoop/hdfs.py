@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.common.errors import ReproError
+from repro.common.errors import InvalidRequestError, ReproError
 
 
 class FileNotFoundInHDFSError(ReproError):
@@ -40,7 +40,8 @@ class MiniHDFS:
     @staticmethod
     def _normalize(path: str) -> str:
         if not path.startswith("/"):
-            raise ValueError(f"HDFS paths are absolute, got {path!r}")
+            raise InvalidRequestError(
+                f"HDFS paths are absolute, got {path!r}")
         while "//" in path:
             path = path.replace("//", "/")
         return path.rstrip("/") or "/"
@@ -67,7 +68,7 @@ class MiniHDFS:
     def read_chunks(self, path: str, chunk_size: int = 1 << 20) -> Iterator[bytes]:
         """Chunked read, modelling a streaming fetch."""
         if chunk_size <= 0:
-            raise ValueError("chunk_size must be positive")
+            raise InvalidRequestError("chunk_size must be positive")
         data = self.read(path)
         for start in range(0, len(data), chunk_size):
             yield data[start:start + chunk_size]

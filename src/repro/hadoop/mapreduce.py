@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, UnsupportedTypeError
 from repro.hadoop.hdfs import MiniHDFS
 
 Mapper = Callable[[object], Iterable[tuple[bytes, bytes]]]
@@ -79,7 +79,8 @@ def run_job(job: MapReduceJob, inputs: Iterable[object], hdfs: MiniHDFS,
         counters.map_input_records += 1
         for key, value in job.mapper(record):
             if not isinstance(key, bytes) or not isinstance(value, bytes):
-                raise TypeError(f"{job.name}: mapper must emit (bytes, bytes)")
+                raise UnsupportedTypeError(
+                    f"{job.name}: mapper must emit (bytes, bytes)")
             partition = job.partitioner(key, job.num_reducers)
             if not 0 <= partition < job.num_reducers:
                 raise ConfigurationError(
@@ -97,7 +98,8 @@ def run_job(job: MapReduceJob, inputs: Iterable[object], hdfs: MiniHDFS,
             counters.reduce_input_groups += 1
             for record in job.reducer(key, values):
                 if not isinstance(record, bytes):
-                    raise TypeError(f"{job.name}: reducer must emit bytes")
+                    raise UnsupportedTypeError(
+                        f"{job.name}: reducer must emit bytes")
                 out.extend(record)
                 counters.reduce_output_records += 1
         hdfs.create(f"{output_dir}/part-{partition:05d}", bytes(out))

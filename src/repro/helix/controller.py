@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, NonConvergenceError
 from repro.helix.idealstate import IdealState, rebalance_ideal_state
 from repro.helix.participant import Participant
 from repro.helix.statemodel import Transition
@@ -207,7 +207,8 @@ class HelixController:
         for iteration in range(1, max_iterations + 1):
             if not self.run_pipeline():
                 return iteration
-        raise RuntimeError(f"did not converge in {max_iterations} pipeline runs")
+        raise NonConvergenceError(
+            f"did not converge in {max_iterations} pipeline runs")
 
     def external_view(self, resource: str) -> ExternalView:
         view = ExternalView(resource)

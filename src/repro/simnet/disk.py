@@ -43,7 +43,7 @@ import os
 import random
 
 from repro.common.clock import Clock, SimClock
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, FileMissingError
 from repro.common.storage import (  # noqa: F401  (compat re-exports)
     Disk,
     DiskFile,
@@ -238,7 +238,8 @@ class SimDisk(Disk):
     def trace_bytes(self) -> bytes:
         """The trace as canonical bytes (one ``repr`` line per event)."""
         if self.trace is None:
-            raise ValueError("tracing is not enabled; call start_trace()")
+            raise ConfigurationError(
+                "tracing is not enabled; call start_trace()")
         return "\n".join(repr(event) for event in self.trace).encode()
 
     # -- Disk protocol ----------------------------------------------------
@@ -252,7 +253,7 @@ class SimDisk(Disk):
         state = self._files.get(path)
         if state is None:
             if mode == "rb":
-                raise FileNotFoundError(path)
+                raise FileMissingError(path)
             state = _FileState()
             self._files[path] = state
             parent = path.rsplit("/", 1)[0] if "/" in path else ""
@@ -281,11 +282,11 @@ class SimDisk(Disk):
         try:
             return len(self._files[path].data)
         except KeyError:
-            raise FileNotFoundError(path) from None
+            raise FileMissingError(path) from None
 
     def remove(self, path: str) -> None:
         if path not in self._files:
-            raise FileNotFoundError(path)
+            raise FileMissingError(path)
         for handle in self._handles.pop(path, []):
             handle.close()
         del self._files[path]
@@ -295,7 +296,7 @@ class SimDisk(Disk):
         """Atomic rename; modeled as immediately durable (a real
         implementation would fsync the directory)."""
         if src not in self._files:
-            raise FileNotFoundError(src)
+            raise FileMissingError(src)
         for handle in self._handles.pop(dst, []):
             handle.close()
         state = self._files.pop(src)
@@ -341,7 +342,7 @@ class SimDisk(Disk):
         try:
             state = self._files[full]
         except KeyError:
-            raise FileNotFoundError(full) from None
+            raise FileMissingError(full) from None
         if not state.data:
             raise ConfigurationError(f"cannot flip a bit in empty {full!r}")
         if offset is None:

@@ -258,7 +258,7 @@ class FaultPlan:
             self.network.failures.heal_blocks()
             self.executed.append((now, "heal_blocks", "", ""))
         else:  # pragma: no cover - schedule constructors gate the kinds
-            raise ValueError(f"unknown fault kind {action.kind!r}")
+            raise ConfigurationError(f"unknown fault kind {action.kind!r}")
 
     def run(self, until: float | None = None) -> list[tuple[float, str, str, str]]:
         """Schedule every action on the clock and advance through them.

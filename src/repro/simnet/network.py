@@ -38,6 +38,7 @@ from repro.common.errors import (
     RequestTimeoutError,
     ServerOverloadedError,
     TransientNetworkError,
+    UnsupportedTypeError,
 )
 
 #: A latency model maps the network's seeded RNG to one *one-way* hop
@@ -56,7 +57,7 @@ def fixed_latency(seconds: float) -> LatencyModel:
 
 def uniform_latency(low: float, high: float) -> LatencyModel:
     if low < 0 or high < low:
-        raise ValueError("require 0 <= low <= high")
+        raise ConfigurationError("require 0 <= low <= high")
     def model(rng: random.Random) -> float:
         return rng.uniform(low, high)
     return model
@@ -297,7 +298,8 @@ class SimNetwork:
     def trace_bytes(self) -> bytes:
         """The trace as canonical bytes (one ``repr`` line per event)."""
         if self.trace is None:
-            raise ValueError("tracing is not enabled; call start_trace()")
+            raise ConfigurationError(
+                "tracing is not enabled; call start_trace()")
         return "\n".join(repr(event) for event in self.trace).encode()
 
     # -- per-link overrides and server queues ----------------------------
@@ -445,7 +447,7 @@ class SimNetwork:
         to the sender, exactly like a lost datagram.
         """
         if not isinstance(self.clock, SimClock):
-            raise TypeError("async send requires a SimClock")
+            raise UnsupportedTypeError("async send requires a SimClock")
         if not self.failures.reachable(src, dst):
             self.hops_failed += 1
             self._record("send", src, dst, "unreachable")

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Iterator
 
+from repro.common.errors import InvalidRequestError, ReplicationOrderError
+
 
 class ChangeKind(Enum):
     INSERT = "insert"
@@ -72,7 +74,8 @@ class Binlog:
     def append(self, txn: BinlogTransaction) -> None:
         expected = self.last_scn + 1
         if txn.scn != expected:
-            raise ValueError(f"binlog SCN gap: expected {expected}, got {txn.scn}")
+            raise ReplicationOrderError(
+                f"binlog SCN gap: expected {expected}, got {txn.scn}")
         self._transactions.append(txn)
         for listener in self._listeners:
             listener(txn)
@@ -90,9 +93,9 @@ class Binlog:
         earlier transactions; its log continues from ``scn + 1``.
         """
         if self._transactions:
-            raise ValueError("cannot reset a non-empty binlog")
+            raise InvalidRequestError("cannot reset a non-empty binlog")
         if scn < 0:
-            raise ValueError("baseline SCN cannot be negative")
+            raise InvalidRequestError("baseline SCN cannot be negative")
         self._base_scn = scn
 
     def __len__(self) -> int:

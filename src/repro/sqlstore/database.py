@@ -15,7 +15,9 @@ from typing import Callable
 from repro.common.clock import Clock, WallClock
 from repro.common.errors import (
     ConfigurationError,
+    DuplicateKeyError,
     KeyNotFoundError,
+    ReplicationOrderError,
     ReproError,
     TransactionAbortedError,
 )
@@ -68,7 +70,7 @@ class Transaction:
         table.schema.validate_row(row)
         key = table.schema.key_of(row)
         if self._current(table_name, key) is not None:
-            raise ValueError(f"{table_name}: duplicate key {key!r}")
+            raise DuplicateKeyError(f"{table_name}: duplicate key {key!r}")
         self._buffer(ChangeEvent(table_name, ChangeKind.INSERT, key, dict(row)))
 
     def update(self, table_name: str, row: Row) -> None:
@@ -289,7 +291,7 @@ class SqlDatabase:
         if txn.scn < expected:
             return  # already applied (at-least-once delivery upstream)
         if txn.scn > expected:
-            raise ValueError(
+            raise ReplicationOrderError(
                 f"{self.name}: out-of-order replication: expected {expected}, "
                 f"got {txn.scn}")
         for change in txn.changes:

@@ -11,7 +11,13 @@ import copy
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.common.errors import ConfigurationError, KeyNotFoundError
+from repro.common.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    InvalidRequestError,
+    KeyNotFoundError,
+    SchemaValidationError,
+)
 
 Row = dict
 
@@ -27,12 +33,13 @@ class Column:
     def validate(self, value: object) -> None:
         if value is None:
             if not self.nullable:
-                raise ValueError(f"column {self.name!r} is NOT NULL")
+                raise SchemaValidationError(
+                    f"column {self.name!r} is NOT NULL")
             return
         if self.type is float and isinstance(value, int):
             return  # ints are acceptable floats
         if not isinstance(value, self.type):
-            raise ValueError(
+            raise SchemaValidationError(
                 f"column {self.name!r} expects {self.type.__name__}, "
                 f"got {type(value).__name__}")
 
@@ -66,13 +73,15 @@ class TableSchema:
         try:
             return tuple(row[k] for k in self.primary_key)
         except KeyError as exc:
-            raise ValueError(f"row missing primary key column {exc}") from exc
+            raise SchemaValidationError(
+                f"row missing primary key column {exc}") from exc
 
     def validate_row(self, row: Row) -> None:
         declared = {c.name for c in self.columns}
         unknown = set(row) - declared
         if unknown:
-            raise ValueError(f"table {self.name}: unknown columns {sorted(unknown)}")
+            raise SchemaValidationError(
+                f"table {self.name}: unknown columns {sorted(unknown)}")
         for col in self.columns:
             col.validate(row.get(col.name))
 
@@ -105,7 +114,8 @@ class Table:
         self.schema.validate_row(row)
         key = self.schema.key_of(row)
         if key in self._rows:
-            raise ValueError(f"{self.schema.name}: duplicate key {key!r}")
+            raise DuplicateKeyError(
+                f"{self.schema.name}: duplicate key {key!r}")
         self._rows[key] = dict(row)
         return key
 
@@ -154,7 +164,8 @@ class Table:
         migration reader can never alias live storage.
         """
         if limit <= 0:
-            raise ValueError(f"chunk limit must be positive, got {limit}")
+            raise InvalidRequestError(
+                f"chunk limit must be positive, got {limit}")
         out: list[Row] = []
         for key in sorted(self._rows):
             if after_key is not None and key <= after_key:

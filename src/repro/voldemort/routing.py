@@ -247,7 +247,8 @@ class RoutedStore:
             raise KeyNotFoundError(repr(key))
         frontier = self._resolve_frontier(responses)
         if self.enable_read_repair and transform is None:
-            self._read_repair(key, frontier, responses, missing_nodes)
+            self._read_repair(key, frontier, responses, missing_nodes,
+                              deadline)
         return frontier, operation_latency
 
     def _call_get(self, node_id: int, key: bytes, transform: tuple | None,
@@ -347,14 +348,24 @@ class RoutedStore:
 
     def _read_repair(self, key: bytes, frontier: list[Versioned],
                      responses: dict[int, list[Versioned]],
-                     missing_nodes: list[int]) -> None:
-        """Push frontier versions to replicas that lack them (§II.B)."""
+                     missing_nodes: list[int],
+                     deadline: Deadline | None = None) -> None:
+        """Push frontier versions to replicas that lack them (§II.B),
+        inside whatever remains of the read's budget: repair rides on
+        the caller's request, so an exhausted deadline skips it (it is
+        best-effort) and each push clamps its timeout to the remainder.
+        """
         stale: list[int] = list(missing_nodes)
         for node_id, versions in responses.items():
             clocks = {v.clock for v in versions}
             if any(f.clock not in clocks for f in frontier):
                 stale.append(node_id)
         for node_id in stale:
+            timeout = self._hop_timeout(deadline)
+            if timeout is not None and timeout <= 0:
+                self.metrics.counter("read_repair.deadline_skipped") \
+                    .increment()
+                return
             # repair is bulk-class traffic: under pressure it is the
             # first thing to go, so live reads keep their tokens
             if self.admission is not None and \
@@ -366,7 +377,8 @@ class RoutedStore:
                 try:
                     self.cluster.network.invoke(
                         self.client_name, self.cluster.node_name(node_id),
-                        server.engine(self.store).put, key, versioned)
+                        server.engine(self.store).put, key, versioned,
+                        timeout=timeout)
                     self.metrics.counter("read_repairs").increment()
                 except ObsoleteVersionError:
                     # the replica already caught up past this version —

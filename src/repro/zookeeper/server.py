@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
-from repro.common.errors import ReproError
+from repro.common.errors import InvalidRequestError, ReproError
 
 
 class NoNodeError(ReproError):
@@ -91,7 +91,7 @@ class _ZNode:
 
 def _validate_path(path: str) -> list[str]:
     if not path.startswith("/") or (path != "/" and path.endswith("/")):
-        raise ValueError(f"invalid znode path {path!r}")
+        raise InvalidRequestError(f"invalid znode path {path!r}")
     if path == "/":
         return []
     return path[1:].split("/")
@@ -146,7 +146,7 @@ class ZooKeeperServer:
     def _lookup_parent(self, path: str) -> tuple[_ZNode, str]:
         parts = _validate_path(path)
         if not parts:
-            raise ValueError("cannot operate on the root znode")
+            raise InvalidRequestError("cannot operate on the root znode")
         node = self._root
         for part in parts[:-1]:
             if part not in node.children:

@@ -3,6 +3,8 @@
 import textwrap
 
 from repro.analysis import Analyzer, all_rules
+from repro.analysis.callgraph import Project
+from repro.analysis.core import FileContext
 
 
 def lint(source: str, rule: str | None = None,
@@ -18,3 +20,23 @@ def lint(source: str, rule: str | None = None,
         assert rules, f"unknown rule {rule!r}"
     analyzer = Analyzer(rules=rules)
     return analyzer.check_source(textwrap.dedent(source), rel_path)
+
+
+def project_of(files: dict[str, str]) -> Project:
+    """Build a :class:`Project` from ``rel_path -> source`` pairs."""
+    contexts = [FileContext.parse(textwrap.dedent(source), rel_path)
+                for rel_path, source in files.items()]
+    return Project(contexts)
+
+
+def lint_project(files: dict[str, str], rule: str, tmp_path) -> list:
+    """End-to-end analyzer run over synthetic files on disk, restricted
+    to one project rule (exercises the pragma/suppression path)."""
+    for rel_path, source in files.items():
+        target = tmp_path / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    rules = [r for r in all_rules() if r.name == rule]
+    assert rules, f"unknown rule {rule!r}"
+    analyzer = Analyzer(rules=rules, root=tmp_path)
+    return analyzer.run([tmp_path]).findings

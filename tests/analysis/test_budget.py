@@ -1,10 +1,11 @@
-"""Performance budget: the full-repo analyzer run stays under 5 s.
+"""Performance budget: the full-repo analyzer run stays under 10 s.
 
 The lint gate runs inside tier-1 CI on every change; the flow-based
-rules build CFGs per function per rule, and this test is the backstop
-that keeps that affordable.  The budget is generous (the run takes
-well under 2 s on a laptop) so the test is a tripwire for accidental
-quadratic behaviour, not a benchmark.
+rules build CFGs per function per rule, and the interprocedural pass
+adds a repo-wide call graph plus SCC-ordered effect summaries on top.
+This test is the backstop that keeps that affordable.  The budget is
+generous (the full run takes ~3-4 s on a laptop) so the test is a
+tripwire for accidental quadratic behaviour, not a benchmark.
 """
 
 import time
@@ -12,7 +13,7 @@ import time
 from repro.analysis import Analyzer
 from tests.analysis.test_lint_clean_support import REPO_ROOT, SRC_REPRO
 
-BUDGET_SECONDS = 5.0
+BUDGET_SECONDS = 10.0
 
 
 def test_full_repo_run_stays_under_budget():

@@ -1,0 +1,49 @@
+"""The process-pool scan is a pure optimization: byte-identical output."""
+
+import json
+
+from repro.analysis import Analyzer
+from repro.analysis.cli import main
+from tests.analysis.test_lint_clean_support import REPO_ROOT, SRC_REPRO
+
+
+def signature(findings):
+    return [(f.path, f.line, f.col, f.rule, f.message, f.chain)
+            for f in findings]
+
+
+def test_parallel_scan_matches_serial_on_common():
+    serial = Analyzer(root=REPO_ROOT).run([SRC_REPRO / "common"])
+    parallel = Analyzer(root=REPO_ROOT, jobs=2).run([SRC_REPRO / "common"])
+    assert signature(parallel.findings) == signature(serial.findings)
+    assert parallel.files_scanned == serial.files_scanned
+    assert parallel.suppressed == serial.suppressed
+
+
+def test_parallel_scan_finds_known_findings(tmp_path):
+    bad = tmp_path / "src" / "repro" / "pkg" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\ndef now():\n    return time.time()\n",
+                   encoding="utf-8")
+    serial = Analyzer(root=tmp_path).run([tmp_path])
+    parallel = Analyzer(root=tmp_path, jobs=2).run([tmp_path])
+    assert signature(serial.findings) == signature(parallel.findings)
+    assert any(f.rule == "wall-clock" for f in parallel.findings)
+
+
+def test_parallel_reports_parse_errors_once(tmp_path):
+    bad = tmp_path / "src" / "repro" / "pkg" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    report = Analyzer(root=tmp_path, jobs=2).run([tmp_path])
+    assert len(report.parse_errors) == 1
+
+
+def test_cli_jobs_flag(tmp_path, capsys):
+    clean = tmp_path / "mod.py"
+    clean.write_text("def f():\n    return 1\n", encoding="utf-8")
+    code = main([str(tmp_path), "--jobs", "2", "--json",
+                 "--root", str(tmp_path)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["clean"] is True

@@ -1,0 +1,83 @@
+"""Multi-frame findings render in every reporter format."""
+
+import json
+
+from repro.analysis.core import Finding, Frame, LintReport
+from repro.analysis.reporters import render_github, render_json, render_text
+from repro.common.metrics import MetricsRegistry
+
+CHAIN = (
+    Frame(path="src/repro/pkg/mod.py", line=12,
+          caller="repro.pkg.mod.Client.flush",
+          callee="repro.pkg.mod.Client._push"),
+    Frame(path="src/repro/pkg/mod.py", line=6,
+          caller="repro.pkg.mod.Client._push", callee="<invoke>"),
+)
+
+FINDING = Finding(
+    rule="unbounded-rpc", path="src/repro/pkg/mod.py", line=12, col=0,
+    message="flush() holds a deadline but calls _push without it",
+    snippet="self._push(key)", end_line=12, chain=CHAIN)
+
+
+def report_of():
+    report = LintReport()
+    report.files_scanned = 1
+    report.findings = [FINDING]
+    return report
+
+
+def test_text_reporter_renders_each_frame():
+    text = render_text(report_of(), [FINDING], [])
+    assert "via src/repro/pkg/mod.py:12: " \
+        "repro.pkg.mod.Client.flush -> repro.pkg.mod.Client._push" in text
+    assert "via src/repro/pkg/mod.py:6: " \
+        "repro.pkg.mod.Client._push -> <invoke>" in text
+
+
+def test_json_reporter_encodes_the_chain():
+    payload = json.loads(render_json(
+        report_of(), [FINDING], [], MetricsRegistry()))
+    chain = payload["new"][0]["chain"]
+    assert chain == [
+        {"path": "src/repro/pkg/mod.py", "line": 12,
+         "caller": "repro.pkg.mod.Client.flush",
+         "callee": "repro.pkg.mod.Client._push"},
+        {"path": "src/repro/pkg/mod.py", "line": 6,
+         "caller": "repro.pkg.mod.Client._push", "callee": "<invoke>"},
+    ]
+
+
+def test_json_reporter_omits_empty_chains():
+    plain = Finding(rule="wall-clock", path="a.py", line=1, col=0,
+                    message="m", snippet="s")
+    report = LintReport()
+    report.files_scanned = 1
+    report.findings = [plain]
+    payload = json.loads(render_json(report, [plain], [],
+                                     MetricsRegistry()))
+    assert "chain" not in payload["new"][0]
+
+
+def test_github_reporter_emits_annotations_with_chain():
+    lines = render_github([FINDING]).splitlines()
+    assert len(lines) == 1
+    annotation = lines[0]
+    assert annotation.startswith(
+        "::error file=src/repro/pkg/mod.py,line=12,endLine=12,"
+        "title=repro-lint unbounded-rpc::")
+    # newlines in the message body use the workflow-command escape
+    assert "%0Avia src/repro/pkg/mod.py:12:" in annotation
+    assert "\n" not in annotation.split("::", 2)[2]
+
+
+def test_github_reporter_escapes_percent():
+    finding = Finding(rule="r", path="a.py", line=1, col=0,
+                      message="p99 is 100% wrong", snippet="")
+    assert "100%25 wrong" in render_github([finding])
+
+
+def test_github_reporter_reports_parse_errors():
+    out = render_github([], ["bad.py: invalid syntax (line 1)"])
+    assert out == ("::error title=repro-lint parse error::"
+                   "bad.py: invalid syntax (line 1)")

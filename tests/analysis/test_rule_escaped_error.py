@@ -1,0 +1,136 @@
+"""``escaped-internal-error``: the taxonomy at the public boundary."""
+
+TAXONOMY = """
+    class ReproError(Exception):
+        pass
+
+    class KeyNotFoundError(ReproError, KeyError):
+        pass
+"""
+
+
+def findings_of(files, tmp_path):
+    from tests.analysis.conftest import lint_project
+    return lint_project(files, "escaped-internal-error", tmp_path)
+
+
+def test_builtin_escaping_exported_api_is_flagged(tmp_path):
+    files = {
+        "src/repro/pkg/__init__.py": "from repro.pkg.mod import Server\n",
+        "src/repro/pkg/mod.py": """
+            class Server:
+                def get(self, store, key):
+                    if key not in store:
+                        raise KeyError(key)
+                    return store[key]
+        """,
+    }
+    findings = findings_of(files, tmp_path)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "escaped-internal-error"
+    assert "KeyError" in finding.message
+    assert "Server.get" in finding.message
+    # anchored at the raise site, where the fix lands
+    assert finding.path == "src/repro/pkg/mod.py"
+    assert "raise KeyError" in finding.snippet
+
+
+def test_taxonomy_error_passes(tmp_path):
+    files = {
+        "src/repro/pkg/errors.py": TAXONOMY,
+        "src/repro/pkg/__init__.py": "from repro.pkg.mod import Server\n",
+        "src/repro/pkg/mod.py": """
+            from repro.pkg.errors import KeyNotFoundError
+
+            class Server:
+                def get(self, store, key):
+                    if key not in store:
+                        raise KeyNotFoundError(key)
+                    return store[key]
+        """,
+    }
+    assert findings_of(files, tmp_path) == []
+
+
+def test_raise_escaping_through_a_private_helper(tmp_path):
+    # the raise lives three frames down in unexported helpers; only the
+    # boundary function makes it a contract violation
+    files = {
+        "src/repro/pkg/__init__.py": "from repro.pkg.mod import api\n",
+        "src/repro/pkg/mod.py": """
+            def _parse(raw):
+                if not raw:
+                    raise ValueError("empty")
+                return raw
+
+            def _load(raw):
+                return _parse(raw)
+
+            def api(raw):
+                return _load(raw)
+        """,
+    }
+    findings = findings_of(files, tmp_path)
+    assert len(findings) == 1
+    chain = findings[0].chain
+    assert chain[0].caller.endswith(".api")
+    assert chain[-1].caller.endswith("._parse")
+
+
+def test_unexported_module_may_raise_builtins(tmp_path):
+    files = {
+        "src/repro/pkg/mod.py": """
+            def internal(raw):
+                if not raw:
+                    raise ValueError("empty")
+                return raw
+        """,
+    }
+    assert findings_of(files, tmp_path) == []
+
+
+def test_handled_builtin_does_not_escape(tmp_path):
+    files = {
+        "src/repro/pkg/__init__.py": "from repro.pkg.mod import api\n",
+        "src/repro/pkg/mod.py": """
+            def _parse(raw):
+                if not raw:
+                    raise ValueError("empty")
+                return raw
+
+            def api(raw):
+                try:
+                    return _parse(raw)
+                except ValueError:
+                    return None
+        """,
+    }
+    assert findings_of(files, tmp_path) == []
+
+
+def test_allowed_escapes_pass(tmp_path):
+    files = {
+        "src/repro/pkg/__init__.py": "from repro.pkg.mod import Proto\n",
+        "src/repro/pkg/mod.py": """
+            class Proto:
+                def encode(self, datum):
+                    raise NotImplementedError
+        """,
+    }
+    assert findings_of(files, tmp_path) == []
+
+
+def test_pragma_at_raise_site_suppresses(tmp_path):
+    files = {
+        "src/repro/pkg/__init__.py": "from repro.pkg.mod import api\n",
+        "src/repro/pkg/mod.py": """
+            def api(raw):
+                if not raw:
+                    # the raw builtin IS the contract here
+                    raise ValueError("empty")  \
+# repro-lint: disable=escaped-internal-error
+                return raw
+        """,
+    }
+    assert findings_of(files, tmp_path) == []

@@ -1,0 +1,168 @@
+"""Regression tests for the escaped-internal-error cleanup.
+
+The interprocedural lint convicted every raw ``ValueError`` /
+``TypeError`` / ``RuntimeError`` / ``FileNotFoundError`` escaping a
+package-exported public API; each was replaced with a taxonomy type
+that *dual-inherits* the builtin (the ``KeyNotFoundError`` precedent),
+so callers written against either vocabulary keep working.  These
+tests pin both halves of that contract per fixed call site: the new
+type is raised, and the legacy builtin still catches it.
+"""
+
+import random
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    FileMissingError,
+    InvalidRequestError,
+    NonConvergenceError,
+    ReplicationOrderError,
+    ReproError,
+    SchemaError,
+    SchemaValidationError,
+    UnsupportedTypeError,
+)
+from repro.common.metrics import Counter, LatencyHistogram
+from repro.common.resilience import RetryPolicy
+from repro.common.ring import hash_key
+from repro.common.vectorclock import VectorClock
+from repro.databus.events import partition_filter
+from repro.hadoop.hdfs import MiniHDFS
+from repro.simnet.disk import SimDisk
+from repro.simnet.network import uniform_latency
+from repro.sqlstore.binlog import Binlog
+from repro.sqlstore.table import Column, TableSchema
+from repro.zookeeper import ZooKeeperServer
+
+
+def test_every_new_type_dual_inherits_its_builtin():
+    for taxonomy, builtin in [
+        (ConfigurationError, ValueError),
+        (InvalidRequestError, ValueError),
+        (SchemaValidationError, ValueError),
+        (DuplicateKeyError, ValueError),
+        (ReplicationOrderError, ValueError),
+        (UnsupportedTypeError, TypeError),
+        (NonConvergenceError, RuntimeError),
+        (FileMissingError, FileNotFoundError),
+    ]:
+        assert issubclass(taxonomy, ReproError)
+        assert issubclass(taxonomy, builtin)
+    assert issubclass(SchemaValidationError, SchemaError)
+
+
+def test_clock_rejections_are_taxonomy_errors():
+    clock = SimClock()
+    with pytest.raises(InvalidRequestError):
+        clock.sleep(-1.0)
+    with pytest.raises(ValueError):
+        clock.call_at(-5.0, lambda: None)
+
+
+def test_runaway_event_loop_is_nonconvergence():
+    clock = SimClock()
+
+    def reschedule():
+        clock.call_later(0.1, reschedule)
+
+    clock.call_later(0.1, reschedule)
+    with pytest.raises(NonConvergenceError):
+        clock.run_all(limit=50)
+
+
+def test_metrics_rejections():
+    with pytest.raises(ConfigurationError):
+        LatencyHistogram(min_value=0.0)
+    histogram = LatencyHistogram()
+    with pytest.raises(InvalidRequestError):
+        histogram.record(-1.0)
+    with pytest.raises(InvalidRequestError):
+        histogram.percentile(0.0)
+    with pytest.raises(InvalidRequestError):
+        Counter().increment(-1)
+
+
+def test_retry_policy_rejects_zero_based_retry():
+    with pytest.raises(InvalidRequestError):
+        RetryPolicy().backoff(0, random.Random(1))
+
+
+def test_ring_requires_bytes_keys():
+    with pytest.raises(UnsupportedTypeError):
+        hash_key("not-bytes")
+    with pytest.raises(TypeError):
+        hash_key(42)
+
+
+def test_vectorclock_rejects_nonpositive_counters():
+    with pytest.raises(ConfigurationError):
+        VectorClock({1: 0})
+
+
+def test_partition_filter_range_check():
+    with pytest.raises(ConfigurationError):
+        partition_filter(4, 9)
+
+
+def test_hdfs_path_and_chunk_validation():
+    hdfs = MiniHDFS()
+    with pytest.raises(InvalidRequestError):
+        hdfs.create("relative/path", b"data")
+    hdfs.create("/a", b"data")
+    with pytest.raises(InvalidRequestError):
+        list(hdfs.read_chunks("/a", chunk_size=0))
+
+
+def test_simdisk_missing_files():
+    disk = SimDisk(clock=SimClock(), seed=42)
+    with pytest.raises(FileMissingError):
+        disk.open("node/missing", "rb")
+    with pytest.raises(FileNotFoundError):
+        disk.getsize("node/missing")
+    with pytest.raises(FileMissingError):
+        disk.remove("node/missing")
+    with pytest.raises(FileMissingError):
+        disk.replace("node/missing", "node/other")
+
+
+def test_network_latency_model_validation():
+    with pytest.raises(ConfigurationError):
+        uniform_latency(2.0, 1.0)
+
+
+def test_binlog_scn_contract():
+    from repro.sqlstore.binlog import BinlogTransaction
+
+    binlog = Binlog()
+    with pytest.raises(ReplicationOrderError):
+        binlog.append(BinlogTransaction(scn=7, changes=[]))
+    with pytest.raises(InvalidRequestError):
+        binlog.reset_to(-1)
+
+
+def test_table_schema_validation_errors():
+    schema = TableSchema(
+        name="member", columns=(Column("id", int), Column("name", bytes)),
+        primary_key=("id",))
+    with pytest.raises(SchemaValidationError):
+        schema.validate_row({"id": None, "name": b"x"})
+    with pytest.raises(SchemaValidationError):
+        schema.validate_row({"id": 1, "name": b"x", "bogus": 1})
+    with pytest.raises(SchemaValidationError):
+        schema.key_of({"name": b"x"})
+    from repro.sqlstore.table import Table
+
+    table = Table(schema)
+    table.insert({"id": 1, "name": b"x"})
+    with pytest.raises(DuplicateKeyError):
+        table.insert({"id": 1, "name": b"y"})
+
+
+def test_zookeeper_path_validation():
+    session = ZooKeeperServer().connect()
+    with pytest.raises(InvalidRequestError):
+        session.ensure_path("no-leading-slash")

@@ -224,3 +224,50 @@ def test_delete_tombstones_key():
     routed.delete(b"key", first.next_version(None, 0))
     with pytest.raises(KeyNotFoundError):
         routed.get(b"key")
+
+
+def _stale_replica_scenario():
+    """One replica left holding v1 after the quorum moved to v2."""
+    cluster = make_cluster(nodes=3, n=3, r=3, w=3)
+    routed = RoutedStore(cluster, "test")
+    first = Versioned.initial(b"v1", 0)
+    routed.put(b"key", first)
+    replicas = routed.replica_nodes(b"key")
+    crash(cluster, replicas[2])
+    second = first.next_version(b"v2", 0)
+    relaxed = RoutedStore(cluster, "test", enable_hinted_handoff=False)
+    relaxed.definition = StoreDefinition("test", 3, 2, 2)
+    relaxed.put(b"key", second)
+    recover(cluster, replicas[2])
+    relaxed.definition = StoreDefinition("test", 3, 3, 2)
+    return cluster, relaxed, replicas[2], second
+
+
+def test_read_repair_skipped_when_deadline_exhausted():
+    # regression for the unbounded-rpc finding: repair rides on the
+    # read's budget, so an exhausted deadline must skip it instead of
+    # issuing unbounded RPCs
+    from repro.common.resilience import Deadline
+
+    cluster, relaxed, stale_node, second = _stale_replica_scenario()
+    deadline = Deadline(cluster.clock, 0.001)
+    cluster.clock.advance(1.0)  # budget gone before repair starts
+    relaxed._read_repair(
+        b"key", [second], {stale_node: [Versioned.initial(b"v1", 0)]},
+        [], deadline)
+    assert relaxed.metrics.counters[
+        "read_repair.deadline_skipped"].value == 1
+    still_stale = cluster.server_for(stale_node).engine("test").get(b"key")
+    assert still_stale[0].value == b"v1"
+
+
+def test_read_repair_runs_within_a_live_deadline():
+    from repro.common.resilience import Deadline
+
+    cluster, relaxed, stale_node, second = _stale_replica_scenario()
+    deadline = Deadline(cluster.clock, 60.0)
+    frontier, _ = relaxed.get(b"key", deadline=deadline)
+    assert frontier[0].value == b"v2"
+    repaired = cluster.server_for(stale_node).engine("test").get(b"key")
+    assert [v.value for v in repaired] == [b"v2"]
+    assert relaxed.metrics.counters["read_repairs"].value >= 1
