@@ -66,6 +66,16 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     # import no substrate directly: durability comes from common's WAL,
     # fault injection reaches it via duck-typed callbacks.
     "migration": frozenset({"sqlstore", "databus", "espresso"}),
+    # The consistency auditor (paper §V.D generalized) observes every
+    # primary and derived store — it reads binlogs, relay buffers,
+    # consumer checkpoints, Espresso documents, Voldemort replica
+    # engines, and Kafka audit counts — so it may import the systems it
+    # audits.  It must NOT import simnet (fault injection reaches it as
+    # duck-typed fault-plan callables) or migration (the coordinator
+    # receives the cutover constraint as a plain callable): the auditor
+    # checks those layers, it does not depend on them.
+    "audit": frozenset({"sqlstore", "databus", "espresso", "voldemort",
+                        "kafka"}),
     # -- applications -----------------------------------------------------
     # The search service indexes Espresso content via Databus events
     # and joins against the social graph (paper §applications).

@@ -1,0 +1,55 @@
+"""Continuous cross-system consistency auditing.
+
+The paper's §V.D audit trail (produced counts vs consumed counts over
+Kafka) generalized into an always-on subsystem: declared constraints
+over primary and derived stores (:mod:`repro.audit.constraints`),
+a tick-driven auditor evaluating them at certified watermark cuts
+(:mod:`repro.audit.engine`), seeded violation injection proving the
+auditor's recall (:mod:`repro.audit.inject`), and lineage-walking blame
+attribution ranking the pipeline stage responsible for each violation
+(:mod:`repro.audit.blame`).  :mod:`repro.audit.wiring` pre-builds the
+probes and lineages for the pipelines this repo actually has.
+"""
+
+from repro.audit.blame import BlameEngine, BlameVerdict, Evidence, Lineage
+from repro.audit.constraints import (
+    ABSENT_VALUE,
+    UNREADABLE,
+    Constraint,
+    CountConservation,
+    KeySetContainment,
+    ReplicaAgreement,
+    ValueEquality,
+    Violation,
+    check_all,
+)
+from repro.audit.engine import AuditFinding, Auditor, WatermarkCut
+from repro.audit.inject import (
+    InjectionAudit,
+    PlantedViolation,
+    ViolationInjector,
+    reconcile,
+)
+
+__all__ = [
+    "ABSENT_VALUE",
+    "UNREADABLE",
+    "AuditFinding",
+    "Auditor",
+    "BlameEngine",
+    "BlameVerdict",
+    "Constraint",
+    "CountConservation",
+    "Evidence",
+    "InjectionAudit",
+    "KeySetContainment",
+    "Lineage",
+    "PlantedViolation",
+    "ReplicaAgreement",
+    "ValueEquality",
+    "Violation",
+    "ViolationInjector",
+    "WatermarkCut",
+    "check_all",
+    "reconcile",
+]

@@ -1,0 +1,321 @@
+"""Ready-made probes and lineages for the repo's derived-data paths.
+
+The constraint DSL is store-agnostic — it sees closures.  This module
+builds those closures for the pipelines that actually exist here:
+
+* sqlstore → Databus → Espresso (the migration target path);
+* sqlstore → Databus → search index;
+* Voldemort replicas behind a routed store;
+* Kafka's §V.D produced/consumed audit counts;
+* the migration cutover gate, re-expressed as declared constraints.
+
+Probes take their stores duck-typed wherever the layering contract has
+no edge (the migration ``EspressoTarget``, a search index, a reconciler)
+and read public positions only: binlog transactions, relay buffer
+contents, consumer checkpoints, replica engines via the routing ring.
+Everything is sorted at the point of iteration so probe output — and
+therefore violation order — is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.common.errors import ChecksumError, KeyNotFoundError
+from repro.audit.blame import (
+    STAGE_BROKER,
+    STAGE_CAPTURE,
+    STAGE_COMMIT,
+    STAGE_CONSUMER,
+    STAGE_PRODUCER,
+    STAGE_RELAY,
+    STAGE_REPLICATION,
+    STAGE_STORAGE_MEDIA,
+    STAGE_STORE_WRITER,
+    Lineage,
+)
+from repro.audit.constraints import (
+    ABSENT_VALUE,
+    UNREADABLE,
+    KeySetContainment,
+    ValueEquality,
+    Violation,
+)
+from repro.databus.relay import DEFAULT_BUFFER, Relay
+from repro.sqlstore.binlog import ChangeKind
+from repro.sqlstore.database import SqlDatabase
+
+
+# -- sqlstore-side probes ---------------------------------------------------
+
+def binlog_key_scns(database: SqlDatabase, table: str
+                    ) -> Callable[[], dict[tuple, int]]:
+    """``{live key: last commit SCN}`` for one table, replayed from the
+    binlog — the authoritative "what should downstream stores hold"."""
+    def probe() -> dict[tuple, int]:
+        live: dict[tuple, int] = {}
+        for txn in database.binlog.read_from(0):
+            for change in txn.changes:
+                if change.table != table:
+                    continue
+                if change.kind is ChangeKind.DELETE:
+                    live.pop(change.key, None)
+                else:
+                    live[change.key] = txn.scn
+        return live
+    return probe
+
+
+def source_documents(database: SqlDatabase, table: str, transform
+                     ) -> Callable[[], dict[tuple, dict]]:
+    """``{source key: expected target document}`` under a row transform
+    (the migration's :class:`RowTransform`, duck-typed)."""
+    def probe() -> dict[tuple, dict]:
+        schema = database.table(table).schema
+        return {schema.key_of(row): transform.document_of(table, row)
+                for row in database.table(table).scan()}
+    return probe
+
+
+# -- Espresso-target constraints --------------------------------------------
+
+def espresso_containment(name: str, database: SqlDatabase, table: str,
+                         target, horizon: Callable[[], int]
+                         ) -> KeySetContainment:
+    """Every committed source row reaches the Espresso target by the
+    certified horizon (``target`` is a migration ``EspressoTarget``)."""
+    return KeySetContainment(
+        name, subject=f"espresso:{table}",
+        source_items=binlog_key_scns(database, table),
+        contains=lambda key: target.get_document(table, key) is not None,
+        horizon=horizon)
+
+
+def espresso_value_equality(name: str, database: SqlDatabase, table: str,
+                            target, horizon: Callable[[], int] | None = None
+                            ) -> ValueEquality:
+    """Espresso documents equal the transform of their source rows."""
+    scns = binlog_key_scns(database, table)
+
+    def actual_of(key: tuple) -> object:
+        document = target.get_document(table, key)
+        return ABSENT_VALUE if document is None else document
+
+    return ValueEquality(
+        name, subject=f"espresso:{table}",
+        expected_items=source_documents(database, table, target.transform),
+        actual_of=actual_of,
+        scn_of=lambda key: scns().get(key, 0),
+        horizon=horizon)
+
+
+# -- search-index constraints ------------------------------------------------
+
+def search_containment(name: str, database: SqlDatabase, table: str,
+                       index, horizon: Callable[[], int],
+                       doc_id_of: Callable[[tuple], object] | None = None
+                       ) -> KeySetContainment:
+    """Every committed source row is present in the search index by the
+    horizon.  ``doc_id_of`` maps a source key to the index's document
+    id (default: the key's first column)."""
+    ids = doc_id_of if doc_id_of is not None else (lambda key: key[0])
+    return KeySetContainment(
+        name, subject=f"search:{table}",
+        source_items=binlog_key_scns(database, table),
+        contains=lambda key: ids(key) in index,
+        horizon=horizon)
+
+
+# -- Voldemort replica probes ------------------------------------------------
+
+def voldemort_replica_values(cluster, routed, store: str,
+                             keys: Callable[[], Iterable[bytes]]
+                             ) -> Callable[[], dict]:
+    """``{key: {replica: value}}`` read directly off each responsible
+    replica's engine.  Unserved keys map to the sentinels the
+    :class:`~repro.audit.constraints.ReplicaAgreement` constraint (and
+    the storage-media lineage check) understand."""
+    def probe() -> dict:
+        out: dict[bytes, dict[str, object]] = {}
+        for key in sorted(keys()):
+            by_replica: dict[str, object] = {}
+            for node_id in routed.replica_nodes(key):
+                name = cluster.node_name(node_id)
+                try:
+                    versions = cluster.server_for(node_id).engine(store).get(key)
+                except KeyNotFoundError:
+                    by_replica[name] = ABSENT_VALUE
+                except ChecksumError:
+                    by_replica[name] = UNREADABLE
+                else:
+                    by_replica[name] = tuple(
+                        sorted(v.value or b"" for v in versions))
+            out[key] = by_replica
+        return out
+    return probe
+
+
+def voldemort_replica_lineage(replica_values: Callable[[], dict]) -> Lineage:
+    """replication (every replica holds the key) → storage media (every
+    held copy is readable)."""
+    def held(violation: Violation) -> dict | None:
+        return replica_values().get(violation.raw_key)
+
+    def replication_check(violation: Violation) -> bool | None:
+        by_replica = held(violation)
+        if by_replica is None:
+            return None
+        return all(value != ABSENT_VALUE for value in by_replica.values())
+
+    def media_check(violation: Violation) -> bool | None:
+        by_replica = held(violation)
+        if by_replica is None:
+            return None
+        return all(value != UNREADABLE for value in by_replica.values())
+
+    return Lineage([(STAGE_REPLICATION, replication_check),
+                    (STAGE_STORAGE_MEDIA, media_check)])
+
+
+# -- the Databus pipeline lineage -------------------------------------------
+
+def sqlstore_pipeline_lineage(database: SqlDatabase, table: str, capture,
+                              relay: Relay, client,
+                              store_check: Callable[[tuple], bool],
+                              store_stage: str = STAGE_STORE_WRITER,
+                              buffer_name: str = DEFAULT_BUFFER) -> Lineage:
+    """commit → capture → relay → consumer → store writer, interrogated
+    through the positions each stage already exposes: the binlog, the
+    capture adapter's ``captured_through``, the relay buffer's window
+    contents, and the client checkpoint.  ``store_check`` answers
+    whether the final store holds the key correctly (containment: "is
+    it there"; equality: "does it match")."""
+    scns = binlog_key_scns(database, table)
+
+    def scn_of(violation: Violation) -> int | None:
+        return scns().get(violation.raw_key)
+
+    def commit_check(violation: Violation) -> bool | None:
+        # the violated key must trace back to a real commit; if not,
+        # the violation is about a row the source itself lost
+        return scn_of(violation) is not None
+
+    def capture_check(violation: Violation) -> bool | None:
+        scn = scn_of(violation)
+        if scn is None:
+            return None
+        return capture.captured_through >= scn
+
+    def relay_check(violation: Violation) -> bool | None:
+        scn = scn_of(violation)
+        if scn is None:
+            return None
+        buffer = relay.buffer(buffer_name)
+        # intact if the window is still being served, or left the buffer
+        # through honest eviction (a lagging consumer bootstraps; the
+        # data was never silently lost)
+        return buffer.contains_scn(scn) or scn <= buffer.evicted_through
+
+    def consumer_check(violation: Violation) -> bool | None:
+        scn = scn_of(violation)
+        if scn is None:
+            return None
+        return client.checkpoint >= scn
+
+    def writer_check(violation: Violation) -> bool | None:
+        if violation.raw_key is None:
+            return None
+        return store_check(violation.raw_key)
+
+    return Lineage([(STAGE_COMMIT, commit_check),
+                    (STAGE_CAPTURE, capture_check),
+                    (STAGE_RELAY, relay_check),
+                    (STAGE_CONSUMER, consumer_check),
+                    (store_stage, writer_check)])
+
+
+# -- Kafka audit-trail wiring ------------------------------------------------
+
+def kafka_counts(reconciler) -> tuple[Callable[[], dict], Callable[[], dict]]:
+    """(produced, consumed) probes over an ``AuditReconciler``
+    (duck-typed: anything with ``reconcile() -> AuditReport``)."""
+    return (lambda: reconciler.reconcile().produced,
+            lambda: reconciler.reconcile().consumed)
+
+
+def kafka_audit_lineage(reconciler) -> Lineage:
+    """producer (claimed a count for the bucket) → broker (holds exactly
+    the claimed count)."""
+    def producer_check(violation: Violation) -> bool | None:
+        if violation.raw_key is None:
+            return None
+        return violation.raw_key in reconciler.reconcile().produced
+
+    def broker_check(violation: Violation) -> bool | None:
+        if violation.raw_key is None:
+            return None
+        report = reconciler.reconcile()
+        return (report.produced.get(violation.raw_key, 0)
+                == report.consumed.get(violation.raw_key, 0))
+
+    return Lineage([(STAGE_PRODUCER, producer_check),
+                    (STAGE_BROKER, broker_check)])
+
+
+# -- the migration cutover gate ---------------------------------------------
+
+def cutover_constraints(proxy) -> list:
+    """The migration cutover gate as declared constraints: for every
+    table, target values equal transformed source rows, every source
+    key is on the target, and the target holds no extra keys.  ``proxy``
+    is a migration ``DualWriteProxy`` (duck-typed: ``source``,
+    ``target``)."""
+    source, target = proxy.source, proxy.target
+    constraints = []
+    for table in source.table_names():
+        scns = binlog_key_scns(source, table)
+
+        def actual_of(key: tuple, table: str = table) -> object:
+            document = target.get_document(table, key)
+            return ABSENT_VALUE if document is None else document
+
+        constraints.append(KeySetContainment(
+            f"cutover-containment-{table}", subject=f"espresso:{table}",
+            source_items=scns,
+            contains=lambda key, table=table:
+                target.get_document(table, key) is not None,
+            horizon=source_head(source)))
+        constraints.append(ValueEquality(
+            f"cutover-equality-{table}", subject=f"espresso:{table}",
+            expected_items=source_documents(source, table, target.transform),
+            actual_of=actual_of))
+        constraints.append(KeySetContainment(
+            f"cutover-no-extras-{table}", subject=f"source:{table}",
+            source_items=lambda table=table:
+                {key: 0 for key in target.dump(table)},
+            contains=lambda key, table=table:
+                source.table(table).contains(key),
+            horizon=lambda: 0))
+    return constraints
+
+
+def cutover_check(proxy) -> Callable[[], list[Violation]]:
+    """A drop-in for ``MigrationCoordinator(cutover_check=...)``: at the
+    cutover gate, evaluate the declared constraints and return their
+    violations (empty == safe to cut over)."""
+    constraints = cutover_constraints(proxy)
+
+    def check() -> list[Violation]:
+        out: list[Violation] = []
+        for constraint in constraints:
+            out.extend(constraint.check())
+        return out
+
+    return check
+
+
+def source_head(database: SqlDatabase) -> Callable[[], int]:
+    """A horizon pinned to the source's committed head — correct once
+    the pipeline is quiesced (the cutover gate runs with dual writes on
+    and the stream drained, so there is no in-flight window)."""
+    return lambda: database.last_committed_scn

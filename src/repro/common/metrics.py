@@ -112,6 +112,52 @@ class Counter:
         self.value += by
 
 
+class CounterFamily:
+    """A family of counters distinguished by label sets — the scrapable
+    shape for per-constraint violation/mismatch counts (one family
+    ``audit.violations``, one child per ``constraint=…,kind=…``).
+
+    Label order never matters: children are keyed by the sorted label
+    items, so ``labels(a=1, b=2)`` and ``labels(b=2, a=1)`` are the same
+    counter.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ConfigurationError("a counter family needs a name")
+        self.name = name
+        self._children: dict[tuple[tuple[str, str], ...], Counter] = {}
+
+    def labels(self, **labels: object) -> Counter:
+        """The child counter for one label set (created on first use)."""
+        if not labels:
+            raise InvalidRequestError(
+                f"family {self.name!r}: label a child or use a plain counter")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        if key not in self._children:
+            self._children[key] = Counter()
+        return self._children[key]
+
+    def value(self, **labels: object) -> int:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        child = self._children.get(key)
+        return child.value if child is not None else 0
+
+    def total(self) -> int:
+        return sum(child.value for child in self._children.values())
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def as_dict(self) -> dict[str, int]:
+        """``{"k=v,k2=v2": count}`` with deterministic ordering."""
+        out: dict[str, int] = {}
+        for key in sorted(self._children):
+            label_str = ",".join(f"{k}={v}" for k, v in key)
+            out[label_str] = self._children[key].value
+        return out
+
+
 @dataclass
 class Meter:
     """Throughput meter: events over an interval measured by a clock."""
@@ -139,6 +185,7 @@ class MetricsRegistry:
 
     histograms: dict[str, LatencyHistogram] = field(default_factory=dict)
     counters: dict[str, Counter] = field(default_factory=dict)
+    families: dict[str, CounterFamily] = field(default_factory=dict)
 
     def histogram(self, name: str) -> LatencyHistogram:
         if name not in self.histograms:
@@ -150,12 +197,20 @@ class MetricsRegistry:
             self.counters[name] = Counter()
         return self.counters[name]
 
+    def family(self, name: str) -> CounterFamily:
+        if name not in self.families:
+            self.families[name] = CounterFamily(name)
+        return self.families[name]
+
     def snapshot(self) -> dict[str, dict[str, float]]:
         out: dict[str, dict[str, float]] = {}
         for name, hist in self.histograms.items():
             out[name] = hist.summary()
         for name, counter in self.counters.items():
             out[name] = {"count": float(counter.value)}
+        for name, family in self.families.items():
+            for label_str, value in family.as_dict().items():
+                out[f"{name}{{{label_str}}}"] = {"count": float(value)}
         return out
 
 

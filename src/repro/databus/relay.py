@@ -99,6 +99,36 @@ class EventBuffer:
                 self._bytes -= evicted.size_bytes
             self._evicted_through = victim_scn
 
+    @property
+    def evicted_through(self) -> int:
+        """Highest SCN removed by honest capacity eviction.  Consumers
+        behind this position get :class:`SCNGoneError` and bootstrap —
+        eviction loses no data, it only moves where it is served from."""
+        return self._evicted_through
+
+    def contains_scn(self, scn: int) -> bool:
+        """Whether the buffer still holds the window committed at
+        ``scn`` — the blame engine's relay-stage interrogation."""
+        return any(event.scn == scn for event in self._events)
+
+    def drop_window(self, scn: int) -> int:
+        """Silently remove the whole window committed at ``scn``.
+
+        This is a *fault-injection hook* (see
+        :class:`repro.audit.inject.ViolationInjector`), not an API a
+        real relay has: unlike eviction it leaves ``_evicted_through``
+        untouched, so a consumer polling past the gap gets no
+        :class:`SCNGoneError` — its checkpoint skips the window without
+        any error, exactly the silent-loss failure mode a consistency
+        auditor exists to catch.  Returns the number of events removed.
+        """
+        removed = [event for event in self._events if event.scn == scn]
+        if removed:
+            self._events = deque(
+                event for event in self._events if event.scn != scn)
+            self._bytes -= sum(event.size_bytes for event in removed)
+        return len(removed)
+
     def events_since(self, scn: int, event_filter: EventFilter | None = None,
                      max_events: int = 10_000) -> list[DatabusEvent]:
         """Events with SCN strictly greater than ``scn``.
@@ -211,6 +241,12 @@ class Relay:
         self.requests_served += 1
         return self.buffer(buffer_name).events_since(scn, event_filter,
                                                      max_events)
+
+    def drop_window(self, scn: int,
+                    buffer_name: str = DEFAULT_BUFFER) -> int:
+        """Fault-injection hook: silently drop one captured window (see
+        :meth:`EventBuffer.drop_window`).  Returns events removed."""
+        return self.buffer(buffer_name).drop_window(scn)
 
     def newest_scn(self, buffer_name: str = DEFAULT_BUFFER) -> int:
         existing = self._buffers.get(buffer_name)

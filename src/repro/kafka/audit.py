@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-from repro.common.clock import Clock, WallClock
+from repro.common.clock import Clock
 from repro.kafka.broker import KafkaCluster
 from repro.kafka.consumer import SimpleConsumer
 from repro.kafka.producer import Producer
@@ -35,7 +35,11 @@ class AuditingProducer:
                  batch_size: int = 100):
         self.server_name = server_name
         self.window_seconds = window_seconds
-        self.clock = clock or WallClock()
+        # default to the *cluster's* clock, not a fresh WallClock: under
+        # a SimClock the message timestamps — and therefore the audit
+        # windows — must come from the same deterministic time source as
+        # everything else, or same-seed runs bucket differently
+        self.clock = clock if clock is not None else cluster.clock
         self._producer = Producer(cluster, batch_size=batch_size)
         # (topic, window) -> count
         self._counts: dict[tuple[str, int], int] = {}
@@ -89,7 +93,18 @@ class AuditReport:
         out = {}
         for key, count in self.produced.items():
             delta = count - self.consumed.get(key, 0)
-            if delta:
+            if delta > 0:  # surpluses are unaccounted(), not missing
+                out[key] = delta
+        return out
+
+    def unaccounted(self) -> dict[tuple[str, int], int]:
+        """Messages consumed beyond any producer's claim, per window —
+        duplicates, or data whose monitoring event was lost with a
+        crashed producer."""
+        out = {}
+        for key, count in self.consumed.items():
+            delta = count - self.produced.get(key, 0)
+            if delta > 0:
                 out[key] = delta
         return out
 

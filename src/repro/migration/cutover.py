@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable
 
 from repro.common.clock import Clock
 from repro.common.errors import ConfigurationError
@@ -99,9 +100,18 @@ class MigrationCoordinator:
     def __init__(self, proxy: DualWriteProxy, backfill: ChunkedBackfill,
                  journal: MigrationJournal, clock: Clock,
                  slo: MigrationSlo | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 cutover_check: Callable[[], list] | None = None):
         self.proxy = proxy
         self.backfill = backfill
+        # the final verification gate: a callable returning a list of
+        # discrepancies (empty == safe).  Defaults to the proxy's ad-hoc
+        # row comparison; pass repro.audit.wiring.cutover_check(proxy)
+        # to gate on declared constraints instead (same data, but the
+        # differences come back as structured Violation records).  The
+        # coordinator never imports audit — the layering contract points
+        # the other way — so the constraint arrives as a plain callable.
+        self.cutover_check = cutover_check
         self.client = backfill.client
         self.capture = backfill.capture
         self.journal = journal
@@ -268,11 +278,19 @@ class MigrationCoordinator:
 
     def _enter_cutover(self) -> None:
         """The final gate: both stores must be row-for-row identical."""
-        differences = self.proxy.full_comparison()
+        if self.cutover_check is not None:
+            differences = list(self.cutover_check())
+        else:
+            differences = self.proxy.full_comparison()
         if differences:
+            first = differences[0]
+            # a full_comparison difference is (table, key, src, dst);
+            # trim the row images.  Constraint Violations render whole.
+            preview = (first[:2] if isinstance(first, tuple)
+                       else getattr(first, "render", lambda: repr(first))())
             self.rollback(
                 f"cutover verification found {len(differences)} differing "
-                f"rows (first: {differences[0][:2]})")
+                f"rows (first: {preview})")
             return
         self.proxy.serve_target_only = True
         self.proxy.dual_writes_enabled = False

@@ -11,6 +11,7 @@ fresh coordinator that resumes from the journal on the shared disk.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.common.clock import Clock
 from repro.common.metrics import MetricsRegistry
@@ -51,12 +52,21 @@ class MigrationStack:
               slo: MigrationSlo | None = None, chunk_size: int = 64,
               cluster: EspressoCluster | None = None,
               num_nodes: int = 3, num_partitions: int = 8,
-              replication_factor: int = 2) -> "MigrationStack":
+              replication_factor: int = 2,
+              cutover_check: Callable[["DualWriteProxy"],
+                                      Callable[[], list]] | None = None
+              ) -> "MigrationStack":
         """Wire a full stack.
 
         ``disk`` holds the coordinator's checkpoint journal — reuse the
         same disk (and ``cluster``) across builds to model a coordinator
         process restart that resumes mid-migration.
+
+        ``cutover_check`` is a *factory* taking the built proxy and
+        returning the coordinator's verification gate (the proxy does
+        not exist until build time) — pass
+        ``repro.audit.wiring.cutover_check`` to verify the cutover with
+        declared constraints.
         """
         if cluster is None:
             cluster = EspressoCluster(
@@ -76,8 +86,10 @@ class MigrationStack:
                                    capture=capture, chunk_size=chunk_size)
         proxy = DualWriteProxy(source, target, metrics)
         journal = MigrationJournal(disk)
-        coordinator = MigrationCoordinator(proxy, backfill, journal, clock,
-                                           slo=slo, metrics=metrics)
+        coordinator = MigrationCoordinator(
+            proxy, backfill, journal, clock, slo=slo, metrics=metrics,
+            cutover_check=(cutover_check(proxy)
+                           if cutover_check is not None else None))
         return cls(source=source, cluster=cluster, relay=relay,
                    capture=capture, client=client, replicator=replicator,
                    target=target, proxy=proxy, journal=journal,

@@ -45,6 +45,15 @@ class RankedInvertedIndex:
     def __len__(self) -> int:
         return len(self._doc_terms)
 
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._doc_terms
+
+    def doc_ids(self) -> list[object]:
+        """Indexed document ids, deterministically ordered — the
+        membership view a consistency auditor compares against the
+        source of truth."""
+        return sorted(self._doc_terms, key=repr)
+
     # -- maintenance ----------------------------------------------------------
 
     def add(self, doc_id: object, document: dict) -> None:

@@ -36,9 +36,9 @@ class FaultAction:
 
     at: float
     kind: str                 # "kill" | "restart" | "torn_write" | "bit_flip"
-                              # | "call" | "limp" | "heal_limp" | "net_crash"
-                              # | "net_recover" | "set_link" | "clear_link"
-                              # | "block" | "heal_blocks"
+                              # | "call" | "inject" | "limp" | "heal_limp"
+                              # | "net_crash" | "net_recover" | "set_link"
+                              # | "clear_link" | "block" | "heal_blocks"
     node: str = ""
     path: str | None = None
     keep_bytes: int | None = None
@@ -126,6 +126,14 @@ class FaultPlan:
         """Schedule arbitrary workload (writes, reads, checks) between
         faults so the plan captures the whole scenario in one place."""
         self._actions.append(FaultAction(at, "call", label=label, fn=fn))
+
+    def inject(self, at: float, label: str, fn: Callable[[], None]) -> None:
+        """Schedule a *seeded violation plant* (see
+        :class:`repro.audit.inject.ViolationInjector`).  Behaves like
+        :meth:`call` but is recorded under its own kind, so the executed
+        trace distinguishes planted corruptions from ordinary workload —
+        the ground truth the auditor's recall is scored against."""
+        self._actions.append(FaultAction(at, "inject", label=label, fn=fn))
 
     # -- gray-failure schedule constructors -----------------------------------
 
@@ -224,6 +232,9 @@ class FaultPlan:
         elif action.kind == "call":
             action.fn()
             self.executed.append((now, "call", "", action.label))
+        elif action.kind == "inject":
+            action.fn()
+            self.executed.append((now, "inject", "", action.label))
         elif action.kind == "limp":
             self.network.failures.limp(action.node, action.factor)
             self.executed.append((now, "limp", action.node,
@@ -298,6 +309,13 @@ class AckLedger:
 
     def __len__(self) -> int:
         return len(self._acked)
+
+    def acked(self, system: str) -> dict[object, object]:
+        """The acked ``{key: value}`` map for one system — the
+        ground-truth side of a declared audit constraint (the ledger is
+        "produced", the recovered store is "consumed")."""
+        return {key: value for (sys_name, key), value in self._acked.items()
+                if sys_name == system}
 
     def verify(self, system: str,
                reader: Callable[[object], object]) -> list[str]:

@@ -203,6 +203,17 @@ class LogStructuredEngine(StorageEngine):
         self._index[key] = survivors
         self.live_bytes += len(record)
 
+    def record_span(self, key: bytes) -> tuple[int, int]:
+        """(offset, length) of the newest live on-disk record for
+        ``key`` — the targeting information a fault injector needs to
+        corrupt one specific key's bytes (the CRC on the read path is
+        what must catch the damage)."""
+        entries = self._index.get(key)
+        if not entries:
+            raise KeyNotFoundError(repr(key))
+        entry = entries[-1]
+        return entry.offset, entry.length
+
     def keys(self) -> Iterator[bytes]:
         for key, entries in self._index.items():
             if any(not e.tombstone for e in entries):

@@ -62,6 +62,17 @@ def test_migration_package_is_lint_clean():
     assert not report.findings, "\n".join(f.render() for f in report.findings)
 
 
+def test_audit_package_is_lint_clean():
+    """The consistency auditor post-dates the linter too: zero findings
+    — and implicitly, its LAYER_CONTRACT row (no simnet, no migration)
+    holds for every import in the package."""
+    analyzer = Analyzer(root=REPO_ROOT)
+    report = analyzer.run([SRC_REPRO / "audit"])
+    assert report.files_scanned >= 6
+    assert not report.parse_errors, report.parse_errors
+    assert not report.findings, "\n".join(f.render() for f in report.findings)
+
+
 def test_layering_contract_matches_reality():
     """The committed contract and the actual import graph agree —
     checked whole-repo, not per file, so a contract row nobody uses

@@ -1,0 +1,112 @@
+"""Blame attribution: lineage walks and causal-order ranking."""
+
+import pytest
+
+from repro.audit import BlameEngine, Lineage, Violation
+from repro.audit.blame import Evidence, _rank
+from repro.common.errors import ConfigurationError, KeyNotFoundError
+
+
+def make_violation(constraint="c", key=(1,)):
+    return Violation(constraint, "missing-key", "subject", repr(key),
+                     "present", "absent", raw_key=key)
+
+
+def lineage_of(*outcomes):
+    """A lineage whose stage checks return the given fixed outcomes."""
+    return Lineage([(f"stage-{i}", (lambda out: lambda v: out)(outcome))
+                    for i, outcome in enumerate(outcomes)])
+
+
+def test_first_failing_stage_takes_the_blame():
+    engine = BlameEngine()
+    engine.register("c", lineage_of(True, False, False, True))
+    verdict = engine.attribute(make_violation())
+    assert verdict.top == "stage-1"
+    assert verdict.score_of("stage-1") == 1.0
+    # downstream breakage is fallout, not cause: half the score
+    assert verdict.score_of("stage-2") == 0.5
+    assert verdict.score_of("stage-0") == 0.0
+
+
+def test_unknown_stages_keep_a_residual_score():
+    """Unknown is not innocent: an uninspectable stage can still be the
+    culprit, so it must appear in the ranking."""
+    engine = BlameEngine()
+    engine.register("c", lineage_of(None, False))
+    verdict = engine.attribute(make_violation())
+    assert verdict.top == "stage-1"
+    assert verdict.score_of("stage-0") == pytest.approx(0.1)
+
+
+def test_all_unknown_ranks_by_pipeline_order():
+    engine = BlameEngine()
+    engine.register("c", lineage_of(None, None))
+    verdict = engine.attribute(make_violation())
+    assert verdict.top == "stage-0"
+    assert verdict.score_of("stage-0") == pytest.approx(0.5)
+    assert verdict.score_of("stage-1") == pytest.approx(0.25)
+
+
+def test_all_clean_defaults_to_the_last_stage_low_confidence():
+    """Every stage checks out, yet the artifact is wrong: blame the
+    stage closest to it, at low confidence."""
+    engine = BlameEngine()
+    engine.register("c", lineage_of(True, True, True))
+    verdict = engine.attribute(make_violation())
+    assert verdict.top == "stage-2"
+    assert verdict.score_of("stage-2") == pytest.approx(0.1)
+
+
+def test_evidence_records_every_stage_in_pipeline_order():
+    engine = BlameEngine()
+    engine.register("c", lineage_of(True, None, False))
+    verdict = engine.attribute(make_violation())
+    assert [e.stage for e in verdict.evidence] == ["stage-0", "stage-1",
+                                                  "stage-2"]
+    assert [e.ok for e in verdict.evidence] == [True, None, False]
+    assert verdict.evidence[2].detail == "verified broken"
+
+
+def test_taxonomy_error_in_a_check_becomes_unknown_evidence():
+    def broken_check(violation):
+        raise KeyNotFoundError("probe store lost the key")
+
+    engine = BlameEngine()
+    engine.register("c", Lineage([("probe", broken_check),
+                                  ("sink", lambda v: False)]))
+    verdict = engine.attribute(make_violation())
+    probe_evidence = verdict.evidence[0]
+    assert probe_evidence.ok is None
+    assert "KeyNotFoundError" in probe_evidence.detail
+    assert verdict.top == "sink"
+
+
+def test_unregistered_constraint_yields_no_verdict():
+    engine = BlameEngine()
+    assert engine.attribute(make_violation()) is None
+    assert engine.attributions == 0
+
+
+def test_duplicate_registration_is_rejected():
+    engine = BlameEngine()
+    engine.register("c", lineage_of(True))
+    with pytest.raises(ConfigurationError):
+        engine.register("c", lineage_of(True))
+
+
+def test_lineage_rejects_empty_and_duplicate_stages():
+    with pytest.raises(ConfigurationError):
+        Lineage([])
+    with pytest.raises(ConfigurationError):
+        Lineage([("a", lambda v: True), ("a", lambda v: True)])
+
+
+def test_rank_tiebreak_follows_pipeline_order():
+    lineage = lineage_of(False, True, True)
+    evidence = [Evidence("stage-0", False), Evidence("stage-1", True),
+                Evidence("stage-2", True)]
+    verdict = _rank(lineage, evidence)
+    # stage-1 and stage-2 both score 0.0: the tie resolves upstream-first
+    assert [stage for stage, _ in verdict.ranking] == ["stage-0", "stage-1",
+                                                       "stage-2"]

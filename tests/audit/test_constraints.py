@@ -1,0 +1,206 @@
+"""The constraint DSL: four invariant families over closure probes."""
+
+import pytest
+
+from repro.audit import (
+    ABSENT_VALUE,
+    UNREADABLE,
+    CountConservation,
+    KeySetContainment,
+    ReplicaAgreement,
+    ValueEquality,
+    check_all,
+)
+from repro.audit.constraints import preview
+from repro.common.errors import ConfigurationError
+
+
+# -- CountConservation -------------------------------------------------------
+
+def test_count_conservation_holds_when_counts_match():
+    constraint = CountConservation(
+        "kafka-counts", "kafka:events",
+        produced=lambda: {("events", 0): 5},
+        consumed=lambda: {("events", 0): 5})
+    assert constraint.check() == []
+
+
+def test_count_deficit_is_lost_messages():
+    constraint = CountConservation(
+        "kafka-counts", "kafka:events",
+        produced=lambda: {("events", 0): 5},
+        consumed=lambda: {("events", 0): 3})
+    [violation] = constraint.check()
+    assert violation.kind == "lost-messages"
+    assert violation.key == repr(("events", 0))
+    assert violation.expected == "5 messages"
+    assert violation.actual == "3 messages"
+
+
+def test_count_surplus_is_duplicated_messages():
+    constraint = CountConservation(
+        "kafka-counts", "kafka:events",
+        produced=lambda: {("events", 0): 5},
+        consumed=lambda: {("events", 0): 7})
+    [violation] = constraint.check()
+    assert violation.kind == "duplicated-messages"
+
+
+def test_count_buckets_missing_on_either_side_default_to_zero():
+    constraint = CountConservation(
+        "kafka-counts", "kafka:events",
+        produced=lambda: {("events", 0): 2},
+        consumed=lambda: {("events", 1): 3})
+    kinds = {v.key: v.kind for v in constraint.check()}
+    assert kinds == {repr(("events", 0)): "lost-messages",
+                     repr(("events", 1)): "duplicated-messages"}
+
+
+# -- KeySetContainment -------------------------------------------------------
+
+def test_containment_flags_keys_missing_before_the_horizon():
+    constraint = KeySetContainment(
+        "espresso-keys", "espresso:profiles",
+        source_items=lambda: {(1,): 10, (2,): 20},
+        contains=lambda key: key == (1,),
+        horizon=lambda: 100)
+    [violation] = constraint.check()
+    assert violation.kind == "missing-key"
+    assert violation.key == repr((2,))
+    assert violation.scn == 20
+    assert "horizon 100" in violation.expected
+
+
+def test_containment_skips_keys_committed_past_the_horizon():
+    """In-flight rows (committed after the certified cut) are not
+    violations — this is what keeps a continuous audit quiet while the
+    pipeline is merely lagging."""
+    constraint = KeySetContainment(
+        "espresso-keys", "espresso:profiles",
+        source_items=lambda: {(1,): 10, (2,): 200},
+        contains=lambda key: False,
+        horizon=lambda: 100)
+    assert [v.key for v in constraint.check()] == [repr((1,))]
+
+
+# -- ValueEquality -----------------------------------------------------------
+
+def test_value_equality_reports_divergence_with_previews():
+    constraint = ValueEquality(
+        "espresso-values", "espresso:profiles",
+        expected_items=lambda: {(1,): {"name": "good"}},
+        actual_of=lambda key: {"name": "bad"})
+    [violation] = constraint.check()
+    assert violation.kind == "value-divergence"
+    assert violation.expected == repr({"name": "good"})
+    assert violation.actual == repr({"name": "bad"})
+
+
+def test_value_equality_leaves_absence_to_containment():
+    constraint = ValueEquality(
+        "espresso-values", "espresso:profiles",
+        expected_items=lambda: {(1,): {"name": "good"}},
+        actual_of=lambda key: ABSENT_VALUE)
+    assert constraint.check() == []
+
+
+def test_value_equality_respects_the_horizon():
+    constraint = ValueEquality(
+        "espresso-values", "espresso:profiles",
+        expected_items=lambda: {(1,): "a", (2,): "b"},
+        actual_of=lambda key: "wrong",
+        scn_of=lambda key: {(1,): 10, (2,): 200}[key],
+        horizon=lambda: 100)
+    [violation] = constraint.check()
+    assert violation.key == repr((1,))
+    assert violation.scn == 10
+
+
+# -- ReplicaAgreement --------------------------------------------------------
+
+def test_replica_agreement_passes_when_all_copies_match():
+    constraint = ReplicaAgreement(
+        "replicas", "voldemort:chaos",
+        replica_values=lambda: {b"k": {"node-0": b"v", "node-1": b"v"}})
+    assert constraint.check() == []
+
+
+def test_replica_divergence_names_every_replica_value():
+    constraint = ReplicaAgreement(
+        "replicas", "voldemort:chaos",
+        replica_values=lambda: {b"k": {"node-0": b"v", "node-1": UNREADABLE}})
+    [violation] = constraint.check()
+    assert violation.kind == "replica-divergence"
+    assert "node-0" in violation.actual and "node-1" in violation.actual
+    assert UNREADABLE in violation.actual
+
+
+def test_under_replication_is_its_own_kind():
+    constraint = ReplicaAgreement(
+        "replicas", "voldemort:chaos",
+        replica_values=lambda: {b"k": {"node-0": b"v"}},
+        min_replicas=3)
+    [violation] = constraint.check()
+    assert violation.kind == "under-replicated"
+    assert violation.expected == ">= 3 replicas"
+
+
+def test_min_replicas_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        ReplicaAgreement("r", "s", lambda: {}, min_replicas=0)
+
+
+# -- cross-cutting behaviour -------------------------------------------------
+
+def test_violation_order_is_deterministic():
+    """Probe dict insertion order must never leak into the report."""
+    forward = {(2,): 20, (1,): 10, (3,): 5}
+    backward = dict(reversed(list(forward.items())))
+    make = lambda items: KeySetContainment(
+        "c", "s", source_items=lambda: items,
+        contains=lambda key: False, horizon=lambda: 100)
+    assert ([v.key for v in make(forward).check()]
+            == [v.key for v in make(backward).check()]
+            == [repr((3,)), repr((1,)), repr((2,))])  # SCN order
+
+
+def test_identity_ignores_evidence_fields():
+    constraint = CountConservation(
+        "c", "s", produced=lambda: {("t", 0): 5},
+        consumed=lambda: {("t", 0): 3})
+    [first] = constraint.check()
+    constraint.consumed = lambda: {("t", 0): 1}
+    [second] = constraint.check()
+    assert first.identity == second.identity
+    assert first.actual != second.actual
+
+
+def test_preview_truncates_long_values():
+    text = preview("x" * 500)
+    assert len(text) <= 130
+    assert text.endswith("...")
+
+
+def test_render_is_one_line_of_evidence():
+    constraint = KeySetContainment(
+        "espresso-keys", "espresso:profiles",
+        source_items=lambda: {(7,): 3}, contains=lambda key: False,
+        horizon=lambda: 10)
+    [violation] = constraint.check()
+    line = violation.render()
+    assert "espresso-keys" in line and "missing-key" in line
+    assert repr((7,)) in line
+
+
+def test_check_all_preserves_declaration_order():
+    first = CountConservation("a", "s", lambda: {"b": 1}, lambda: {"b": 0})
+    second = CountConservation("b", "s", lambda: {"b": 1}, lambda: {"b": 0})
+    names = [v.constraint for v in check_all([first, second])]
+    assert names == ["a", "b"]
+
+
+def test_constraint_requires_name_and_subject():
+    with pytest.raises(ConfigurationError):
+        CountConservation("", "s", lambda: {}, lambda: {})
+    with pytest.raises(ConfigurationError):
+        CountConservation("n", "", lambda: {}, lambda: {})

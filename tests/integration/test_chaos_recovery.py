@@ -239,6 +239,57 @@ def test_fault_plan_executed_fully(world):
     assert kinds.count("torn_write") == 1
 
 
+def test_declared_constraints_hold_after_recovery(world):
+    """DESIGN.md §9's ledger checks re-expressed as declared audit
+    constraints: after kills, a torn write, and recovery, a correct
+    world keeps the continuous auditor completely quiet — the clean-run
+    control that makes every seeded-injection finding meaningful."""
+    from repro.audit import Auditor, CountConservation, ValueEquality
+    from repro.common.clock import SimClock
+
+    kafka = world["kafka"]
+    routed = world["routed"]
+    espresso = world["espresso"]
+    ledger = world["ledger"]
+
+    def kafka_produced():
+        counts = {}
+        for topic, partition, _offset in ledger.acked("kafka"):
+            bucket = (topic, partition)
+            counts[bucket] = counts.get(bucket, 0) + 1
+        return counts
+
+    def kafka_consumed():
+        counts = {}
+        for tp in kafka.topic_layout("events"):
+            broker = kafka.brokers[tp.broker_id]
+            offset = n = 0
+            while True:
+                data = broker.fetch(tp.topic, tp.partition, offset)
+                if not data:
+                    break
+                for decoded in iter_messages(data, offset):
+                    n += 1
+                    offset = decoded.next_offset
+            counts[(tp.topic, tp.partition)] = n
+        return counts
+
+    auditor = Auditor(SimClock())
+    auditor.declare(CountConservation(
+        "kafka-conservation", "kafka:events", kafka_produced, kafka_consumed))
+    auditor.declare(ValueEquality(
+        "voldemort-acked-values", "voldemort:chaos",
+        expected_items=lambda: ledger.acked("voldemort"),
+        actual_of=lambda key: routed.get(key)[0][0].value))
+    auditor.declare(ValueEquality(
+        "espresso-acked-values", "espresso:Artist",
+        expected_items=lambda: ledger.acked("espresso"),
+        actual_of=lambda artist: espresso.node_for_resource(artist)
+            .get_document("Artist", (artist,)).document["genre"]))
+    assert auditor.tick() == []
+    assert auditor.violations == []
+
+
 def test_same_seed_byte_identical_trace():
     first = run_scenario(77)
     second = run_scenario(77)

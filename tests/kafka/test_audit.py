@@ -69,6 +69,61 @@ def test_loss_detected(setup):
     assert report.missing() == {("activity", 0): 3}
 
 
+def test_default_clock_is_the_cluster_clock(setup):
+    """No hidden wall clock: windows must bucket on the same
+    deterministic time source as everything else in a simulation."""
+    cluster, clock = setup
+    producer = AuditingProducer(cluster, "app-a")
+    assert producer.clock is cluster.clock is clock
+    clock.advance(25.0)
+    producer.send("activity", {"x": 1})
+    producer.flush()
+    producer.publish_monitoring_events()
+    report = AuditReconciler(cluster, ["activity"]).reconcile()
+    assert report.produced == {("activity", 2): 1}  # window 25//10
+
+
+def test_producer_crash_loses_unflushed_batch_and_audit_says_so(setup):
+    """The §V.D failure the audit trail exists for: a producer counts
+    and claims messages, crashes with the data batch unflushed, and the
+    loss surfaces as a per-window deficit — permanently, even after a
+    replacement producer comes up and behaves."""
+    cluster, clock = setup
+    producer = AuditingProducer(cluster, "app-a", batch_size=1000)
+    for i in range(7):
+        producer.send("activity", {"i": i})
+    producer.publish_monitoring_events()   # claims land on the audit topic
+    del producer                           # crash: the data batch dies
+
+    report = AuditReconciler(cluster, ["activity"]).reconcile()
+    assert report.missing() == {("activity", 0): 7}
+
+    clock.advance(30.0)                    # restart in a fresh window
+    replacement = AuditingProducer(cluster, "app-a", batch_size=1000)
+    replacement.send("activity", {"i": 99})
+    replacement.flush()
+    replacement.publish_monitoring_events()
+    report = AuditReconciler(cluster, ["activity"]).reconcile()
+    assert report.missing() == {("activity", 0): 7}   # old loss persists
+    assert report.produced[("activity", 3)] == 1      # new window is clean
+    assert report.unaccounted() == {}
+
+
+def test_lost_monitoring_events_show_as_unaccounted(setup):
+    """The dual failure: data arrived but the producer died before
+    claiming it — consumed exceeds every claim for the window."""
+    cluster, clock = setup
+    producer = AuditingProducer(cluster, "app-a")
+    for i in range(4):
+        producer.send("activity", {"i": i})
+    producer.flush()
+    del producer  # crash before publish_monitoring_events
+    report = AuditReconciler(cluster, ["activity"]).reconcile()
+    assert report.missing() == {}
+    assert report.unaccounted() == {("activity", 0): 4}
+    assert not report.complete
+
+
 def test_unflushed_messages_show_as_missing_until_flush(setup):
     cluster, clock = setup
     producer = AuditingProducer(cluster, "app-a", clock=clock,

@@ -90,6 +90,36 @@ def test_catchup_deadline_breach_rolls_back(clock, source, disk):
     assert "did not converge" in stack.coordinator.rollback_reason
 
 
+def test_declared_cutover_check_passes_a_clean_migration(clock, source, disk):
+    """The ad-hoc full_comparison gate swapped for declared audit
+    constraints: a converged migration still cuts over."""
+    from repro.audit.wiring import cutover_check
+
+    stack = MigrationStack.build(source, disk.scope("c"), clock,
+                                 slo=FAST_SLO, chunk_size=16,
+                                 cutover_check=cutover_check)
+    drive_to_phase(stack, clock, MigrationPhase.CUTOVER)
+    assert stack.proxy.serve_target_only
+
+
+def test_declared_cutover_check_rolls_back_with_rendered_evidence(
+        clock, source, disk):
+    from repro.audit.wiring import cutover_check
+
+    stack = MigrationStack.build(source, disk.scope("c"), clock,
+                                 slo=FAST_SLO, chunk_size=16,
+                                 cutover_check=cutover_check)
+    drive_to_phase(stack, clock, MigrationPhase.RAMP)
+    stack.target.delete_row("profiles", (21,))
+    drive_to_phase(stack, clock, MigrationPhase.ROLLBACK)
+    reason = stack.coordinator.rollback_reason
+    assert "cutover verification" in reason
+    # the constraint violation renders whole into the reason, so the
+    # operator sees which declared invariant refused the cutover
+    assert "cutover-containment-profiles" in reason
+    assert "missing-key" in reason
+
+
 def test_journal_records_every_transition(clock, stack):
     drive_to_phase(stack, clock, MigrationPhase.CUTOVER)
     phases = [c.phase for c in stack.journal.history()]

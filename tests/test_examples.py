@@ -11,6 +11,7 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 
 EXAMPLES = [
     "quickstart.py",
+    "audit_pipeline.py",
     "company_follow.py",
     "people_you_may_know.py",
     "espresso_music_db.py",
