@@ -1,0 +1,119 @@
+"""Run-level result cache keyed by per-file content hashes.
+
+The interprocedural stage (call graph + effect summaries) is rebuilt
+from live ASTs on every run, and every project rule consumes those
+in-memory objects — so the unit of caching is the whole run: if no
+scanned file changed, the previous run's findings are replayed without
+parsing anything; if *any* file changed, everything recomputes, because
+a one-line edit can reroute call chains through every other file.
+
+The cache key is a digest over the sorted ``(relative path, content
+sha1)`` manifest plus the active rule names and a format version, so
+touching a file, adding one, deleting one, or changing the rule set all
+invalidate.  The payload lives in ``.repro-lint-cache/run.json`` under
+the scan root; a corrupt or unreadable cache is treated as a miss and
+rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding, Frame, LintReport
+
+#: bump whenever the serialized shape or rule semantics change
+CACHE_FORMAT = 1
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def run_digest(manifest: list[tuple[str, str]],
+               rule_names: list[str]) -> str:
+    """Digest of the per-file hash manifest + rule set + format."""
+    hasher = hashlib.sha1()
+    hasher.update(f"format={CACHE_FORMAT}\n".encode())
+    hasher.update(("rules=" + ",".join(sorted(rule_names)) + "\n").encode())
+    for rel_path, content_hash in sorted(manifest):
+        hasher.update(f"{rel_path}\x00{content_hash}\n".encode())
+    return hasher.hexdigest()
+
+
+def file_manifest(analyzer, paths) -> list[tuple[str, str]]:
+    """``(relative path, content sha1)`` for every file a run would scan."""
+    manifest = []
+    for path in analyzer.iter_files(paths):
+        digest = hashlib.sha1(path.read_bytes()).hexdigest()
+        manifest.append((analyzer._rel(path), digest))
+    return manifest
+
+
+def _encode_finding(finding: Finding) -> dict:
+    payload = {
+        "rule": finding.rule, "path": finding.path,
+        "line": finding.line, "col": finding.col,
+        "message": finding.message, "snippet": finding.snippet,
+        "end_line": finding.end_line,
+    }
+    if finding.chain:
+        payload["chain"] = [
+            {"path": f.path, "line": f.line,
+             "caller": f.caller, "callee": f.callee}
+            for f in finding.chain]
+    return payload
+
+
+def _decode_finding(payload: dict) -> Finding:
+    chain = tuple(Frame(**frame) for frame in payload.get("chain", []))
+    return Finding(rule=payload["rule"], path=payload["path"],
+                   line=payload["line"], col=payload["col"],
+                   message=payload["message"], snippet=payload["snippet"],
+                   end_line=payload["end_line"], chain=chain)
+
+
+class LintCache:
+    """One-entry cache: the latest run for one digest."""
+
+    def __init__(self, directory: str | Path = DEFAULT_CACHE_DIR):
+        self.directory = Path(directory)
+
+    @property
+    def path(self) -> Path:
+        return self.directory / "run.json"
+
+    def load(self, digest: str) -> LintReport | None:
+        """The cached report, or None on any mismatch or damage."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (payload.get("format") != CACHE_FORMAT
+                or payload.get("digest") != digest):
+            return None
+        try:
+            report = LintReport()
+            report.files_scanned = payload["files_scanned"]
+            report.parse_errors = list(payload["parse_errors"])
+            report.suppressed = payload["suppressed"]
+            report.findings = [_decode_finding(f)
+                               for f in payload["findings"]]
+        except (KeyError, TypeError):
+            return None
+        return report
+
+    def store(self, digest: str, report: LintReport) -> None:
+        """Record the run; cache-write failures never fail the lint."""
+        payload = {
+            "format": CACHE_FORMAT,
+            "digest": digest,
+            "files_scanned": report.files_scanned,
+            "parse_errors": report.parse_errors,
+            "suppressed": report.suppressed,
+            "findings": [_encode_finding(f) for f in report.findings],
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(payload, sort_keys=True),
+                                 encoding="utf-8")
+        except OSError:
+            pass

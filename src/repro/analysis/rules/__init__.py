@@ -31,7 +31,12 @@ after the contract it enforces:
 * :mod:`.unbounded_rpc` — ``unbounded-rpc``: a held deadline bounds
   every transitive RPC (interprocedural, call-chain findings);
 * :mod:`.escaped_error` — ``escaped-internal-error``: only taxonomy
-  errors escape the package-exported public API (interprocedural).
+  errors escape the package-exported public API (interprocedural);
+* :mod:`.atomicity` — ``atomicity-violation``,
+  ``non-atomic-multi-write``, ``yield-in-atomic-section``: multi-step
+  shared-state updates must not straddle a transitive yield point
+  (RPC/sleep/fsync anywhere down the call chain) without
+  revalidation, a journal record, or an ``@atomic_section`` proof.
 
 The four flow rules run on the control-flow graphs built by
 :mod:`repro.analysis.flow` (via :mod:`repro.analysis.protocol` for
@@ -42,6 +47,7 @@ call graph (:mod:`repro.analysis.callgraph`) and effect summaries
 """
 
 from repro.analysis.rules import (  # noqa: F401
+    atomicity,
     breaker,
     deadline,
     durability,

@@ -15,6 +15,20 @@ a fixpoint iteration inside recursive components):
 * **blocks** — which blocking primitives the function transitively
   reaches: ``rpc`` (``SimNetwork.invoke``/``send`` and their
   attribute-named wrappers), ``sleep``, ``fsync``.
+* **yield-points** — the statement-level sites at which the function
+  may *yield* to the cooperative scheduler: direct blocking primitives
+  plus every call/ref site whose callee transitively blocks.  In the
+  simulation every such site is a linearization point — arbitrary
+  other events interleave while the primitive runs — so the atomicity
+  rules treat the yield-point set as "where shared state may change
+  under you".
+* **writes-self** — which ``self``-rooted attribute paths the function
+  stores to (``self.x = …``, ``self.x[k] = …``, ``self.a.b = …``),
+  propagated through bare ``self.method()`` calls only: a collaborator
+  call (``self.store.put(...)``) does not count as writing *this*
+  object's state.  Augmented assigns are excluded (counter bumps are
+  not coupled-state transitions), as are stores inside ``except``
+  handlers (compensation, not the happy path).
 * **drops-deadline** — assuming the function *receives* a deadline
   (a ``deadline``/``budget`` parameter, or one it constructs), does
   that budget flow into every transitive RPC?  Flow is tracked as a
@@ -53,6 +67,27 @@ from repro.analysis.core import Frame
 BLOCKING_KINDS = ("rpc", "sleep", "fsync")
 
 
+@dataclass(frozen=True)
+class YieldPoint:
+    """One site in a function at which the cooperative scheduler may
+    run arbitrary other events before control returns."""
+
+    line: int
+    #: id() of the ``ast.Call`` node in this function's tree (stable
+    #: for the lifetime of the parsed Project; not serializable)
+    node_id: int
+    #: sorted subset of BLOCKING_KINDS the site transitively reaches
+    kinds: tuple[str, ...]
+    #: display name of what is called at the site
+    callee: str
+    #: the blocking kind when the site *is* the primitive itself
+    #: (``net.invoke``/``clock.sleep``/``wal.fsync``); None when the
+    #: yield is inherited through a call edge
+    direct: str | None
+    #: witness: this site -> ... -> concrete blocking primitive
+    chain: tuple[Frame, ...]
+
+
 @dataclass
 class Summary:
     """The interprocedural facts one function exports to its callers."""
@@ -67,6 +102,12 @@ class Summary:
     #: stops bounding a transitive RPC (empty: every RPC is bounded,
     #: or there are none)
     drops_deadline: tuple[tuple[Frame, ...], ...] = ()
+    #: every site where this function may yield to the scheduler,
+    #: sorted by (line, callee) for deterministic reporting
+    yield_points: tuple[YieldPoint, ...] = ()
+    #: self-rooted attribute path ("scn", "proxy.ramp_percent") ->
+    #: witness chain down to the store site
+    writes_self: dict[str, tuple[Frame, ...]] = field(default_factory=dict)
 
 
 class Hierarchy:
@@ -138,6 +179,50 @@ class Hierarchy:
 # -- per-function site extraction --------------------------------------------
 
 
+def self_param_name(fn: FunctionInfo) -> str | None:
+    """The receiver parameter name of a method, None for functions."""
+    if fn.cls is None:
+        return None
+    args = fn.node.args
+    positional = [*args.posonlyargs, *args.args]
+    if not positional:
+        return None
+    return positional[0].arg
+
+
+def self_store_path(target: ast.AST, self_name: str) -> str | None:
+    """The dotted attribute path a store target writes under ``self``
+    (``self.a.b[k] = v`` -> ``"a.b"``), or None for non-self targets."""
+    node = target
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == self_name and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+def _store_targets(node: ast.AST) -> Iterator[ast.AST]:
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                yield from target.elts
+            else:
+                yield target
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        yield node.target
+
+
+@dataclass(frozen=True)
+class _StoreSite:
+    path: str
+    line: int
+    in_except: bool
+
+
 @dataclass(frozen=True)
 class _RaiseSite:
     names: tuple[str, ...]
@@ -155,6 +240,9 @@ class _SiteCollector:
         self.raises: list[_RaiseSite] = []
         #: id(call node) -> handler stack
         self.call_handlers: dict[int, tuple[frozenset[str], ...]] = {}
+        #: direct self.<path> stores (augmented assigns excluded)
+        self.stores: list[_StoreSite] = []
+        self._self_name = self_param_name(fn)
         self._walk(list(ast.iter_child_nodes(fn.node)), (), None)
 
     def _spec_names(self, handler: ast.ExceptHandler) -> frozenset[str]:
@@ -226,6 +314,13 @@ class _SiteCollector:
                 continue
             if isinstance(node, ast.Call):
                 self.call_handlers[id(node)] = stack
+            if self._self_name is not None and \
+                    isinstance(node, (ast.Assign, ast.AnnAssign)):
+                for target in _store_targets(node):
+                    path = self_store_path(target, self._self_name)
+                    if path is not None:
+                        self.stores.append(_StoreSite(
+                            path, node.lineno, handler is not None))
             self._walk(list(ast.iter_child_nodes(node)), stack, handler)
 
 
@@ -320,12 +415,26 @@ def _summarize_once(fn: FunctionInfo, graph: CallGraph,
                 name, (_frame(fn, site.line, f"raise {_short(name)}"),))
 
     sites = graph.callees(fn.qualname)
+    self_name = self_param_name(fn)
 
-    # blocking effects + propagated raises
+    # own shared-state stores (except-handler stores are compensation)
+    for store in collector.stores:
+        if store.in_except:
+            continue
+        out.writes_self.setdefault(
+            store.path,
+            (_frame(fn, store.line, f"write self.{store.path}"),))
+
+    # blocking effects, yield points, propagated raises and writes
+    yields: list[YieldPoint] = []
     for site in sites:
         if site.kind in BLOCKING_KINDS:
             out.blocks.setdefault(
                 site.kind, (_frame(fn, site.line, site.callee),))
+            yields.append(YieldPoint(
+                line=site.line, node_id=site.node_id,
+                kinds=(site.kind,), callee=site.callee, direct=site.kind,
+                chain=(_frame(fn, site.line, site.callee),)))
             continue
         callee = summaries.get(site.callee)
         if callee is None:
@@ -342,6 +451,20 @@ def _summarize_once(fn: FunctionInfo, graph: CallGraph,
             if effect not in out.blocks:
                 out.blocks[effect] = \
                     (_frame(fn, site.line, site.callee),) + chain
+        if callee.blocks:
+            kinds = tuple(sorted(callee.blocks))
+            yields.append(YieldPoint(
+                line=site.line, node_id=site.node_id,
+                kinds=kinds, callee=site.callee, direct=None,
+                chain=(_frame(fn, site.line, site.callee),)
+                + callee.blocks[kinds[0]]))
+        if callee.writes_self and self_name is not None \
+                and _is_bare_self_call(calls.get(site.node_id), self_name):
+            for path, chain in callee.writes_self.items():
+                out.writes_self.setdefault(
+                    path, (_frame(fn, site.line, site.callee),) + chain)
+    out.yield_points = tuple(sorted(
+        yields, key=lambda y: (y.line, y.callee, y.kinds)))
 
     # deadline threading, assuming this function holds a budget
     deadline_names = _deadline_sources(fn)
@@ -377,6 +500,15 @@ def _summarize_once(fn: FunctionInfo, graph: CallGraph,
     return out
 
 
+def _is_bare_self_call(node: ast.Call | None, self_name: str) -> bool:
+    """True for ``self.method(...)`` — the only call shape through
+    which writes-self facts propagate to the caller's own state."""
+    return (node is not None
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == self_name)
+
+
 def _short(name: str) -> str:
     return name.rsplit(".", 1)[-1]
 
@@ -407,7 +539,9 @@ def compute_summaries(project: Project) -> dict[str, Summary]:
                 old = summaries[qual]
                 if set(new.raises) != set(old.raises) \
                         or set(new.blocks) != set(old.blocks) \
-                        or len(new.drops_deadline) != len(old.drops_deadline):
+                        or len(new.drops_deadline) != len(old.drops_deadline) \
+                        or len(new.yield_points) != len(old.yield_points) \
+                        or set(new.writes_self) != set(old.writes_self):
                     changed = True
                 summaries[qual] = new
     return summaries

@@ -1,5 +1,6 @@
 """Shared substrate: clocks, errors, hashing, vector clocks, schemas, metrics."""
 
+from repro.common.atomic import atomic_section
 from repro.common.clock import Clock, SimClock, WallClock
 from repro.common.metrics import Counter, LatencyHistogram, Meter, MetricsRegistry
 from repro.common.resilience import (
@@ -22,6 +23,7 @@ from repro.common.vectorclock import Occurred, VectorClock, prune_obsolete
 from repro.common.wal import WriteAheadLog, frame, scan_frames
 
 __all__ = [
+    "atomic_section",
     "Clock",
     "SimClock",
     "WallClock",

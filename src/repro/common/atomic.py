@@ -1,0 +1,37 @@
+"""Atomic-section markers for the cooperative simulation.
+
+Everything in this reproduction runs on a cooperative scheduler: the
+only places another event can interleave are *yield points* — a
+simulated RPC (``network.invoke``/``send``), a ``clock.sleep``, or a
+WAL ``fsync``.  Code between yield points is atomic by construction,
+and several invariants depend on exactly that: Espresso's
+doc + index + SCN commit must become visible as one unit, and the
+migration coordinator's journal transitions must never tear against
+a concurrently replayed checkpoint.
+
+:func:`atomic_section` is a no-op at runtime.  Its value is static:
+``repro-lint``'s ``yield-in-atomic-section`` rule *proves*, over the
+interprocedural call graph, that a decorated function contains no
+transitive yield point — so the atomicity the code relies on is a CI
+guarantee instead of a comment.  The same rule also checks
+``# repro-atomic`` line markers and ``# repro-atomic: begin`` /
+``# repro-atomic: end`` regions for statement-level claims.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def atomic_section(fn: F) -> F:
+    """Declare that ``fn`` must contain no transitive yield point.
+
+    Runtime identity; the claim is discharged statically by
+    ``repro-lint``'s ``yield-in-atomic-section`` rule, which walks the
+    effect summaries and convicts if any statement in ``fn`` can reach
+    ``network.invoke``/``send``, ``sleep``, or ``fsync``.
+    """
+    fn.__repro_atomic__ = True
+    return fn

@@ -31,11 +31,13 @@ import struct
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.common.atomic import atomic_section
 from repro.common.clock import Clock, WallClock
 from repro.common.errors import (
     ConfigurationError,
     KeyNotFoundError,
     NotMasterError,
+    ReplicationOrderError,
     TransactionAbortedError,
 )
 from repro.common.serialization import decode_record, decode_with_resolution, encode_record
@@ -360,12 +362,34 @@ class EspressoStorageNode:
             items.append((_KIND_CODES[change.kind], change.table,
                           schema.version, encode_record(schema, change.row)))
         self._wal_append_window(partition, scn, items)
-        self._apply_changes(changes)
-        self.partition_scn[partition] = scn
+        self._apply_committed(partition, scn, changes)
         self.writes_accepted += 1
         if self.on_apply is not None:
             self.on_apply(partition, scn)
         return scn
+
+    @atomic_section
+    def _apply_committed(self, partition: int, scn: int,
+                         changes: list[ChangeEvent]) -> None:
+        """Make a WAL-durable window visible: doc + index + SCN as one
+        unit.
+
+        The WAL fsync above is a yield point — another commit or a
+        replayed window may have advanced the partition SCN while this
+        window was being made durable, so the pre-fsync read of the SCN
+        must be revalidated before applying on top of it.  The
+        ``@atomic_section`` decorator has repro-lint prove the
+        revalidate-then-apply sequence itself contains no further yield
+        point, which is what makes the check-then-act here race-free.
+        """
+        current = self.partition_scn.get(partition, 0)
+        if current != scn - 1:
+            raise ReplicationOrderError(
+                f"partition {partition}: SCN advanced to {current} while "
+                f"the window for SCN {scn} was being made durable; a "
+                "concurrent commit or replay raced the WAL fsync")
+        self._apply_changes(changes)
+        self.partition_scn[partition] = scn
 
     def _apply_changes(self, changes: list[ChangeEvent]) -> None:
         for change in changes:
@@ -427,8 +451,7 @@ class EspressoStorageNode:
             partition, scn,
             [(_KIND_CODES[e.kind], e.source, e.schema_version, e.payload)
              for e in data_events])
-        self._apply_changes(changes)
-        self.partition_scn[partition] = scn
+        self._apply_committed(partition, scn, changes)
         self.windows_applied += 1
         if self.on_apply is not None:
             self.on_apply(partition, scn)

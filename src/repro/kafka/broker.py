@@ -129,6 +129,11 @@ class Broker:
             raise ConfigurationError(f"{topic}-{partition} already hosted")
         directory = os.path.join(self.data_dir, f"{topic}-{partition}")
         log = self._make_log(directory)
+        if key in self._logs:
+            # a concurrent create_partition won the race while our log
+            # recovered from disk; keep theirs so writes don't diverge
+            log.close()
+            raise ConfigurationError(f"{topic}-{partition} already hosted")
         self._logs[key] = log
         if self._session is not None:
             self._session.ensure_path(f"/brokers/topics/{topic}")

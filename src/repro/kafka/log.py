@@ -240,16 +240,23 @@ class PartitionLog:
             if self._active.size + len(self._pending) > self.segment_bytes \
                     and self._active.size > 0:
                 self._roll(base_offset=self.high_watermark)
-            self._active_file.write(self._pending)
+            # snapshot before the fsync yield: a concurrent append may
+            # extend _pending while the disk write is in flight, and
+            # those bytes are neither written nor durable yet
+            flushed = bytes(self._pending)
+            flushed_messages = self._pending_messages
+            self._active_file.write(flushed)
             if self.fsync_on_flush:
                 self._active_file.fsync()
             else:
                 self._active_file.flush()
-            self._active.size += len(self._pending)
+            self._active.size += len(flushed)
             self._active.last_append_at = self.clock.now()
-            self._pending.clear()
-            self._pending_messages = 0
-        self.high_watermark = self.log_end_offset
+            del self._pending[: len(flushed)]
+            self._pending_messages -= flushed_messages
+        # advance only over bytes actually flushed; anything still in
+        # _pending was appended mid-flush and is not recoverable yet
+        self.high_watermark = self.log_end_offset - len(self._pending)
         self._last_flush_at = self.clock.now()
 
     # -- fetch path ----------------------------------------------------------------------

@@ -46,7 +46,12 @@ class MirrorMaker:
         for (topic, partition), offset in list(self._offsets.items()):
             for decoded in self._consumer.fetch(topic, partition, offset):
                 self._producer.send(topic, decoded.message.payload)
+                if self._offsets[(topic, partition)] != offset:
+                    # the cursor moved while the fetch was in flight
+                    # (reset or concurrent pass): don't clobber it
+                    break
                 self._offsets[(topic, partition)] = decoded.next_offset
+                offset = decoded.next_offset
                 mirrored += 1
         self._producer.flush()
         self.messages_mirrored += mirrored
@@ -78,7 +83,12 @@ class HadoopLoadJob:
             records = []
             for decoded in self._consumer.fetch(topic, partition, offset):
                 records.append(decoded.message.payload)
+                if self._offsets[(topic, partition)] != offset:
+                    # cursor reset while fetching: keep what we read but
+                    # leave the moved cursor alone
+                    break
                 self._offsets[(topic, partition)] = decoded.next_offset
+                offset = decoded.next_offset
             if records:
                 path = (f"{self.output_root}/run-{self._run_id:06d}/"
                         f"{topic}-{partition}")

@@ -260,9 +260,14 @@ class ChunkedBackfill:
         if result.rows_read < self.chunk_size:
             # everything present at scan time is copied; rows committed
             # later reach the target through the live stream
-            self.progress[table] = DONE
+            advanced: object = DONE
         else:
-            self.progress[table] = result.last_key
+            advanced = result.last_key
+        if self.progress[table] == after_key:
+            # only advance if nobody reset the cursor while the pump
+            # yielded; the copied chunk is idempotent, so a racing
+            # restore_progress() owner simply re-scans it
+            self.progress[table] = advanced
         if self.on_chunk_complete is not None:
             self.on_chunk_complete(table, after_key)
         return result

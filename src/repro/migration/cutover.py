@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
+from repro.common.atomic import atomic_section
 from repro.common.clock import Clock
 from repro.common.errors import ConfigurationError
 from repro.common.metrics import MetricsRegistry
@@ -132,8 +133,14 @@ class MigrationCoordinator:
 
     # -- resume ------------------------------------------------------------
 
+    @atomic_section
     def _resume(self, checkpoint: MigrationCheckpoint) -> None:
-        """Rebuild in-memory state from the last durable checkpoint."""
+        """Rebuild in-memory state from the last durable checkpoint.
+
+        Declared atomic: if the rebuild could yield partway through,
+        an interleaved tick would observe a phase whose proxy flags
+        have not been restored yet.
+        """
         self.phase = MigrationPhase(checkpoint.phase)
         self.ramp_index = checkpoint.ramp_index
         self.entered_at = checkpoint.entered_at
@@ -168,10 +175,14 @@ class MigrationCoordinator:
             entered_at=self.entered_at))
 
     def _transition(self, phase: MigrationPhase, reason: str = "") -> None:
+        # the phase triple must update as one unit — a yield between
+        # these stores could journal a half-entered phase
+        # repro-atomic: begin
         self.phase = phase
         self.entered_at = self.clock.now()
         self.transitions.append(
             TransitionRecord(self.entered_at, phase, reason))
+        # repro-atomic: end
         self.metrics.counter(f"migration.enter.{phase.value}").increment()
         self._journal()
 
@@ -307,7 +318,11 @@ class MigrationCoordinator:
         self.proxy.ramp_percent = 0
         self.proxy.serve_target_only = False
         self.metrics.counter("migration.rollbacks").increment()
+        # journal the ROLLBACK *before* resuming CDC: the poll and the
+        # catch-up below are yield points, and a crash there with the
+        # journal still reading RAMP would make _resume re-enable dual
+        # writes against a target the stream has already moved past
+        self._transition(MigrationPhase.ROLLBACK, reason)
         if self.capture is not None:
             self.capture.poll()
         self.client.run_to_head()
-        self._transition(MigrationPhase.ROLLBACK, reason)

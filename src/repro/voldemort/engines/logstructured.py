@@ -229,13 +229,21 @@ class LogStructuredEngine(StorageEngine):
         return self._log.tell()
 
     def compact(self) -> int:
-        """Rewrite only live versions; returns bytes reclaimed."""
+        """Rewrite only live versions; returns bytes reclaimed.
+
+        A put may interleave with the fsync below; the compacted file
+        would then be missing its record while the swap discards the
+        index entry that points at it.  Snapshot the index up front and
+        abort the swap if the live index moved while we were on disk —
+        the next compaction picks the garbage up.
+        """
         before = self.log_size_bytes()
         compact_path = self._path + ".compact"
+        frozen = {key: tuple(entries) for key, entries in self._index.items()}
         new_index: dict[bytes, list[_IndexEntry]] = {}
         with self.disk.open(compact_path, "wb") as out:
             offset = 0
-            for key, entries in self._index.items():
+            for key, entries in frozen.items():
                 fresh: list[_IndexEntry] = []
                 for entry in entries:
                     if entry.tombstone:
@@ -249,6 +257,9 @@ class LogStructuredEngine(StorageEngine):
                 if fresh:
                     new_index[key] = fresh
             out.fsync()
+        if {k: tuple(v) for k, v in self._index.items()} != frozen:
+            self.disk.remove(compact_path)
+            return 0
         self._log.close()
         self.disk.replace(compact_path, self._path)
         self._log = self.disk.open(self._path, "ab+")

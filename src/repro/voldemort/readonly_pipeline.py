@@ -21,6 +21,7 @@ import struct
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.common.atomic import atomic_section
 from repro.common.errors import ConfigurationError
 from repro.hadoop import MapReduceJob, MiniHDFS, run_job
 from repro.voldemort.cluster import VoldemortCluster
@@ -194,12 +195,14 @@ class ReadOnlyPipelineController:
 
     # -- swap phase ----------------------------------------------------------------
 
+    @atomic_section
     def swap(self, build: BuildResult) -> None:
         """Atomic cluster-wide swap: verify all nodes pulled, then flip.
 
         Verification before any node swaps keeps the cluster versions
         consistent — either every node serves the new version or none
-        does.
+        does.  Declared atomic: a yield between per-node flips would
+        expose mixed versions to routed reads.
         """
         for node_id in sorted(self.cluster.ring.nodes):
             engine = self._engine(node_id)
@@ -240,5 +243,7 @@ class ReadOnlyPipelineController:
         """Full build -> pull -> swap."""
         build = self.build(pairs)
         self.pull(build)
-        self.swap(build)
+        # safe: staged publication — the build is invisible until swap()
+        # flips _live_version, and swap() itself is an atomic section
+        self.swap(build)  # repro-lint: disable=non-atomic-multi-write
         return build

@@ -197,7 +197,8 @@ class VoldemortServer:
         remaining: list[Hint] = []
         remaining_seqs: list[int] = []
         delivered_seqs: list[int] = []
-        for hint, seq in zip(self.hints, self._hint_seqs):
+        snapshot = list(zip(self.hints, self._hint_seqs))
+        for hint, seq in snapshot:
             if hint.destination_node != destination_node:
                 remaining.append(hint)
                 remaining_seqs.append(seq)
@@ -221,6 +222,10 @@ class VoldemortServer:
                 self._slop_wal.append(
                     bytes([_HINT_DELIVERED]) + _HINT_SEQ.pack(seq))
             self._slop_wal.fsync()
+        # hints queued while the deliveries and the fsync were in
+        # flight are beyond the snapshot: carry them over, don't drop
+        remaining.extend(self.hints[len(snapshot):])
+        remaining_seqs.extend(self._hint_seqs[len(snapshot):])
         self.hints = remaining
         self._hint_seqs = remaining_seqs
         return delivered

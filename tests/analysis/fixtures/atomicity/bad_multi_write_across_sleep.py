@@ -1,0 +1,16 @@
+# rule: non-atomic-multi-write
+# Two coupled stores with a yield point between them and no journal
+# record: a crash during the sleep observes the first without the
+# second.
+
+
+class Controller:
+    def __init__(self, clock):
+        self.clock = clock
+        self.phase = "idle"
+        self.entered_at = 0.0
+
+    def apply(self, phase, now):
+        self.phase = phase
+        self.clock.sleep(0.1)
+        self.entered_at = now  # BAD

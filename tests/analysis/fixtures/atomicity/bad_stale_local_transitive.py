@@ -1,0 +1,17 @@
+# rule: atomicity-violation
+# A local bound from mutable self state crosses a *transitive* yield
+# (the sleep is one call frame down) and is written back afterwards.
+
+
+class Store:
+    def __init__(self, clock):
+        self.clock = clock
+        self.progress = 0
+
+    def _pump(self):
+        self.clock.sleep(0.5)
+
+    def advance(self, n):
+        cur = self.progress
+        self._pump()
+        self.progress = cur + n  # BAD

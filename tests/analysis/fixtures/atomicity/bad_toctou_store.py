@@ -1,0 +1,15 @@
+# rule: atomicity-violation
+# Check-then-act without a stale local: the attribute is read in the
+# guard, the fsync yields, and the store lands with no re-read.
+
+
+class Node:
+    def __init__(self, disk):
+        self.disk = disk
+        self.scn = 0
+
+    def commit(self, scn):
+        if self.scn != scn - 1:
+            raise ValueError("gap")
+        self.disk.fsync()
+        self.scn = scn  # BAD

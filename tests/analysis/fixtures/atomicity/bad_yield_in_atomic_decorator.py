@@ -1,0 +1,16 @@
+# rule: yield-in-atomic-section
+# The decorator is a proof obligation: a marked function must contain
+# no transitive yield point at all.
+
+from repro.common.atomic import atomic_section
+
+
+class Node:
+    def __init__(self, disk):
+        self.disk = disk
+        self.docs = []
+
+    @atomic_section
+    def publish(self, doc):
+        self.docs.append(doc)
+        self.disk.fsync()  # BAD

@@ -1,0 +1,18 @@
+# rule: yield-in-atomic-section
+# A # repro-atomic region must not reach the scheduler — here the
+# yield hides one call frame down.
+
+
+class Node:
+    def __init__(self, disk):
+        self.disk = disk
+        self.phase = "idle"
+
+    def _flush(self):
+        self.disk.fsync()
+
+    def transition(self, phase):
+        # repro-atomic: begin
+        self.phase = phase
+        self._flush()  # BAD
+        # repro-atomic: end

@@ -1,0 +1,19 @@
+# rule: yield-in-atomic-section
+# A marked function whose whole call tree stays on-CPU discharges the
+# obligation.
+
+from repro.common.atomic import atomic_section
+
+
+class Node:
+    def __init__(self):
+        self.docs = []
+        self.count = 0
+
+    def _tally(self):
+        self.count = len(self.docs)
+
+    @atomic_section
+    def publish(self, doc):
+        self.docs.append(doc)
+        self._tally()

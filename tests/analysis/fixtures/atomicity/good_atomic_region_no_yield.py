@@ -1,0 +1,17 @@
+# rule: yield-in-atomic-section
+# Plain stores inside the region; the flush happens after the region
+# closes.
+
+
+class Node:
+    def __init__(self, disk):
+        self.disk = disk
+        self.phase = "idle"
+        self.entered_at = 0.0
+
+    def transition(self, phase, now):
+        # repro-atomic: begin
+        self.phase = phase
+        self.entered_at = now
+        # repro-atomic: end
+        self.disk.fsync()

@@ -1,0 +1,17 @@
+# rule: non-atomic-multi-write
+# The journal record between the writes makes the pair recoverable:
+# replay restores the second write after a crash in the sleep.
+
+
+class Controller:
+    def __init__(self, clock, journal):
+        self.clock = clock
+        self.journal = journal
+        self.phase = "idle"
+        self.entered_at = 0.0
+
+    def apply(self, phase, now):
+        self.phase = phase
+        self.journal.record(phase, now)
+        self.clock.sleep(0.1)
+        self.entered_at = now

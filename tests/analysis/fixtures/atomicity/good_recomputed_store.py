@@ -1,0 +1,22 @@
+# rule: atomicity-violation
+# The post-yield store is recomputed from mutable state read *after*
+# the yield, so it is fresh — not a stale write-back.
+
+
+class Log:
+    def __init__(self, disk):
+        self.disk = disk
+        self.end = 0
+        self.high = 0
+        self.mark = 0
+
+    def note(self, n):
+        self.end = n
+
+    def roll_to(self, offset):
+        self.mark = offset
+
+    def flush(self):
+        self.roll_to(self.high)
+        self.disk.fsync()
+        self.high = self.end

@@ -1,0 +1,19 @@
+# rule: atomicity-violation
+# Same shape as the bad twin, but the attribute is re-read after the
+# yield returns: revalidation clears the path.
+
+
+class Store:
+    def __init__(self, clock):
+        self.clock = clock
+        self.progress = 0
+
+    def _pump(self):
+        self.clock.sleep(0.5)
+
+    def advance(self, n):
+        cur = self.progress
+        self._pump()
+        if self.progress != cur:
+            return
+        self.progress = cur + n

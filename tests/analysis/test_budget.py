@@ -1,11 +1,13 @@
-"""Performance budget: the full-repo analyzer run stays under 10 s.
+"""Performance budget: the full-repo analyzer run stays under 12 s.
 
 The lint gate runs inside tier-1 CI on every change; the flow-based
-rules build CFGs per function per rule, and the interprocedural pass
-adds a repo-wide call graph plus SCC-ordered effect summaries on top.
-This test is the backstop that keeps that affordable.  The budget is
-generous (the full run takes ~3-4 s on a laptop) so the test is a
-tripwire for accidental quadratic behaviour, not a benchmark.
+rules build CFGs per function per rule, the interprocedural pass adds
+a repo-wide call graph plus SCC-ordered effect summaries, and the
+atomicity pass walks per-method CFGs against the transitive
+yield-point sets on top.  This test is the backstop that keeps that
+affordable.  The budget is generous (the full run with all sixteen
+rules takes ~2-4 s on a laptop) so the test is a tripwire for
+accidental quadratic behaviour, not a benchmark.
 """
 
 import time
@@ -13,7 +15,7 @@ import time
 from repro.analysis import Analyzer
 from tests.analysis.test_lint_clean_support import REPO_ROOT, SRC_REPRO
 
-BUDGET_SECONDS = 10.0
+BUDGET_SECONDS = 12.0
 
 
 def test_full_repo_run_stays_under_budget():
@@ -22,6 +24,9 @@ def test_full_repo_run_stays_under_budget():
     report = analyzer.run([SRC_REPRO])
     elapsed = time.perf_counter() - started
     assert report.files_scanned > 80
+    # the budget covers the atomicity pass, not a reduced rule set
+    assert {"atomicity-violation", "non-atomic-multi-write",
+            "yield-in-atomic-section"} <= set(analyzer.rule_seconds)
     assert elapsed < BUDGET_SECONDS, (
         f"full-repo lint took {elapsed:.2f}s (budget {BUDGET_SECONDS}s); "
         "per-rule timings: " + ", ".join(

@@ -1,0 +1,112 @@
+"""The run cache: hit/miss semantics and cached-vs-cold identity."""
+
+import json
+
+from repro.analysis.cache import (
+    CACHE_FORMAT,
+    LintCache,
+    file_manifest,
+    run_digest,
+)
+from repro.analysis.cli import main
+from repro.analysis.core import Analyzer, Finding, Frame, LintReport
+
+VIOLATION = "import time\n\n\ndef wait():\n    time.sleep(1)\n"
+
+
+def _write_pkg(tmp_path, source, name="mod.py"):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / name).write_text(source)
+    return pkg
+
+
+def _findings(tmp_path, capsys, *extra):
+    main([str(tmp_path / "pkg"), "--root", str(tmp_path), "--json", *extra])
+    payload = json.loads(capsys.readouterr().out)
+    return payload["new"], payload
+
+
+def test_cached_and_cold_runs_are_finding_identical(tmp_path, capsys):
+    _write_pkg(tmp_path, VIOLATION)
+    cold, cold_payload = _findings(tmp_path, capsys)
+    assert (tmp_path / ".repro-lint-cache" / "run.json").exists()
+
+    cached, cached_payload = _findings(tmp_path, capsys)
+    assert cached == cold
+    assert cached_payload["suppressed"] == cold_payload["suppressed"]
+    assert cached_payload["files_scanned"] == cold_payload["files_scanned"]
+    assert cached_payload["parse_errors"] == cold_payload["parse_errors"]
+
+
+def test_cache_invalidated_by_any_file_change(tmp_path, capsys):
+    _write_pkg(tmp_path, VIOLATION)
+    cold, _ = _findings(tmp_path, capsys)
+    assert len(cold) == 1
+    # a new file with a second violation must not replay the stale run
+    _write_pkg(tmp_path, VIOLATION, name="mod2.py")
+    fresh, _ = _findings(tmp_path, capsys)
+    assert len(fresh) == 2
+    # ... and fixing it invalidates again
+    (tmp_path / "pkg" / "mod2.py").write_text("def ok(clock):\n"
+                                              "    clock.sleep(1)\n")
+    refixed, _ = _findings(tmp_path, capsys)
+    assert len(refixed) == 1
+
+
+def test_no_cache_flag_skips_read_and_write(tmp_path, capsys):
+    _write_pkg(tmp_path, VIOLATION)
+    no_cache, _ = _findings(tmp_path, capsys, "--no-cache")
+    assert not (tmp_path / ".repro-lint-cache").exists()
+    cold, _ = _findings(tmp_path, capsys)
+    assert cold == no_cache
+    # poison the cache payload; --no-cache must not read it
+    cache_file = tmp_path / ".repro-lint-cache" / "run.json"
+    poisoned = json.loads(cache_file.read_text())
+    poisoned["findings"] = []
+    cache_file.write_text(json.dumps(poisoned))
+    honest, _ = _findings(tmp_path, capsys, "--no-cache")
+    assert honest == cold
+
+
+def test_digest_covers_rules_and_content(tmp_path):
+    pkg = _write_pkg(tmp_path, VIOLATION)
+    analyzer = Analyzer(root=str(tmp_path))
+    manifest = file_manifest(analyzer, [pkg])
+    assert manifest == [("pkg/mod.py", manifest[0][1])]
+    base = run_digest(manifest, ["wall-clock"])
+    assert run_digest(manifest, ["wall-clock"]) == base
+    assert run_digest(manifest, ["wall-clock", "other"]) != base
+    (pkg / "mod.py").write_text(VIOLATION + "\n")
+    assert run_digest(file_manifest(analyzer, [pkg]), ["wall-clock"]) != base
+
+
+def test_report_roundtrip_preserves_chain_and_fingerprint(tmp_path):
+    finding = Finding(
+        rule="atomicity-violation", path="pkg/mod.py", line=7, col=4,
+        message="stale read", snippet="self.x = cur", end_line=8,
+        chain=(Frame(path="pkg/mod.py", line=5, caller="a.b", callee="c.d"),))
+    report = LintReport()
+    report.files_scanned = 3
+    report.suppressed = 2
+    report.parse_errors = ["pkg/bad.py: invalid syntax (line 1)"]
+    report.findings = [finding]
+
+    cache = LintCache(tmp_path / ".repro-lint-cache")
+    cache.store("digest-1", report)
+    loaded = cache.load("digest-1")
+    assert loaded is not None
+    assert loaded.findings == [finding]
+    assert loaded.findings[0].fingerprint() == finding.fingerprint()
+    assert (loaded.files_scanned, loaded.suppressed, loaded.parse_errors) \
+        == (3, 2, report.parse_errors)
+    assert cache.load("digest-2") is None  # stale digest is a miss
+    payload = json.loads(cache.path.read_text())
+    assert payload["format"] == CACHE_FORMAT
+
+
+def test_corrupt_cache_is_a_miss(tmp_path):
+    cache = LintCache(tmp_path / ".repro-lint-cache")
+    cache.directory.mkdir()
+    cache.path.write_text("{not json")
+    assert cache.load("anything") is None

@@ -197,3 +197,24 @@ def test_graph_dump(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert any(edge["caller"] == "repro.pkg.mod.caller"
                for edge in payload["edges"])
+
+
+def test_sarif_report_shape(tmp_path, capsys):
+    pkg = _write_pkg(tmp_path, VIOLATION)
+    assert main([str(pkg), "--root", str(tmp_path),
+                 "--format=sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    [run] = payload["runs"]
+    results = run["results"]
+    assert any(r["ruleId"] == "wall-clock" for r in results)
+    uris = {r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in results}
+    assert uris == {"pkg/mod.py"}
+    assert all(r["baselineState"] == "new" for r in results)
+
+
+def test_json_flag_conflicts_with_sarif_format(tmp_path, capsys):
+    pkg = _write_pkg(tmp_path, CLEAN)
+    assert main([str(pkg), "--root", str(tmp_path),
+                 "--json", "--format=sarif"]) == 2

@@ -47,3 +47,42 @@ def test_cli_jobs_flag(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert code == 0
     assert payload["clean"] is True
+
+
+RACY = """\
+class Node:
+    def __init__(self, clock):
+        self.clock = clock
+        self.progress = 0
+
+    def _pump(self):
+        self.clock.sleep(1.0){pragma}
+
+    def advance(self, n):
+        cur = self.progress
+        self._pump()
+        self.progress = cur + n
+"""
+
+import pytest  # noqa: E402
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_chain_frame_pragma_suppresses_project_finding(tmp_path, jobs):
+    """A pragma on a *chain frame* line (here the yield inside the
+    helper, not the store the finding anchors on) suppresses an
+    interprocedural finding — identically in serial and parallel
+    mode, where per-file contexts come back from worker processes."""
+    mod = tmp_path / "src" / "repro" / "pkg" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text(RACY.format(pragma=""), encoding="utf-8")
+    convicted = Analyzer(root=tmp_path, jobs=jobs).run([tmp_path])
+    assert any(f.rule == "atomicity-violation" for f in convicted.findings)
+
+    mod.write_text(RACY.format(
+        pragma="  # repro-lint: disable=atomicity-violation"),
+        encoding="utf-8")
+    suppressed = Analyzer(root=tmp_path, jobs=jobs).run([tmp_path])
+    assert not any(f.rule == "atomicity-violation"
+                   for f in suppressed.findings)
+    assert suppressed.suppressed == convicted.suppressed + 1

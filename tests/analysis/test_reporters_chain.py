@@ -81,3 +81,44 @@ def test_github_reporter_reports_parse_errors():
     out = render_github([], ["bad.py: invalid syntax (line 1)"])
     assert out == ("::error title=repro-lint parse error::"
                    "bad.py: invalid syntax (line 1)")
+
+
+def test_sarif_reporter_emits_chain_as_related_locations():
+    from repro.analysis.core import all_rules
+    from repro.analysis.reporters import render_sarif
+
+    payload = json.loads(render_sarif(report_of(), [FINDING], [],
+                                      all_rules()))
+    assert payload["version"] == "2.1.0"
+    [run] = payload["runs"]
+    [result] = run["results"]
+    assert result["ruleId"] == "unbounded-rpc"
+    assert result["level"] == "error"
+    assert result["baselineState"] == "new"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 12
+    related = result["relatedLocations"]
+    assert [r["message"]["text"] for r in related] == [
+        "repro.pkg.mod.Client.flush -> repro.pkg.mod.Client._push",
+        "repro.pkg.mod.Client._push -> <invoke>",
+    ]
+    assert [r["physicalLocation"]["region"]["startLine"]
+            for r in related] == [12, 6]
+    driver_rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "unbounded-rpc" in driver_rules
+    assert result["ruleIndex"] == sorted(driver_rules).index("unbounded-rpc")
+
+
+def test_sarif_reporter_splits_baseline_state_and_parse_errors():
+    from repro.analysis.core import all_rules
+    from repro.analysis.reporters import render_sarif
+
+    report = report_of()
+    report.parse_errors = ["pkg/bad.py:1: invalid syntax"]
+    payload = json.loads(render_sarif(report, [], [FINDING], all_rules()))
+    [run] = payload["runs"]
+    [result] = run["results"]
+    assert result["baselineState"] == "unchanged"
+    notes = run["invocations"][0]["toolExecutionNotifications"]
+    assert [n["message"]["text"] for n in notes] == report.parse_errors
+    assert notes[0]["level"] == "error"

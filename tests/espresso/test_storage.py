@@ -222,3 +222,27 @@ def test_index_query_after_writes(node):
     scan_hits = node.query_full_scan("Song", "lyrics", "lucy in the sky",
                                      resource_id="Beatles")
     assert [r.key for r in scan_hits] == [r.key for r in hits]
+
+
+def test_commit_rejects_scn_race_during_wal_fsync(node):
+    """A window replayed while the WAL fsync is in flight advances the
+    partition SCN; the commit must abort instead of applying on top of
+    state it never saw."""
+    from repro.common.errors import ReplicationOrderError
+
+    orig = node._wal_append_window
+
+    def racing_wal_append(partition, scn, items):
+        orig(partition, scn, items)
+        # the fsync inside the append is a yield point: a replayed
+        # window lands and advances the SCN under this commit
+        node.partition_scn[partition] = (
+            node.partition_scn.get(partition, 0) + 1)
+
+    node._wal_append_window = racing_wal_append
+    with pytest.raises(ReplicationOrderError):
+        node.put_document("Artist", ("Akon",),
+                          {"name": "Akon", "genre": "rnb", "bio": None})
+    node._wal_append_window = orig
+    with pytest.raises(KeyNotFoundError):
+        node.get_document("Artist", ("Akon",))

@@ -76,3 +76,25 @@ def test_cluster_retention_sweep(tmp_path):
     clock.advance(100.0)
     assert cluster.run_retention(retention_seconds=10.0) > 0
     cluster.shutdown()
+
+
+def test_create_partition_detects_concurrent_winner(cluster, tmp_path):
+    """A second create landing while the first recovers its log from
+    disk must make the loser close its log and fail, not silently
+    replace the registered winner."""
+    broker = next(iter(cluster.brokers.values()))
+    orig_make = broker._make_log
+    winner = {}
+
+    def racing_make(directory):
+        log = orig_make(directory)
+        # a concurrent create_partition wins while this log recovers
+        broker._make_log = orig_make
+        winner["log"] = orig_make(str(tmp_path / "winner"))
+        broker._logs[("races", 0)] = winner["log"]
+        return log
+
+    broker._make_log = racing_make
+    with pytest.raises(ConfigurationError):
+        broker.create_partition("races", 0)
+    assert broker._logs[("races", 0)] is winner["log"]

@@ -196,3 +196,29 @@ def test_empty_message_set_rejected(tmp_path):
     with pytest.raises(ConfigurationError):
         log.append(MessageSet([]))
     log.close()
+
+
+def test_flush_keeps_concurrent_append_pending(tmp_path):
+    """Bytes appended while the flush fsync is in flight are neither
+    written nor durable; that flush must not expose or ack them."""
+    log = make_log(tmp_path, flush_interval_messages=10)
+    log.append(MessageSet([Message(b"first")]))
+    handle = log._active_file
+    orig_fsync = handle.fsync
+
+    def racing_fsync():
+        orig_fsync()
+        log.append(MessageSet([Message(b"late")]))  # lands mid-fsync
+
+    handle.fsync = racing_fsync
+    log.flush()
+    handle.fsync = orig_fsync
+
+    assert payloads_in(log) == [b"first"]
+    assert log._pending  # the late append is still buffered
+    assert log.high_watermark == log.log_end_offset - len(log._pending)
+
+    log.flush()
+    assert payloads_in(log) == [b"first", b"late"]
+    assert log.high_watermark == log.log_end_offset
+    log.close()

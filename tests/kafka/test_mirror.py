@@ -91,3 +91,33 @@ def test_end_to_end_pipeline_no_loss(clusters):
         mirror.poll_once()
         job.run_once()
     assert job.messages_loaded == total
+
+
+def test_mirror_preserves_cursor_reset_during_fetch(clusters):
+    """An operator rewind landing while a fetch is in flight must win;
+    the pass may not clobber it with its own stale next_offset."""
+    live, replica, _ = clusters
+    producer = Producer(live, batch_size=10)
+    for i in range(20):
+        producer.send("activity", f"event-{i}".encode())
+    producer.flush()
+    mirror = MirrorMaker(live, replica, ["activity"])
+    mirror.poll_once()
+    advanced = {tp for tp, off in mirror._offsets.items() if off}
+    assert advanced
+
+    orig_fetch = mirror._consumer.fetch
+
+    def racing_fetch(topic, partition, offset):
+        batch = orig_fetch(topic, partition, offset)
+        if (topic, partition) in advanced:
+            mirror._offsets[(topic, partition)] = 0  # rewind mid-fetch
+        return batch
+
+    mirror._consumer.fetch = racing_fetch
+    for i in range(20):
+        producer.send("activity", f"late-{i}".encode())
+    producer.flush()
+    mirror.poll_once()
+    for tp in advanced:
+        assert mirror._offsets[tp] == 0

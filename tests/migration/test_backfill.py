@@ -115,3 +115,24 @@ def test_chunk_size_must_be_positive(clock):
     source = make_source(clock, profiles=4, inmails=0)
     with pytest.raises(ConfigurationError):
         build(source, clock, chunk_size=0)
+
+
+def test_chunk_preserves_progress_reset_during_pump(clock):
+    """A restore_progress() landing while a chunk pumps the stream must
+    win; the finishing chunk may not clobber the rewound cursor."""
+    source = make_source(clock, profiles=50, inmails=0)
+    stack = build(source, clock, chunk_size=16)
+    backfill = stack.coordinator.backfill
+    first = backfill.run_one_chunk()
+    assert backfill.progress["profiles"] == first.last_key
+
+    orig_pump = backfill._pump_to
+
+    def racing_pump(scn):
+        orig_pump(scn)
+        backfill.restore_progress({"profiles": None})  # rewind mid-pump
+
+    backfill._pump_to = racing_pump
+    backfill.run_one_chunk()
+    backfill._pump_to = orig_pump
+    assert backfill.progress["profiles"] is None

@@ -148,3 +148,21 @@ def test_run_to_completion_helper(clock, source, disk):
                                  chunk_size=16)
     final = stack.coordinator.run_to_completion(tick_interval=1.0)
     assert final is MigrationPhase.CUTOVER
+
+
+def test_rollback_journals_phase_before_cdc_catchup(clock, stack):
+    """The ROLLBACK record must be durable before the catch-up polls: a
+    crash mid-catch-up would otherwise leave a RAMP journal, and the
+    restarted coordinator would resume with dual writes re-enabled."""
+    drive_to_phase(stack, clock, MigrationPhase.RAMP)
+    coordinator = stack.coordinator
+
+    def crash_during_catchup():
+        raise RuntimeError("node lost mid catch-up")
+
+    coordinator.client.run_to_head = crash_during_catchup
+    with pytest.raises(RuntimeError):
+        coordinator.rollback("operator abort")
+    restored = coordinator.journal.load_latest()
+    assert restored is not None
+    assert MigrationPhase(restored.phase) is MigrationPhase.ROLLBACK

@@ -135,3 +135,30 @@ class TestSlopStoreRecovery:
         assert cluster.server_for(holder).deliver_hints(dead) == 1
         value = cluster.server_for(dead).engine("s").get(b"key")
         assert value[0].value == b"v"
+
+
+class TestHintDeliveryRaces:
+    def test_hint_stored_during_delivery_survives(self, cluster):
+        """A hint queued while the delivery fsync is in flight must be
+        carried over, not dropped with the delivered batch."""
+        routed = RoutedStore(cluster, "s")
+        dead = routed.replica_nodes(b"key")[2]
+        cluster.network.failures.crash(cluster.node_name(dead))
+        routed.put(b"key", Versioned.initial(b"v", 0))
+        holder = next(n for n, s in cluster.servers.items() if s.hints)
+        server = cluster.server_for(holder)
+        parked = server.hints[0]
+        late = Hint(parked.store, b"late-key", parked.versioned, dead)
+        cluster.network.failures.recover(cluster.node_name(dead))
+
+        orig_fsync = server._slop_wal.fsync
+
+        def racing_fsync():
+            server._slop_wal.fsync = orig_fsync  # race only once
+            server.store_hint(late)  # arrives mid-delivery
+            orig_fsync()
+
+        server._slop_wal.fsync = racing_fsync
+        assert server.deliver_hints(dead) == 1
+        assert [h.key for h in server.hints] == [b"late-key"]
+        assert len(server.hints) == len(server._hint_seqs)

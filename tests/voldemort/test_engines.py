@@ -192,3 +192,50 @@ def test_log_engine_matches_memory_engine(tmp_path_factory, pairs):
                     == [x.value for x in memory_engine.get(key)])
     finally:
         log_engine.close()
+
+
+def test_compact_aborts_when_put_races_the_fsync(tmp_path):
+    """A put landing while the compacted file is being fsynced must not
+    be lost: the swap aborts and the next compaction retries."""
+    engine = LogStructuredEngine(str(tmp_path / "store"))
+    base = Versioned.initial(b"a-value", 1)
+    engine.put(b"a", base)
+    engine.put(b"a", base.next_version(b"a-newer", 1))  # leaves garbage
+    engine.put(b"b", v(b"x"))
+
+    real_open = engine.disk.open
+
+    class RacingFile:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+        def __enter__(self):
+            self._inner.__enter__()
+            return self
+
+        def __exit__(self, *exc):
+            return self._inner.__exit__(*exc)
+
+        def fsync(self):
+            engine.disk.open = real_open  # race only once
+            engine.put(b"late", v(b"9"))  # lands mid-fsync
+            self._inner.fsync()
+
+    def racing_open(path, mode="rb"):
+        handle = real_open(path, mode)
+        if path.endswith(".compact"):
+            return RacingFile(handle)
+        return handle
+
+    engine.disk.open = racing_open
+    assert engine.compact() == 0  # swap aborted, nothing replaced
+    assert engine.get(b"late")[0].value == b"9"
+    assert engine.get(b"a")[0].value == b"a-newer"
+
+    assert engine.compact() > 0  # clean retry reclaims the garbage
+    assert engine.get(b"late")[0].value == b"9"
+    assert engine.get(b"b")[0].value == b"x"
+    engine.close()
