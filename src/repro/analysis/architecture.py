@@ -76,6 +76,12 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     # checks those layers, it does not depend on them.
     "audit": frozenset({"sqlstore", "databus", "espresso", "voldemort",
                         "kafka"}),
+    # Stream processing pulls from Kafka, checkpoints to ZooKeeper, and
+    # is placed by Helix (paper §Kafka consumers; ROADMAP item 4).  It
+    # must NOT import simnet: tasks see only the abstract Disk/Clock
+    # from common, so the same code hosts on a SimDisk in tests and a
+    # real filesystem outside them.
+    "streams": frozenset({"kafka", "helix", "zookeeper"}),
     # -- applications -----------------------------------------------------
     # The search service indexes Espresso content via Databus events
     # and joins against the social graph (paper §applications).
@@ -86,7 +92,12 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     # Recommendations are computed offline in Hadoop and served from
     # Voldemort read-only stores, keyed by the social graph.
     "recommendations": frozenset({"hadoop", "voldemort", "socialgraph"}),
-    "workloads": frozenset(),
+    # Workload drivers stand in for production traffic and the
+    # operators running it: the day-in-the-life scenario assembles a
+    # whole estate (simulated disks and fault plans, Kafka, stream
+    # jobs, the social graph) and drives it end to end.
+    "workloads": frozenset({"simnet", "kafka", "streams", "socialgraph",
+                            "zookeeper"}),
     # -- tooling ----------------------------------------------------------
     # The analyzer inspects source text only; it may depend on nothing
     # but common, so it can never entangle itself with what it checks.

@@ -308,6 +308,26 @@ class PartitionLog:
             deleted += 1
         return deleted
 
+    def delete_segments_below(self, offset: int) -> int:
+        """Offset-based compaction support: drop leading whole segments
+        that end at or below ``offset``; never the active segment.
+
+        The streams changelog uses this once a durable snapshot covers
+        the prefix — the snapshot *is* the last-value fold of every
+        dropped record, so reads from ``offset`` onward are unaffected
+        and ``oldest_offset`` advances to the first surviving segment.
+        """
+        deleted = 0
+        while len(self._segments) > 1:
+            segment = self._segments[0]
+            segment_end = self._segments[1].base_offset
+            if segment_end > offset:
+                break
+            self.disk.remove(segment.path)
+            self._segments.pop(0)
+            deleted += 1
+        return deleted
+
     def size_bytes(self) -> int:
         return sum(s.size for s in self._segments) + len(self._pending)
 

@@ -36,6 +36,7 @@ class FaultAction:
 
     at: float
     kind: str                 # "kill" | "restart" | "torn_write" | "bit_flip"
+                              # | "kill_container" | "restart_container"
                               # | "call" | "inject" | "limp" | "heal_limp"
                               # | "net_crash" | "net_recover" | "set_link"
                               # | "clear_link" | "block" | "heal_blocks"
@@ -84,6 +85,8 @@ class FaultPlan:
         self._actions: list[FaultAction] = []
         self._kill_handlers: list[Callable[[str], None]] = []
         self._restart_handlers: list[Callable[[str], None]] = []
+        self._kill_container_handlers: list[Callable[[str], None]] = []
+        self._restart_container_handlers: list[Callable[[str], None]] = []
         self.executed: list[tuple[float, str, str, str]] = []
 
     def _require_network(self, kind: str) -> None:
@@ -102,6 +105,18 @@ class FaultPlan:
     def on_restart(self, handler: Callable[[str], None]) -> None:
         self._restart_handlers.append(handler)
 
+    def on_kill_container(self, handler: Callable[[str], None]) -> None:
+        """Register a handler invoked with the *container* name on every
+        ``kill_container`` action.  Containers (stream-processing worker
+        processes) die differently from storage nodes: their ephemeral
+        coordination state vanishes but their node's disk survives, so
+        they get their own handler list and trace kind rather than
+        reusing :meth:`on_kill`."""
+        self._kill_container_handlers.append(handler)
+
+    def on_restart_container(self, handler: Callable[[str], None]) -> None:
+        self._restart_container_handlers.append(handler)
+
     # -- schedule construction ------------------------------------------------
 
     def kill(self, at: float, node: str) -> None:
@@ -109,6 +124,15 @@ class FaultPlan:
 
     def restart(self, at: float, node: str) -> None:
         self._actions.append(FaultAction(at, "restart", node))
+
+    def kill_container(self, at: float, container: str) -> None:
+        """Kill one stream container mid-flight: in-memory task state is
+        lost without a final commit, ephemeral znodes vanish, durable
+        files survive."""
+        self._actions.append(FaultAction(at, "kill_container", container))
+
+    def restart_container(self, at: float, container: str) -> None:
+        self._actions.append(FaultAction(at, "restart_container", container))
 
     def torn_write(self, at: float, node: str, path: str | None = None,
                    keep_bytes: int | None = None) -> None:
@@ -219,6 +243,14 @@ class FaultPlan:
             for handler in self._restart_handlers:
                 handler(action.node)
             self.executed.append((now, "restart", action.node, ""))
+        elif action.kind == "kill_container":
+            for handler in self._kill_container_handlers:
+                handler(action.node)
+            self.executed.append((now, "kill_container", action.node, ""))
+        elif action.kind == "restart_container":
+            for handler in self._restart_container_handlers:
+                handler(action.node)
+            self.executed.append((now, "restart_container", action.node, ""))
         elif action.kind == "torn_write":
             self.disk.arm_torn_write(action.node, path=action.path,
                                      keep_bytes=action.keep_bytes)

@@ -1,0 +1,134 @@
+"""Per-task changelog topics: remote durability for task-local state.
+
+Every state mutation a task makes is also published — as an absolute
+upsert or a tombstone — to partition ``task_id`` of the store's
+changelog topic, a regular Kafka topic named
+``__changelog-<job>-<store>``.  The changelog is the authority a task
+restores from when its container dies on a node whose local snapshot
+is gone (SNIPPETS.md §8: "state is restored by replaying the changelog
+into the local store").
+
+**Compaction.**  Once a snapshot durably covers the changelog prefix
+below offset ``X``, every record below ``X`` is redundant: the
+snapshot *is* the last-value-wins fold of that prefix.  Compaction
+therefore drops whole leading segments that end at or below ``X`` —
+prefix truncation is exactly key-based compaction here, because a
+snapshot covers **all** keys.  The broker's recovery contract is
+untouched: compaction only removes bytes a durable snapshot already
+carries.
+
+Writes are **staged** in the writer and flushed as one message set at
+commit time, so the per-commit cost is one append + one fsync instead
+of one per mutation — the group-commit shape ROADMAP item 1 asks for.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.common.errors import ConfigurationError
+from repro.kafka.broker import KafkaCluster
+from repro.kafka.message import Message, MessageSet, iter_messages
+
+
+def changelog_topic(job: str, store: str) -> str:
+    """The reserved topic name for one job's one store."""
+    return f"__changelog-{job}-{store}"
+
+
+def encode_mutation(key: str, value: object | None) -> bytes:
+    """One changelog record; ``value=None`` encodes a tombstone."""
+    return json.dumps({"k": key, "v": value}, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def decode_mutation(payload: bytes) -> tuple[str, object | None]:
+    record = json.loads(payload)
+    return record["k"], record["v"]
+
+
+class ChangelogWriter:
+    """Stages mutations for one (topic, partition); flushes at commit."""
+
+    def __init__(self, cluster: KafkaCluster, topic: str, partition: int):
+        self.cluster = cluster
+        self.topic = topic
+        self.partition = partition
+        self._staged: list[Message] = []
+        self.mutations_logged = 0
+        self.flushes = 0
+
+    def stage(self, key: str, value: object | None) -> None:
+        self._staged.append(Message(encode_mutation(key, value)))
+        self.mutations_logged += 1
+
+    @property
+    def staged_count(self) -> int:
+        return len(self._staged)
+
+    def flush(self) -> int:
+        """Publish staged mutations and fsync them; returns the durable
+        end offset (high watermark) of the changelog partition.
+
+        The returned offset is what the task checkpoints: everything
+        below it is recoverable, and recovery replays exactly up to it.
+        """
+        broker = self.cluster.broker_for(self.topic, self.partition)
+        log = broker.log(self.topic, self.partition)
+        if self._staged:
+            broker.produce(self.topic, self.partition,
+                           MessageSet(self._staged))
+            self._staged = []
+            self.flushes += 1
+        log.flush()  # make every staged byte durable and visible
+        return log.high_watermark
+
+    def durable_end(self) -> int:
+        """The partition's current durable end, without writing."""
+        return self.cluster.broker_for(
+            self.topic, self.partition).log(
+            self.topic, self.partition).high_watermark
+
+
+def replay_changelog(cluster: KafkaCluster, topic: str, partition: int,
+                     start: int, stop: int,
+                     fetch_max_bytes: int = 1 << 20
+                     ) -> list[tuple[str, object | None]]:
+    """Decode changelog records in ``[start, stop)`` in append order.
+
+    ``stop`` is the checkpointed durable end: records past it are
+    *uncommitted* mutations a crashed incarnation published but never
+    checkpointed — replaying them would resurrect state the input
+    offsets do not cover, so the replay hard-stops at the boundary.
+    """
+    if stop < start:
+        raise ConfigurationError(
+            f"changelog replay range reversed: [{start}, {stop})")
+    broker = cluster.broker_for(topic, partition)
+    mutations: list[tuple[str, object | None]] = []
+    offset = start
+    while offset < stop:
+        data = broker.fetch(topic, partition, offset,
+                            max_bytes=min(fetch_max_bytes, stop - offset))
+        if not data:
+            break
+        before = offset
+        for decoded in iter_messages(data, base_offset=offset):
+            if decoded.next_offset > stop:
+                return mutations
+            mutations.append(decode_mutation(decoded.message.payload))
+            offset = decoded.next_offset
+        if offset == before:
+            break  # only a partial frame fit under ``stop``; done
+    return mutations
+
+
+def compact_changelog(cluster: KafkaCluster, topic: str, partition: int,
+                      below_offset: int) -> int:
+    """Drop leading whole segments durably covered by a snapshot.
+
+    Returns the number of segments deleted.  Never touches bytes at or
+    above ``below_offset`` — a replay starting there still works.
+    """
+    log = cluster.broker_for(topic, partition).log(topic, partition)
+    return log.delete_segments_below(below_offset)

@@ -1,17 +1,25 @@
-"""Workload generation: key popularity, value sizing, request mixes, events."""
+"""Workload generation: key popularity, value sizing, request mixes,
+events, diurnal traffic shaping, and end-to-end scenario drivers."""
 
 from repro.workloads.generators import (
     ActivityEventGenerator,
+    DiurnalRate,
     KeyValueWorkload,
+    ProfileViewEventGenerator,
     RequestMix,
     ZipfGenerator,
     zipf_sizes,
 )
+from repro.workloads.day_in_the_life import ScenarioResult, run_day_in_the_life
 
 __all__ = [
     "ActivityEventGenerator",
+    "DiurnalRate",
     "KeyValueWorkload",
+    "ProfileViewEventGenerator",
     "RequestMix",
     "ZipfGenerator",
     "zipf_sizes",
+    "ScenarioResult",
+    "run_day_in_the_life",
 ]

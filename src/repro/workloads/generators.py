@@ -15,6 +15,7 @@ Everything is seeded and deterministic.
 
 from __future__ import annotations
 
+import math
 import random
 import string
 from dataclasses import dataclass
@@ -187,3 +188,97 @@ class ActivityEventGenerator:
     def _random_word(self) -> str:
         length = self._rng.randint(3, 10)
         return "".join(self._rng.choice(string.ascii_lowercase) for _ in range(length))
+
+
+class ProfileViewEventGenerator:
+    """Profile-view events: who looked at whose profile (§V, SNIPPETS
+    §11 "Who Viewed Your Profile").
+
+    Viewers and viewees are drawn from *independent* Zipfians: a small
+    set of heavy browsers generates most views, and a (different) small
+    set of prominent members receives most of them — which is what
+    makes the per-viewee counters skewed and the repartition hop
+    worthwhile.  Self-views are redrawn.  Events are keyed by viewer
+    (the actor), matching how activity pipelines partition at the
+    source; counting per viewee is the stream job's repartition to do.
+    """
+
+    def __init__(self, num_members: int = 10_000, seed: int = 0,
+                 viewer_skew: float = 0.9, viewee_skew: float = 1.1):
+        if num_members < 2:
+            raise ConfigurationError("need at least two members")
+        self.num_members = num_members
+        self._viewers = ZipfGenerator(num_members, theta=viewer_skew,
+                                      seed=seed)
+        self._viewees = ZipfGenerator(num_members, theta=viewee_skew,
+                                      seed=seed + 1)
+        self._sequence = 0
+
+    @staticmethod
+    def member_id(rank: int) -> str:
+        return f"member:{rank:08d}"
+
+    def next_event(self, timestamp: float = 0.0) -> dict:
+        self._sequence += 1
+        viewer = self._viewers.next()
+        viewee = self._viewees.next()
+        while viewee == viewer:
+            viewee = self._viewees.next()
+        return {
+            "seq": self._sequence,
+            "viewer": self.member_id(viewer),
+            "viewee": self.member_id(viewee),
+            "ts": timestamp,
+        }
+
+    def events(self, count: int, timestamp: float = 0.0) -> Iterator[dict]:
+        for _ in range(count):
+            yield self.next_event(timestamp)
+
+
+class DiurnalRate:
+    """Sinusoidal day-shaped arrival rate, integrated deterministically.
+
+    ``rate(t)`` swings between ``trough_rate`` (at t = 0, "midnight")
+    and ``peak_rate`` (at half the period, "midday").  Event counts per
+    tick come from the closed-form integral of the rate plus a
+    fractional carry — no RNG, so the same tick schedule always yields
+    the same event counts, which is what lets the chaos suite run a
+    failure day and a clean day off one seed and compare bytes.
+    """
+
+    def __init__(self, trough_rate: float, peak_rate: float,
+                 day_seconds: float = 86_400.0):
+        if trough_rate < 0 or peak_rate < trough_rate:
+            raise ConfigurationError(
+                "need 0 <= trough_rate <= peak_rate")
+        if day_seconds <= 0:
+            raise ConfigurationError("day_seconds must be positive")
+        self.trough_rate = trough_rate
+        self.peak_rate = peak_rate
+        self.day_seconds = day_seconds
+        self._carry = 0.0
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous events/second at simulated time ``t``."""
+        swing = (self.peak_rate - self.trough_rate) / 2.0
+        phase = 2.0 * math.pi * t / self.day_seconds
+        return self.trough_rate + swing * (1.0 - math.cos(phase))
+
+    def _integral(self, t: float) -> float:
+        """∫ rate dt from 0 to ``t`` (closed form)."""
+        swing = (self.peak_rate - self.trough_rate) / 2.0
+        omega = 2.0 * math.pi / self.day_seconds
+        return ((self.trough_rate + swing) * t
+                - swing * math.sin(omega * t) / omega)
+
+    def events_in(self, t0: float, t1: float) -> int:
+        """Whole events arriving in ``[t0, t1)``; the fractional
+        remainder carries into the next tick, so counts over a day sum
+        to the integral of the curve with no drift."""
+        if t1 < t0:
+            raise ConfigurationError("events_in needs t1 >= t0")
+        self._carry += self._integral(t1) - self._integral(t0)
+        count = int(self._carry)
+        self._carry -= count
+        return count

@@ -75,6 +75,20 @@ def test_audit_package_is_lint_clean():
     assert not report.findings, "\n".join(f.render() for f in report.findings)
 
 
+def test_streams_package_is_lint_clean():
+    """The stream-processing tier post-dates the linter: zero findings
+    — and implicitly, its LAYER_CONTRACT row (kafka/helix/zookeeper
+    only, never simnet) holds for every import in the package.  Its two
+    single-writer offset updates in the poll loop are pragma-justified
+    in place, which this gate also exercises."""
+    analyzer = Analyzer(root=REPO_ROOT)
+    report = analyzer.run([SRC_REPRO / "streams"])
+    assert report.files_scanned >= 7
+    assert not report.parse_errors, report.parse_errors
+    assert not report.findings, "\n".join(f.render() for f in report.findings)
+    assert report.suppressed >= 1   # the justified poll-loop writes
+
+
 def test_layering_contract_matches_reality():
     """The committed contract and the actual import graph agree —
     checked whole-repo, not per file, so a contract row nobody uses

@@ -1,0 +1,205 @@
+"""The two shipped applications: WVYP counters and feed fan-out."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigurationError, NodeUnavailableError
+from repro.common.metrics import MetricsRegistry
+from repro.kafka.broker import KafkaCluster
+from repro.kafka.message import Message, MessageSet
+from repro.simnet.disk import SimDisk
+from repro.streams import (
+    JobCoordinator,
+    KeyedStateStore,
+    StreamContainer,
+    encode_stream_message,
+    route_key,
+)
+from repro.streams.apps import (
+    INBOX_CAP,
+    ConnectionFanoutTask,
+    FeedService,
+    InboxTask,
+    ProfileViewCounterTask,
+    ViewRouterTask,
+    WhoViewedYourProfileService,
+    feed_fanout_job,
+    who_viewed_your_profile_job,
+)
+from repro.streams.task import Envelope, MessageCollector, TaskContext
+from repro.zookeeper import ZooKeeperServer
+
+
+def make_context(stage: str, stores: dict[str, KeyedStateStore]
+                 ) -> TaskContext:
+    return TaskContext(stage, 0, stores, SimClock(), MetricsRegistry())
+
+
+def envelope(key: str, value: object, timestamp: float = 0.0,
+             topic: str = "in") -> Envelope:
+    return Envelope(topic=topic, partition=0, offset=0, next_offset=1,
+                    key=key, value=value, timestamp=timestamp)
+
+
+# -- unit: task logic -------------------------------------------------------
+
+def test_view_router_rekeys_by_viewee():
+    task = ViewRouterTask("out")
+    collector = MessageCollector()
+    task.process(envelope("viewer-1", {"viewee": "member-9", "ts": 4.5},
+                          timestamp=4.5), collector)
+    assert collector.drain() == [
+        ("out", "member-9", {"viewer": "viewer-1", "ts": 4.5})]
+
+
+def test_counter_windows_by_event_time_not_arrival():
+    task = ProfileViewCounterTask(window_s=10.0)
+    views = KeyedStateStore("views")
+    task.init(make_context("count-views", {"views": views}))
+    collector = MessageCollector()
+    for ts in (1.0, 9.0, 11.0):
+        task.process(envelope("m", {"viewer": "v", "ts": ts}), collector)
+    assert views.get("m:w00000000") == 2
+    assert views.get("m:w00000001") == 1
+    assert views.get("m:total") == 3
+
+
+def test_counter_rejects_nonpositive_window():
+    with pytest.raises(ConfigurationError):
+        ProfileViewCounterTask(window_s=0)
+
+
+def test_fanout_folds_connections_then_fans_activity():
+    task = ConnectionFanoutTask("out")
+    graph = KeyedStateStore("graph")
+    task.init(make_context("fanout", {"graph": graph}))
+    collector = MessageCollector()
+    task.process(envelope("a", {"other": "c"}), collector)
+    task.process(envelope("a", {"other": "b"}), collector)
+    task.process(envelope("a", {"other": "b"}), collector)   # duplicate edge
+    assert collector.drain() == []
+    assert graph.get("conn:a") == ["b", "c"]                 # sorted, deduped
+
+    task.process(envelope("a", {"kind": "post", "id": 7}, timestamp=3.0),
+                 collector)
+    entry = {"actor": "a", "kind": "post", "id": 7, "ts": 3.0}
+    assert collector.drain() == [("out", "b", entry), ("out", "c", entry)]
+
+
+def test_fanout_without_connections_emits_nothing():
+    task = ConnectionFanoutTask("out")
+    task.init(make_context("fanout", {"graph": KeyedStateStore("graph")}))
+    collector = MessageCollector()
+    task.process(envelope("loner", {"kind": "post", "id": 1}), collector)
+    assert collector.drain() == []
+
+
+def test_inbox_sorts_by_event_time_and_caps():
+    task = InboxTask()
+    inbox = KeyedStateStore("inbox")
+    task.init(make_context("inbox", {"inbox": inbox}))
+    collector = MessageCollector()
+    for i in range(INBOX_CAP + 10):
+        # deliver in reverse event-time order: storage must sort anyway
+        ts = float(INBOX_CAP + 10 - i)
+        task.process(envelope("m", {"actor": "a", "kind": "k",
+                                    "id": i, "ts": ts}), collector)
+    entries = inbox.get("m")
+    assert len(entries) == INBOX_CAP
+    assert [e["ts"] for e in entries] == sorted(e["ts"] for e in entries)
+    assert entries[0]["ts"] == 11.0   # the 10 oldest were evicted
+
+
+def test_inbox_order_is_arrival_independent():
+    entries = [{"actor": "a", "kind": "k", "id": i, "ts": float(i % 5)}
+               for i in range(12)]
+    boxes = []
+    for ordering in (entries, list(reversed(entries))):
+        task = InboxTask()
+        inbox = KeyedStateStore("inbox")
+        task.init(make_context("inbox", {"inbox": inbox}))
+        collector = MessageCollector()
+        for entry in ordering:
+            task.process(envelope("m", entry), collector)
+        boxes.append(inbox.get("m"))
+    assert boxes[0] == boxes[1]
+
+
+# -- end to end: topology + serving ----------------------------------------
+
+class Deployment:
+    def __init__(self, spec, input_topics: list[str], partitions: int = 2):
+        self.clock = SimClock()
+        self.disk = SimDisk(seed=21)
+        self.zookeeper = ZooKeeperServer()
+        self.cluster = KafkaCluster(1, "/kafka", zookeeper=self.zookeeper,
+                                    clock=self.clock,
+                                    partitions_per_topic=partitions,
+                                    disk=self.disk)
+        for topic in input_topics:
+            self.cluster.create_topic(topic, partitions=partitions)
+        self.spec = spec
+        self.coordinator = JobCoordinator(spec, self.cluster, self.zookeeper)
+        self.containers = [
+            StreamContainer(f"c{i}", spec, self.cluster, self.zookeeper,
+                            self.clock, self.disk.scope(f"c{i}"), "/state")
+            for i in range(2)]
+        self.coordinator.deploy(self.containers)
+
+    def produce(self, topic: str, key: str, value: object,
+                timestamp: float = 0.0) -> None:
+        partition = route_key(key, len(self.cluster.topic_layout(topic)))
+        broker = self.cluster.broker_for(topic, partition)
+        broker.produce(topic, partition, MessageSet(
+            [Message(encode_stream_message(key, value, timestamp))]))
+        broker.log(topic, partition).flush()
+
+    def drain(self) -> None:
+        for _ in range(20):
+            if sum(c.run_cycle() for c in self.containers if c.alive) == 0:
+                return
+        raise AssertionError("deployment did not drain")
+
+
+def test_wvyp_end_to_end_counts_through_repartition():
+    deployment = Deployment(
+        who_viewed_your_profile_job(2, window_s=10.0), ["profile-views"])
+    for viewer, ts in (("v1", 1.0), ("v2", 2.0), ("v1", 12.0)):
+        deployment.produce("profile-views", viewer,
+                           {"viewee": "m-42", "ts": ts}, ts)
+    deployment.produce("profile-views", "v1", {"viewee": "m-7", "ts": 3.0},
+                       3.0)
+    deployment.drain()
+    service = WhoViewedYourProfileService(deployment.coordinator,
+                                          deployment.containers)
+    assert service.total_views("m-42") == 3
+    assert service.views_by_window("m-42") == {0: 2, 1: 1}
+    assert service.total_views("m-7") == 1
+    assert service.total_views("m-unseen") == 0
+
+
+def test_wvyp_service_raises_when_owner_is_down():
+    deployment = Deployment(
+        who_viewed_your_profile_job(2, window_s=10.0), ["profile-views"])
+    service = WhoViewedYourProfileService(deployment.coordinator,
+                                          deployment.containers)
+    for container in deployment.containers:
+        container.kill()
+    with pytest.raises(NodeUnavailableError):
+        service.total_views("m-1")
+
+
+def test_feed_end_to_end_joins_and_fans_out():
+    deployment = Deployment(feed_fanout_job(2), ["connections", "activity"])
+    deployment.produce("connections", "alice", {"other": "bob"})
+    deployment.produce("connections", "alice", {"other": "carol"})
+    deployment.drain()               # fold the graph before activity
+    deployment.produce("activity", "alice", {"kind": "post", "id": 1}, 5.0)
+    deployment.produce("activity", "alice", {"kind": "like", "id": 2}, 6.0)
+    deployment.drain()
+    service = FeedService(deployment.coordinator, deployment.containers)
+    bob_inbox = service.inbox("bob")
+    assert [(e["kind"], e["ts"]) for e in bob_inbox] == [("post", 5.0),
+                                                         ("like", 6.0)]
+    assert service.inbox("carol") == bob_inbox
+    assert service.inbox("alice") == []   # no one connects *to* alice

@@ -1,0 +1,101 @@
+"""Changelog topics: staged writes, bounded replay, compaction."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigurationError
+from repro.kafka.broker import KafkaCluster
+from repro.simnet.disk import SimDisk
+from repro.streams.changelog import (
+    ChangelogWriter,
+    changelog_topic,
+    compact_changelog,
+    replay_changelog,
+)
+
+
+def make_cluster(segment_bytes: int = 1 << 20) -> KafkaCluster:
+    cluster = KafkaCluster(1, "/kafka", clock=SimClock(),
+                           partitions_per_topic=1,
+                           segment_bytes=segment_bytes,
+                           disk=SimDisk(seed=3))
+    cluster.create_topic("__changelog-job-store", partitions=1)
+    return cluster
+
+
+def test_topic_naming():
+    assert changelog_topic("wvyp", "views") == "__changelog-wvyp-views"
+
+
+def test_stage_then_flush_publishes_one_set():
+    cluster = make_cluster()
+    writer = ChangelogWriter(cluster, "__changelog-job-store", 0)
+    writer.stage("a", 1)
+    writer.stage("b", None)
+    assert writer.staged_count == 2
+    end = writer.flush()
+    assert writer.staged_count == 0
+    assert writer.flushes == 1
+    assert end == writer.durable_end() > 0
+    assert replay_changelog(cluster, "__changelog-job-store", 0,
+                            0, end) == [("a", 1), ("b", None)]
+
+
+def test_replay_stops_at_checkpoint_boundary():
+    """Records past ``stop`` are uncommitted mutations of a crashed
+    incarnation; replay must ignore them."""
+    cluster = make_cluster()
+    writer = ChangelogWriter(cluster, "__changelog-job-store", 0)
+    writer.stage("a", 1)
+    committed = writer.flush()
+    writer.stage("a", 999)   # never checkpointed
+    writer.flush()
+    assert replay_changelog(cluster, "__changelog-job-store", 0,
+                            0, committed) == [("a", 1)]
+
+
+def test_replay_rejects_reversed_range():
+    cluster = make_cluster()
+    with pytest.raises(ConfigurationError):
+        replay_changelog(cluster, "__changelog-job-store", 0, 10, 5)
+
+
+def test_compaction_drops_whole_leading_segments_only():
+    """Regression: compaction below offset X removes leading segments
+    ending at or below X, never the tail — a replay from X still sees
+    every record at or past it, tombstones included."""
+    cluster = make_cluster(segment_bytes=256)
+    writer = ChangelogWriter(cluster, "__changelog-job-store", 0)
+    boundaries = []
+    for batch in range(8):
+        for i in range(4):
+            writer.stage(f"k{batch}-{i}", {"batch": batch, "i": i})
+        writer.stage(f"k{batch}-0", None)  # tombstone rides along
+        boundaries.append(writer.flush())
+    log = cluster.broker_for("__changelog-job-store", 0).log(
+        "__changelog-job-store", 0)
+    assert len(log._segments) > 2   # the workload really rolled segments
+    barrier = boundaries[4]
+    deleted = compact_changelog(cluster, "__changelog-job-store", 0, barrier)
+    assert deleted >= 1
+    floor = log.oldest_offset
+    assert 0 < floor <= barrier
+    # everything from the floor to the end still replays, in order
+    replayed = replay_changelog(cluster, "__changelog-job-store", 0,
+                                floor, boundaries[-1])
+    assert replayed[-1] == ("k7-0", None)
+    # compaction is idempotent at the same barrier
+    assert compact_changelog(cluster, "__changelog-job-store", 0,
+                             barrier) == 0
+
+
+def test_compaction_never_deletes_the_active_segment():
+    cluster = make_cluster(segment_bytes=64)
+    writer = ChangelogWriter(cluster, "__changelog-job-store", 0)
+    writer.stage("a", 1)
+    end = writer.flush()
+    log = cluster.broker_for("__changelog-job-store", 0).log(
+        "__changelog-job-store", 0)
+    assert compact_changelog(cluster, "__changelog-job-store", 0,
+                             end + 1000) == 0
+    assert log.oldest_offset == 0

@@ -1,0 +1,298 @@
+"""TaskInstance: the commit protocol, recovery, and repartition dedupe."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigurationError
+from repro.kafka.broker import KafkaCluster
+from repro.kafka.message import Message, MessageSet
+from repro.simnet.disk import SimDisk
+from repro.streams.state import KeyedStateStore
+from repro.streams.task import (
+    Envelope,
+    MessageCollector,
+    StageSpec,
+    StreamTask,
+    TaskInstance,
+    encode_stream_message,
+    route_key,
+)
+from repro.zookeeper import ZooKeeperServer
+
+
+class CountTask(StreamTask):
+    """Idempotent-upsert counter keyed by message key."""
+
+    def init(self, context):
+        self.counts = context.store("counts")
+
+    def process(self, envelope, collector):
+        self.counts.put(envelope.key,
+                        (self.counts.get(envelope.key) or 0) + 1)
+
+
+class ForwardTask(StreamTask):
+    """Stateless repartition hop: re-key each message by its value."""
+
+    def __init__(self, output_topic: str):
+        self.output_topic = output_topic
+
+    def process(self, envelope, collector):
+        collector.send(self.output_topic, envelope.value["to"],
+                       {"n": envelope.value["n"]})
+
+
+class SumTask(StreamTask):
+    """Downstream of ForwardTask: sums ``n`` per key (NOT idempotent
+    under redelivery — exactly what the dedupe must protect)."""
+
+    def init(self, context):
+        self.sums = context.store("sums")
+
+    def process(self, envelope, collector):
+        self.sums.put(envelope.key,
+                      (self.sums.get(envelope.key) or 0)
+                      + envelope.value["n"])
+
+
+class World:
+    def __init__(self, seed: int = 5, segment_bytes: int = 1 << 20):
+        self.clock = SimClock()
+        self.disk = SimDisk(seed=seed)
+        self.zk_server = ZooKeeperServer()
+        self.zk = self.zk_server.connect()
+        self.cluster = KafkaCluster(1, "/kafka", zookeeper=self.zk_server,
+                                    clock=self.clock, partitions_per_topic=1,
+                                    segment_bytes=segment_bytes,
+                                    disk=self.disk)
+        self.cluster.create_topic("in", partitions=1)
+
+    def produce(self, topic: str, records: list[tuple[str, object]]) -> None:
+        messages = [Message(encode_stream_message(key, value, 1.0))
+                    for key, value in records]
+        broker = self.cluster.broker_for(topic, 0)
+        broker.produce(topic, 0, MessageSet(messages))
+        broker.log(topic, 0).flush()
+
+    def open_task(self, stage: StageSpec, node: str = "n0",
+                  snapshot_interval_commits: int = 8) -> TaskInstance:
+        return TaskInstance(
+            "job", stage, 0, self.cluster, self.zk, self.clock,
+            self.disk.scope(node), "/state", group="streams-job",
+            topic_partitions=1,
+            snapshot_interval_commits=snapshot_interval_commits)
+
+
+def count_stage() -> StageSpec:
+    return StageSpec(name="count", inputs=("in",), task_factory=CountTask,
+                     stores=("counts",))
+
+
+def test_commit_then_reopen_resumes_offsets_and_state():
+    world = World()
+    for topic in ("__changelog-job-counts",):
+        world.cluster.create_topic(topic, partitions=1)
+    task = world.open_task(count_stage())
+    world.produce("in", [("a", 1), ("b", 1), ("a", 1)])
+    assert task.poll() == 3
+    task.commit()
+    fingerprint = task.state_fingerprint()
+
+    successor = world.open_task(count_stage())
+    assert successor.stores["counts"].get("a") == 2
+    assert successor.stores["counts"].get("b") == 1
+    assert successor.state_fingerprint() == fingerprint
+    # nothing to re-read: the checkpoint advanced past all input
+    assert successor.poll() == 0
+
+
+def test_kill_before_commit_loses_nothing_durable():
+    """Work processed but never committed is reprocessed by the next
+    incarnation — at-least-once, converging because upserts are
+    absolute."""
+    world = World()
+    world.cluster.create_topic("__changelog-job-counts", partitions=1)
+    task = world.open_task(count_stage())
+    world.produce("in", [("a", 1), ("a", 1)])
+    task.poll()
+    task.commit()
+    world.produce("in", [("a", 1)])
+    task.poll()                      # processed, never committed
+    assert task.stores["counts"].get("a") == 3
+    del task                         # crash: no commit
+
+    successor = world.open_task(count_stage())
+    assert successor.stores["counts"].get("a") == 2   # pre-crash durable
+    assert successor.poll() == 1                      # redelivery
+    assert successor.stores["counts"].get("a") == 3
+
+
+def test_moved_task_rebuilds_from_compacted_changelog_alone():
+    """The snapshot-barrier contract: after compaction, a node with NO
+    local snapshot still recovers full state, because the compaction
+    floor is a republished full image."""
+    world = World(segment_bytes=128)
+    world.cluster.create_topic("__changelog-job-counts", partitions=1)
+    task = world.open_task(count_stage(), node="n0",
+                           snapshot_interval_commits=1)
+    for batch in range(6):
+        world.produce("in", [(f"k{batch}", 1), ("hot", 1)])
+        task.poll()
+        task.commit()                # barrier + compaction every commit
+    log = world.cluster.broker_for("__changelog-job-counts", 0).log(
+        "__changelog-job-counts", 0)
+    assert log.oldest_offset > 0     # compaction really happened
+    fingerprint = task.state_fingerprint()
+
+    moved = world.open_task(count_stage(), node="n1")   # fresh disk scope
+    assert not moved.recovered_from_snapshot
+    assert moved.replayed_mutations > 0
+    assert moved.state_fingerprint() == fingerprint
+    assert moved.stores["counts"].get("hot") == 6
+
+
+def test_stale_snapshot_below_compaction_floor_falls_back_to_full_replay():
+    """A task that returns to its original node after running elsewhere
+    may find its old local snapshot points below the changelog's
+    compaction floor; it must discard it and replay from the floor."""
+    world = World(segment_bytes=128)
+    world.cluster.create_topic("__changelog-job-counts", partitions=1)
+    task = world.open_task(count_stage(), node="n0",
+                           snapshot_interval_commits=1)
+    world.produce("in", [("a", 1)])
+    task.poll()
+    task.commit()                    # n0's snapshot covers offset X
+
+    # the task runs on n1 for a while; n1's barriers compact past X
+    interim = world.open_task(count_stage(), node="n1",
+                              snapshot_interval_commits=1)
+    for batch in range(6):
+        world.produce("in", [(f"k{batch}", 1), ("a", 1)])
+        interim.poll()
+        interim.commit()
+    log = world.cluster.broker_for("__changelog-job-counts", 0).log(
+        "__changelog-job-counts", 0)
+    fingerprint = interim.state_fingerprint()
+
+    returned = world.open_task(count_stage(), node="n0")
+    assert not returned.recovered_from_snapshot   # stale snapshot rejected
+    assert returned.state_fingerprint() == fingerprint
+    assert returned.stores["counts"].get("a") == 7
+    assert log.oldest_offset > 0
+
+
+def test_snapshot_speeds_up_recovery_on_same_node():
+    world = World()
+    world.cluster.create_topic("__changelog-job-counts", partitions=1)
+    task = world.open_task(count_stage(), snapshot_interval_commits=1)
+    world.produce("in", [("a", 1), ("b", 1)])
+    task.poll()
+    task.commit()
+    successor = world.open_task(count_stage())
+    assert successor.recovered_from_snapshot
+    assert successor.replayed_mutations == 0
+    assert successor.stores["counts"].get("a") == 1
+
+
+def test_crash_inside_commit_window_redelivers_and_downstream_dedupes():
+    """The one place duplicates can enter a repartition topic: a crash
+    *after* the output flush but *before* the checkpoint write.  The
+    restarted producer re-reads the same input and re-publishes its
+    emissions; the consumer's ``__seen/`` watermark must drop them or
+    SumTask would double-count."""
+    world = World()
+    world.cluster.create_topic("mid", partitions=1)
+    world.cluster.create_topic("__changelog-job-sums", partitions=1)
+    forward = StageSpec(name="forward", inputs=("in",),
+                        task_factory=lambda: ForwardTask("mid"))
+    summing = StageSpec(name="sum", inputs=("mid",), task_factory=SumTask,
+                        stores=("sums",))
+
+    producer = world.open_task(forward)
+    world.produce("in", [("a", {"to": "x", "n": 5}),
+                         ("b", {"to": "x", "n": 2})])
+    producer.poll()
+
+    def crash(checkpoint):
+        raise RuntimeError("crash between output flush and checkpoint")
+
+    producer._write_checkpoint = crash
+    with pytest.raises(RuntimeError):
+        producer.commit()
+    del producer
+
+    reborn = world.open_task(forward)
+    assert reborn.poll() == 2        # checkpoint never moved: re-read all
+    reborn.commit()                  # second copy of both emissions lands
+
+    consumer = world.open_task(summing)
+    handled = consumer.poll()
+    assert handled == 4              # fetched four, processed two
+    assert consumer.duplicates_dropped == 2
+    assert consumer.stores["sums"].get("x") == 7
+    consumer.commit()
+
+    # the watermark itself is durable: a post-commit successor still
+    # drops a late redelivery of the same records
+    successor = world.open_task(summing)
+    assert successor.poll() == 0
+    assert successor.stores["sums"].get("x") == 7
+
+
+def test_dedupe_requires_a_store():
+    world = World()
+    world.cluster.create_topic("mid", partitions=1)
+    forward = StageSpec(name="forward", inputs=("in",),
+                        task_factory=lambda: ForwardTask("mid"))
+    producer = world.open_task(forward)
+    world.produce("in", [("a", {"to": "x", "n": 1})])
+    producer.poll()
+    producer.commit()
+
+    class NullTask(StreamTask):
+        def process(self, envelope, collector):
+            pass
+
+    storeless = StageSpec(name="sink", inputs=("mid",),
+                          task_factory=NullTask)
+    task = world.open_task(storeless)
+    with pytest.raises(ConfigurationError):
+        task.poll()                  # stamped input, nowhere to dedupe
+
+
+def test_window_fires_on_clock_cadence():
+    world = World()
+
+    class Windowed(StreamTask):
+        def __init__(self):
+            self.windows = 0
+
+        def process(self, envelope, collector):
+            pass
+
+        def window(self, collector):
+            self.windows += 1
+
+    stage = StageSpec(name="w", inputs=("in",), task_factory=Windowed,
+                      window_interval_s=10.0)
+    task = world.open_task(stage)
+    task.poll()
+    assert task.task.windows == 0
+    world.clock.advance(11.0)
+    task.poll()
+    assert task.task.windows == 1
+    task.poll()                      # cadence not yet elapsed again
+    assert task.task.windows == 1
+
+
+def test_route_key_is_stable_and_in_range():
+    assert route_key("member:00000042", 4) == route_key("member:00000042", 4)
+    assert all(0 <= route_key(f"k{i}", 7) < 7 for i in range(100))
+    spread = {route_key(f"k{i}", 4) for i in range(64)}
+    assert spread == {0, 1, 2, 3}
+
+
+def test_snapshot_interval_must_be_positive():
+    world = World()
+    with pytest.raises(ConfigurationError):
+        world.open_task(count_stage(), snapshot_interval_commits=0)

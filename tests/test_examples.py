@@ -20,6 +20,7 @@ EXAMPLES = [
     "social_graph.py",
     "site_pipeline.py",
     "live_migration.py",
+    "stream_analytics.py",
 ]
 
 

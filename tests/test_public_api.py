@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.espresso",
     "repro.migration",
     "repro.kafka",
+    "repro.streams",
     "repro.workloads",
     "repro.socialgraph",
     "repro.search",
@@ -45,6 +46,8 @@ MODULES = [
     "repro.kafka.audit",
     "repro.helix.health",
     "repro.hadoop.scheduler",
+    "repro.streams.apps",
+    "repro.workloads.day_in_the_life",
 ]
 
 

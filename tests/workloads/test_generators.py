@@ -7,7 +7,9 @@ import pytest
 from repro.common.errors import ConfigurationError
 from repro.workloads import (
     ActivityEventGenerator,
+    DiurnalRate,
     KeyValueWorkload,
+    ProfileViewEventGenerator,
     RequestMix,
     ZipfGenerator,
     zipf_sizes,
@@ -113,3 +115,74 @@ def test_activity_event_sequence_monotonic():
     seqs = [gen.next_event()["seq"] for _ in range(50)]
     assert seqs == sorted(seqs)
     assert len(set(seqs)) == 50
+
+
+def test_profile_view_events_never_self_view():
+    gen = ProfileViewEventGenerator(num_members=20, seed=10)
+    for event in gen.events(2000):
+        assert event["viewer"] != event["viewee"]
+        assert event["viewer"].startswith("member:")
+
+
+def test_profile_view_member_id_is_fixed_width():
+    assert ProfileViewEventGenerator.member_id(42) == "member:00000042"
+
+
+def test_profile_view_deterministic_by_seed():
+    a = list(ProfileViewEventGenerator(100, seed=3).events(50, timestamp=9.0))
+    b = list(ProfileViewEventGenerator(100, seed=3).events(50, timestamp=9.0))
+    assert a == b
+    assert a != list(ProfileViewEventGenerator(100, seed=4).events(50))
+
+
+def test_profile_view_viewees_are_skewed():
+    gen = ProfileViewEventGenerator(num_members=1000, seed=11)
+    viewees = [e["viewee"] for e in gen.events(10_000)]
+    top_ten = {ProfileViewEventGenerator.member_id(r) for r in range(10)}
+    assert sum(1 for v in viewees if v in top_ten) / len(viewees) > 0.2
+
+
+def test_profile_view_validation():
+    with pytest.raises(ConfigurationError):
+        ProfileViewEventGenerator(num_members=1)
+
+
+def test_diurnal_rate_shape():
+    rate = DiurnalRate(2.0, 10.0, day_seconds=100.0)
+    assert rate.rate_at(0.0) == pytest.approx(2.0)     # midnight trough
+    assert rate.rate_at(50.0) == pytest.approx(10.0)   # midday peak
+    assert rate.rate_at(100.0) == pytest.approx(2.0)
+
+
+def test_diurnal_counts_sum_to_the_integral_without_drift():
+    rate = DiurnalRate(2.0, 10.0, day_seconds=100.0)
+    total = sum(rate.events_in(t, t + 5.0) for t in range(0, 100, 5))
+    # mean rate is (trough + peak)/2 = 6 ev/s over 100 s
+    assert abs(total - 600) <= 1
+
+
+def test_diurnal_counts_are_deterministic():
+    a = DiurnalRate(1.0, 5.0, day_seconds=720.0)
+    b = DiurnalRate(1.0, 5.0, day_seconds=720.0)
+    ticks = [(t, t + 30.0) for t in range(0, 720, 30)]
+    assert [a.events_in(*tick) for tick in ticks] == \
+        [b.events_in(*tick) for tick in ticks]
+
+
+def test_diurnal_peak_tick_outweighs_trough_tick():
+    rate = DiurnalRate(1.0, 9.0, day_seconds=100.0)
+    trough = rate.events_in(0.0, 10.0)
+    rate._carry = 0.0
+    peak = rate.events_in(45.0, 55.0)
+    assert peak > 2 * trough
+
+
+def test_diurnal_validation():
+    with pytest.raises(ConfigurationError):
+        DiurnalRate(-1.0, 5.0)
+    with pytest.raises(ConfigurationError):
+        DiurnalRate(5.0, 2.0)
+    with pytest.raises(ConfigurationError):
+        DiurnalRate(1.0, 2.0, day_seconds=0.0)
+    with pytest.raises(ConfigurationError):
+        DiurnalRate(1.0, 2.0).events_in(5.0, 1.0)
